@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark suite.
+
+Each paper table is regenerated once per session (they involve full
+reorder-and-execute sweeps); the ``benchmark`` fixture then times a
+representative component so pytest-benchmark has a stable, fast target.
+Generated tables are printed (run with ``-s`` to see them) and written
+to ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_table(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, name), "w") as handle:
+        handle.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def table1_result():
+    from repro.experiments.tables import table1
+
+    result = table1()
+    save_table("table1.txt", result.format())
+    return result
+
+
+@pytest.fixture(scope="session")
+def table2_result():
+    from repro.experiments.tables import table2
+
+    result = table2(include_fully_instantiated=True, include_best=True)
+    save_table("table2.txt", result.format())
+    return result
+
+
+@pytest.fixture(scope="session")
+def table3_result():
+    from repro.experiments.tables import table3
+
+    result = table3()
+    save_table("table3.txt", result.format())
+    return result
+
+
+@pytest.fixture(scope="session")
+def table4_result():
+    from repro.experiments.tables import table4
+
+    result = table4()
+    save_table("table4.txt", result.format())
+    return result

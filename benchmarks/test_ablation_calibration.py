@@ -1,0 +1,100 @@
+"""Ablation — empirical calibration vs the analytic cost model.
+
+The paper's §I-E extension measured costs by execution ("we call each
+predicate, forcing repeated backtracking, and count the
+solution-tuples") and found it "impractical even for toy problems"
+exhaustively; §VIII asks the system to "estimate nearly all
+probabilities and costs on its own". Here the sampled calibrator feeds
+measured numbers into the same reorderer and we compare outcomes and
+costs against the pure model on the family tree.
+"""
+
+import pytest
+
+from repro.analysis.calibration import CalibrationOptions, EmpiricalCalibrator
+from repro.analysis.declarations import Declarations
+from repro.analysis.modes import parse_mode_string
+from repro.experiments.harness import count_calls, mode_queries
+from repro.prolog import Engine
+from repro.programs import family_tree
+from repro.reorder.system import Reorderer
+
+PREDICATES = ["aunt", "cousins", "grandmother"]
+
+
+@pytest.fixture(scope="module")
+def variants():
+    database = family_tree.database()
+    model_program = Reorderer(database).reorder()
+    calibrated = EmpiricalCalibrator(
+        database, CalibrationOptions(max_samples=6)
+    ).calibrate(declarations=Declarations.from_database(database))
+    calibrated_program = Reorderer(database, declarations=calibrated).reorder()
+    return database, model_program, calibrated_program
+
+
+def _sweep(program_or_db, predicate, database=None):
+    mode = parse_mode_string("-+")
+    if database is None:  # a reordered program
+        version = program_or_db.version_name((predicate, 2), mode)
+        return count_calls(
+            lambda: program_or_db.engine(),
+            mode_queries(version, mode, family_tree.PERSONS),
+        )
+    return count_calls(
+        lambda: Engine(database),
+        mode_queries(predicate, mode, family_tree.PERSONS),
+    )
+
+
+class TestShape:
+    def test_both_equivalent(self, variants):
+        database, model_program, calibrated_program = variants
+        for predicate in PREDICATES:
+            query = f"{predicate}(V0, V1)"
+            reference = sorted(s.key() for s in Engine(database).ask(query))
+            assert sorted(
+                s.key() for s in model_program.engine().ask(query)
+            ) == reference
+            assert sorted(
+                s.key() for s in calibrated_program.engine().ask(query)
+            ) == reference
+
+    def test_both_beat_original(self, variants):
+        database, model_program, calibrated_program = variants
+        report = ["ablation: calibration vs model ((-,+) sweep calls)"]
+        for predicate in PREDICATES:
+            original = _sweep(None, predicate, database)
+            model = _sweep(model_program, predicate)
+            measured = _sweep(calibrated_program, predicate)
+            report.append(
+                f"  {predicate:12s} original {original:7d}  "
+                f"model {model:7d}  calibrated {measured:7d}"
+            )
+            assert model < original, predicate
+            assert measured < original, predicate
+        print("\n" + "\n".join(report))
+
+    def test_calibrated_close_to_model(self, variants):
+        database, model_program, calibrated_program = variants
+        model_total = sum(_sweep(model_program, p) for p in PREDICATES)
+        calibrated_total = sum(
+            _sweep(calibrated_program, p) for p in PREDICATES
+        )
+        # The measured numbers should lead to comparable orders: within
+        # 3x of each other in either direction.
+        assert calibrated_total < model_total * 3
+        assert model_total < calibrated_total * 3
+
+
+class TestBenchmarks:
+    def test_bench_calibration_pass(self, benchmark):
+        database = family_tree.database()
+
+        def calibrate():
+            return EmpiricalCalibrator(
+                database, CalibrationOptions(max_samples=4)
+            ).calibrate()
+
+        declarations = benchmark(calibrate)
+        assert declarations.costs

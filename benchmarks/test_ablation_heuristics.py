@@ -1,0 +1,77 @@
+"""Ablation — Markov-chain reordering vs Warren's heuristic vs original.
+
+The paper (§I-E) credits Warren's method with large speedups on
+conjunctive queries but notes it "considers only the number of
+solutions, not their costs". This ablation runs all three variants of
+the family-tree program over the open-mode sweep of the tested
+predicates and checks the ordering: Markov ≤ original, and Markov at
+least as good as Warren overall.
+"""
+
+import pytest
+
+from repro.baselines.warren import WarrenReorderer
+from repro.experiments.harness import count_calls, mode_queries
+from repro.analysis.modes import parse_mode_string
+from repro.prolog import Database, Engine
+from repro.programs import family_tree
+from repro.reorder.system import Reorderer
+
+PREDICATES = ["aunt", "cousins", "grandmother"]
+
+
+@pytest.fixture(scope="module")
+def totals():
+    database = family_tree.database()
+    markov_program = Reorderer(database).reorder()
+    warren_database = WarrenReorderer(database).reorder_program()
+
+    mode = parse_mode_string("--")
+    result = {"original": 0, "warren": 0, "markov": 0}
+    for predicate in PREDICATES:
+        queries = mode_queries(predicate, mode, family_tree.PERSONS)
+        result["original"] += count_calls(lambda: Engine(database), queries)
+        result["warren"] += count_calls(lambda: Engine(warren_database), queries)
+        version = markov_program.version_name((predicate, 2), mode)
+        result["markov"] += count_calls(
+            lambda: markov_program.engine(),
+            mode_queries(version, mode, family_tree.PERSONS),
+        )
+    return result
+
+
+class TestShape:
+    def test_markov_beats_original(self, totals):
+        assert totals["markov"] < totals["original"]
+
+    def test_markov_at_least_matches_warren(self, totals):
+        assert totals["markov"] <= totals["warren"] * 1.05
+
+    def test_warren_answers_preserved(self):
+        database = family_tree.database()
+        warren_database = WarrenReorderer(database).reorder_program()
+        for predicate in PREDICATES:
+            query = f"{predicate}(V0, V1)"
+            before = sorted(s.key() for s in Engine(database).ask(query))
+            after = sorted(s.key() for s in Engine(warren_database).ask(query))
+            assert before == after, predicate
+
+    def test_report(self, totals):
+        lines = ["ablation: ordering heuristics (open-mode calls, 3 predicates)"]
+        for variant in ("original", "warren", "markov"):
+            lines.append(f"  {variant:9s} {totals[variant]:8d}")
+        print("\n" + "\n".join(lines))
+
+
+class TestBenchmarks:
+    def test_bench_warren_reordering(self, benchmark):
+        database = family_tree.database()
+        reordered = benchmark(
+            lambda: WarrenReorderer(database).reorder_program()
+        )
+        assert len(reordered.predicates()) > 0
+
+    def test_bench_markov_reordering(self, benchmark):
+        database = family_tree.database()
+        program = benchmark(lambda: Reorderer(database.copy()).reorder())
+        assert program.database.predicates()

@@ -1,0 +1,57 @@
+"""Engine scale characteristics.
+
+Not a paper artefact: sanity benchmarks for the substrate itself, so
+regressions in the engine's fundamentals (indexing, unification,
+backtracking throughput) are visible. Paper-relevant angle: first-
+argument indexing is the mechanism §III-A compares reordering against.
+"""
+
+import pytest
+
+from repro.prolog import Database, Engine
+
+FACT_COUNT = 5_000
+
+
+@pytest.fixture(scope="module")
+def big_database():
+    source = "\n".join(f"rec({i}, v{i % 97})." for i in range(FACT_COUNT))
+    source += "\nlookup2(A, B) :- rec(A, X), rec(B, X).\n"
+    return Database.from_source(source)
+
+
+class TestShape:
+    def test_indexed_lookup_constant_unifications(self, big_database):
+        engine = Engine(big_database)
+        _, metrics = engine.run("rec(2500, V)")
+        assert metrics.unifications <= 2
+
+    def test_unindexed_lookup_scans(self, big_database):
+        database = big_database.copy()
+        database.indexing = False
+        _, metrics = Engine(database).run("rec(2500, V)")
+        assert metrics.unifications == FACT_COUNT
+
+
+class TestBenchmarks:
+    def test_bench_indexed_point_lookup(self, benchmark, big_database):
+        engine = Engine(big_database)
+        result = benchmark(engine.ask, "rec(2500, V)")
+        assert len(result) == 1
+
+    def test_bench_unindexed_point_lookup(self, benchmark, big_database):
+        database = big_database.copy()
+        database.indexing = False
+        engine = Engine(database)
+        result = benchmark(engine.ask, "rec(2500, V)")
+        assert len(result) == 1
+
+    def test_bench_full_enumeration(self, benchmark, big_database):
+        engine = Engine(big_database)
+        count = benchmark(engine.count_solutions, "rec(I, V)")
+        assert count == FACT_COUNT
+
+    def test_bench_consult(self, benchmark):
+        source = "\n".join(f"rec({i}, v{i % 97})." for i in range(1_000))
+        database = benchmark(Database.from_source, source)
+        assert len(database) == 1_000

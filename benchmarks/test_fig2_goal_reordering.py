@@ -1,0 +1,17 @@
+"""Figure 2 — reordering a clause's goals (exact reproduction).
+
+Paper values: expected failure cost 98.928 for the source order,
+78.968 after ordering by decreasing q/c.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure2
+
+
+def test_fig2_goal_reordering(benchmark):
+    result = benchmark(figure2)
+    assert result.original_cost == pytest.approx(98.928)
+    assert result.reordered_cost == pytest.approx(78.968)
+    assert result.order == [0, 3, 2, 1]
+    print("\n" + result.format())

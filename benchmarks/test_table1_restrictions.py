@@ -1,0 +1,16 @@
+"""Table I — restrictions on reordering.
+
+Qualitative table: every restriction class the paper lists must be
+detected by the analyses on the probe program. The benchmark times the
+full analysis battery (call graph, fixity, semifixity, mode inference,
+block partition) on the probe.
+"""
+
+from repro.experiments.tables import table1
+
+
+def test_table1_restrictions(benchmark, table1_result):
+    result = benchmark(table1)
+    assert len(result.rows) == 7
+    for row in result.rows:
+        assert row.reordered == 1, f"restriction not detected: {row.label}"

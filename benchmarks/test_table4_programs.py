@@ -1,0 +1,58 @@
+"""Table IV — p58, meal, team, kmbench.
+
+Shape criteria (paper: p58 1.55; meal 1.06/1.06; team 3.47/3.87;
+kmbench 1.14): modest gains on mostly-deterministic programs — these
+violate the paper's §VII criteria (mobility, nondeterminism, diverse
+costs) — with team gaining the most.
+"""
+
+import pytest
+
+from repro.programs import kmbench, meal, p58, team
+from repro.reorder.system import Reorderer
+
+
+class TestShape:
+    def test_p58_band(self, table4_result):
+        assert 1.2 < table4_result.row("p58(+,+)").ratio < 3.0
+
+    def test_meal_near_one(self, table4_result):
+        assert 0.95 <= table4_result.row("meal(-,-,-)").ratio < 1.5
+        assert 0.95 <= table4_result.row("meal(+,+,-)").ratio < 1.5
+
+    def test_team_gains_most(self, table4_result):
+        team_ratio = table4_result.row("team(-,-)").ratio
+        assert team_ratio > 2.0
+        assert team_ratio == max(row.ratio for row in table4_result.rows)
+        assert table4_result.row("team(+,+)").ratio > 1.1
+
+    def test_kmbench_modest_gain(self, table4_result):
+        assert 1.05 < table4_result.row("kmbench").ratio < 3.0
+
+    def test_no_slowdowns(self, table4_result):
+        for row in table4_result.rows:
+            assert row.ratio >= 0.95, row.label
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize(
+        "module", [p58, meal, team, kmbench],
+        ids=["p58", "meal", "team", "kmbench"],
+    )
+    def test_reordering_pipeline(self, benchmark, module):
+        database = module.database()
+        program = benchmark(lambda: Reorderer(database.copy()).reorder())
+        assert program.database.predicates()
+
+    def test_kmbench_run(self, benchmark, table4_result):
+        database = kmbench.database()
+        program = Reorderer(database).reorder()
+        engine_factory = program.engine
+
+        def run():
+            engine = engine_factory()
+            assert engine.succeeds("kmbench")
+            return engine.metrics.calls
+
+        calls = benchmark(run)
+        assert calls > 0

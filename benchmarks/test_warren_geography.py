@@ -1,0 +1,80 @@
+"""The §I-E Warren geography scenario as a benchmark.
+
+Not one of the paper's numbered tables, but its motivating prior work:
+"reordering to minimize this yielded speedups up to several hundred
+times" on word-order conjunctive queries over a 150-country /
+900-border database. Shape criteria: both methods win on every
+question, the largest gain exceeds 50x, and the Markov system is at
+least as good as Warren's overall ("somewhat better than Warren's").
+"""
+
+import pytest
+
+from repro.baselines.warren import WarrenReorderer
+from repro.programs import geography
+from repro.prolog import Engine
+from repro.reorder.system import Reorderer
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    database = geography.database()
+    warren_database = WarrenReorderer(database).reorder_program()
+    markov_program = Reorderer(database).reorder()
+    rows = {}
+    for label, query in geography.QUESTIONS:
+        _, original = Engine(database).run(query)
+        _, via_warren = Engine(warren_database).run(query)
+        _, via_markov = markov_program.engine().run(query)
+        rows[label] = (original.calls, via_warren.calls, via_markov.calls)
+    return database, markov_program, rows
+
+
+class TestShape:
+    def test_every_question_improves(self, measurements):
+        _, _, rows = measurements
+        for label, (original, warren, markov) in rows.items():
+            assert warren < original, label
+            assert markov < original, label
+
+    def test_headline_speedup(self, measurements):
+        _, _, rows = measurements
+        best = max(original / markov for original, _, markov in rows.values())
+        assert best > 50
+
+    def test_markov_at_least_warren(self, measurements):
+        _, _, rows = measurements
+        warren_total = sum(w for _, w, _ in rows.values())
+        markov_total = sum(m for _, _, m in rows.values())
+        assert markov_total <= warren_total
+
+    def test_report(self, measurements):
+        _, _, rows = measurements
+        lines = ["Warren geography scenario (calls)"]
+        for label, (original, warren, markov) in rows.items():
+            lines.append(
+                f"  {label:<40} original {original:>7}  warren {warren:>7}  "
+                f"markov {markov:>7}"
+            )
+        print("\n" + "\n".join(lines))
+
+
+class TestBenchmarks:
+    def test_bench_q4_original(self, benchmark, measurements):
+        database, _, _ = measurements
+
+        def run():
+            _, metrics = Engine(database).run("q4(A, B)")
+            return metrics.calls
+
+        assert benchmark(run) > 10_000
+
+    def test_bench_q4_reordered(self, benchmark, measurements):
+        _, markov_program, _ = measurements
+        version_query = "q4(A, B)"
+
+        def run():
+            _, metrics = markov_program.engine().run(version_query)
+            return metrics.calls
+
+        assert benchmark(run) < 2_000

@@ -1,0 +1,97 @@
+"""The paper's optional / future-work features (§V-D, §VIII).
+
+Run:  python examples/advanced_features.py
+
+Demonstrates the three extensions beyond the core reorderer:
+
+1. run-time tests — ``nonvar``-guarded if-then-else instead of full
+   per-mode specialisation (§V-D);
+2. goal unfolding — Tamaki–Sato inlining before reordering (§VIII);
+3. empirical calibration — measure costs by execution and feed them to
+   the reorderer (§I-E's "extended" method / §VIII's self-estimation).
+"""
+
+from repro.analysis import CalibrationOptions, Declarations, EmpiricalCalibrator
+from repro.prolog import Database, Engine
+from repro.reorder import ReorderOptions, Reorderer, UnfoldOptions, unfold_program
+
+
+def show(title: str) -> None:
+    print("\n" + "=" * 8 + f" {title} " + "=" * max(4, 56 - len(title)))
+
+
+def run_cost(engine, query):
+    _, metrics = engine.run(query)
+    return metrics.calls
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    show("1. run-time tests (§V-D)")
+    source = """
+    big(1). big(2). big(3). big(4). big(5). big(6). big(7). big(8).
+    tiny(2). tiny(4).
+    pair(X, Y) :- big(X), big(Y), tiny(X), tiny(Y).
+    """
+    database = Database.from_source(source)
+    program = Reorderer(
+        database, ReorderOptions(specialize=False, runtime_tests=True)
+    ).reorder()
+    print(program.source())
+    for query in ("pair(X, Y)", "pair(2, 4)"):
+        print(
+            f"{query}: {run_cost(Engine(database), query)} -> "
+            f"{run_cost(program.engine(), query)} calls"
+        )
+
+    # ------------------------------------------------------------------
+    show("2. unfolding (§VIII)")
+    source = """
+    item(1). item(2). item(3). item(4). item(5). item(6). item(7). item(8).
+    costly(X) :- item(X).
+    cheap(4).
+    stage1(X) :- costly(X).
+    stage2(X) :- stage1(X), accept(X).
+    accept(X) :- cheap(X).
+    answer(X) :- stage2(X).
+    """
+    database = Database.from_source(source)
+    unfolded, report = unfold_program(database, UnfoldOptions(rounds=3))
+    print("unfold log:")
+    for line in report.unfolded:
+        print(f"  {line}")
+    plain = Reorderer(Database.from_source(source)).reorder()
+    combined = Reorderer(
+        Database.from_source(source), ReorderOptions(unfold_rounds=3)
+    ).reorder()
+    print(f"answer(X): original {run_cost(Engine(database), 'answer(X)')}, "
+          f"reordered {run_cost(plain.engine(), 'answer(X)')}, "
+          f"unfold+reordered {run_cost(combined.engine(), 'answer(X)')} calls")
+
+    # ------------------------------------------------------------------
+    show("3. empirical calibration (§I-E / §VIII)")
+    source = """
+    wide(1). wide(2). wide(3). wide(4). wide(5). wide(6).
+    narrow(2).
+    both(X) :- wide(X), narrow(X).
+    """
+    database = Database.from_source(source)
+    calibrator = EmpiricalCalibrator(database, CalibrationOptions(max_samples=6))
+    declarations = calibrator.calibrate(
+        declarations=Declarations.from_database(database)
+    )
+    measured = declarations.cost_for(("wide", 1), ())
+    from repro.analysis.modes import parse_mode_string
+
+    for text in ("-", "+"):
+        declaration = declarations.cost_for(("wide", 1), parse_mode_string(text))
+        print(f"measured wide/1 in ({text}): cost={declaration.cost:.1f} "
+              f"prob={declaration.prob:.2f} solutions={declaration.expected_solutions:.1f}")
+    program = Reorderer(database, declarations=declarations).reorder()
+    version = program.version_name(("both", 1), parse_mode_string("-"))
+    (clause,) = program.database.clauses((version, 1))
+    print(f"calibrated order for both/1: {clause.body}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Reproduction of Gooley & Wah, "Efficient Reordering of Prolog
+Programs" (ICDE 1988 / IEEE TKDE 1989).
+
+Top-level convenience imports; see DESIGN.md for the system inventory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,70 @@
+"""Static analyses: call graph, recursion, fixity, semifixity, modes,
+mode inference, and Warren-style domain estimation (paper §IV–§V)."""
+
+from .builtin_modes import BUILTIN_TABLE, BuiltinModeEntry, BuiltinProfile, builtin_profile
+from .calibration import CalibrationOptions, EmpiricalCalibrator
+from .callgraph import CallGraph, iter_called_goals, iter_subgoal_indicators
+from .declarations import CostDeclaration, Declarations, default_output_mode, parse_indicator
+from .domains import DomainAnalysis
+from .fixity import FixityAnalysis, side_effect_builtins
+from .mode_inference import ModeInference, join_modes, structural_descent_positions
+from .modes import (
+    Inst,
+    Mode,
+    ModeItem,
+    ModePair,
+    all_input_modes,
+    apply_output,
+    argument_inst,
+    bind_head_states,
+    call_mode,
+    item_accepts,
+    mode_accepts,
+    mode_from_term,
+    mode_str,
+    mode_to_term,
+    parse_mode_string,
+)
+from .recursion import recursion_groups, recursive_predicates, strongly_connected_components
+from .semifixity import SemifixityAnalysis
+
+__all__ = [
+    "BUILTIN_TABLE",
+    "BuiltinModeEntry",
+    "BuiltinProfile",
+    "CalibrationOptions",
+    "CallGraph",
+    "EmpiricalCalibrator",
+    "CostDeclaration",
+    "Declarations",
+    "DomainAnalysis",
+    "FixityAnalysis",
+    "Inst",
+    "Mode",
+    "ModeInference",
+    "ModeItem",
+    "ModePair",
+    "SemifixityAnalysis",
+    "all_input_modes",
+    "apply_output",
+    "argument_inst",
+    "bind_head_states",
+    "builtin_profile",
+    "call_mode",
+    "default_output_mode",
+    "item_accepts",
+    "iter_called_goals",
+    "iter_subgoal_indicators",
+    "join_modes",
+    "mode_accepts",
+    "mode_from_term",
+    "mode_str",
+    "mode_to_term",
+    "parse_indicator",
+    "parse_mode_string",
+    "recursion_groups",
+    "recursive_predicates",
+    "side_effect_builtins",
+    "strongly_connected_components",
+    "structural_descent_positions",
+]

@@ -1,0 +1,144 @@
+"""Call-graph construction (paper §IV-B: the top-down scan).
+
+:func:`iter_called_goals` walks a clause body and yields every goal it
+can call, looking through the control constructs (conjunction,
+disjunction, if-then-else, negation, the set predicates' goal
+arguments, ``call/1``, ``once/1``, ``forall/2``). :class:`CallGraph`
+aggregates this per predicate and derives callers, callees, and entry
+points (predicates no other predicate calls).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..prolog.database import Database
+from ..prolog.terms import Atom, Struct, Term, Var, deref, functor_indicator
+
+__all__ = ["iter_called_goals", "iter_subgoal_indicators", "CallGraph"]
+
+Indicator = Tuple[str, int]
+
+#: Control constructs whose arguments are all goals.
+_TRANSPARENT = {
+    (",", 2): (0, 1),
+    (";", 2): (0, 1),
+    ("->", 2): (0, 1),
+    ("\\+", 1): (0,),
+    ("not", 1): (0,),
+    ("call", 1): (0,),
+    ("once", 1): (0,),
+    ("forall", 2): (0, 1),
+}
+
+#: Builtins with goals in specific argument positions (yielded whole,
+#: then descended into).
+_GOAL_ARGUMENT = {
+    ("findall", 3): (1,),
+    ("bagof", 3): (1,),
+    ("setof", 3): (1,),
+    ("catch", 3): (0, 2),
+}
+
+
+def _strip_carets(term: Term) -> Term:
+    term = deref(term)
+    while isinstance(term, Struct) and term.name == "^" and term.arity == 2:
+        term = deref(term.args[1])
+    return term
+
+
+def iter_called_goals(body: Term) -> Iterator[Term]:
+    """Yield the callable goals reachable in a clause body.
+
+    Control constructs are traversed, not yielded; ``!``/``true``/
+    ``fail`` are skipped; variable goals are skipped (the paper forbids
+    them, §I-C, and the engine raises on them at run time).
+    """
+    stack = [body]
+    while stack:
+        goal = deref(stack.pop())
+        if isinstance(goal, Var):
+            continue
+        if isinstance(goal, Atom):
+            if goal.name not in ("!", "true", "fail", "false"):
+                yield goal
+            continue
+        if not isinstance(goal, Struct):
+            continue
+        indicator = goal.indicator
+        positions = _TRANSPARENT.get(indicator)
+        if positions is not None:
+            for position in reversed(positions):
+                stack.append(goal.args[position])
+            continue
+        goal_positions = _GOAL_ARGUMENT.get(indicator)
+        if goal_positions is not None:
+            yield goal
+            for goal_position in reversed(goal_positions):
+                stack.append(_strip_carets(goal.args[goal_position]))
+            continue
+        yield goal
+
+
+def iter_subgoal_indicators(body: Term) -> Iterator[Indicator]:
+    """Indicators of every goal :func:`iter_called_goals` finds."""
+    for goal in iter_called_goals(body):
+        yield functor_indicator(goal)
+
+
+class CallGraph:
+    """Who-calls-whom over the user predicates of a database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self.callees: Dict[Indicator, Set[Indicator]] = {}
+        self.callers: Dict[Indicator, Set[Indicator]] = {}
+        for indicator in database.predicates():
+            self.callees.setdefault(indicator, set())
+            for clause in database.clauses(indicator):
+                for callee in iter_subgoal_indicators(clause.body):
+                    self.callees[indicator].add(callee)
+                    self.callers.setdefault(callee, set()).add(indicator)
+
+    def predicates(self) -> List[Indicator]:
+        """All user predicates appearing as callers."""
+        return list(self.callees)
+
+    def calls(self, caller: Indicator) -> Set[Indicator]:
+        """Direct callees of a predicate (builtins included)."""
+        return set(self.callees.get(caller, ()))
+
+    def called_by(self, callee: Indicator) -> Set[Indicator]:
+        """Direct callers of a predicate."""
+        return set(self.callers.get(callee, ()))
+
+    def entry_points(self, declared: Optional[List[Indicator]] = None) -> List[Indicator]:
+        """Predicates not called by any user predicate (§IV-B), plus any
+        declared entries, in definition order without duplicates."""
+        result: List[Indicator] = []
+        seen: Set[Indicator] = set()
+        for indicator in declared or ():
+            if indicator not in seen:
+                seen.add(indicator)
+                result.append(indicator)
+        for indicator in self.callees:
+            callers = self.callers.get(indicator, set()) - {indicator}
+            if not callers and indicator not in seen:
+                seen.add(indicator)
+                result.append(indicator)
+        return result
+
+    def reachable_from(self, roots: List[Indicator]) -> Set[Indicator]:
+        """User predicates reachable from the given roots (roots included)."""
+        seen: Set[Indicator] = set()
+        stack = [root for root in roots if root in self.callees]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            for callee in self.callees.get(current, ()):
+                if callee in self.callees and callee not in seen:
+                    stack.append(callee)
+        return seen

@@ -1,0 +1,94 @@
+"""Recursion detection (paper §IV-D-7).
+
+"We can easily detect recursion automatically ... traverse the program
+top-down, keeping a list of predicates being scanned, and check if each
+new goal is a member of the list." We implement the equivalent (and more
+efficient) strongly-connected-component computation with Tarjan's
+algorithm, written iteratively so deep programs do not blow the Python
+stack: a predicate is recursive iff it lies in an SCC of size > 1 or
+calls itself directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .callgraph import CallGraph
+
+__all__ = ["strongly_connected_components", "recursive_predicates", "recursion_groups"]
+
+Indicator = Tuple[str, int]
+
+
+def strongly_connected_components(graph: Dict[Indicator, Set[Indicator]]) -> List[Set[Indicator]]:
+    """Tarjan's SCC algorithm (iterative), in reverse topological order."""
+    index_of: Dict[Indicator, int] = {}
+    lowlink: Dict[Indicator, int] = {}
+    on_stack: Set[Indicator] = set()
+    stack: List[Indicator] = []
+    components: List[Set[Indicator]] = []
+    counter = [0]
+
+    for root in graph:
+        if root in index_of:
+            continue
+        # Each work item: (node, iterator over remaining successors).
+        work = [(root, iter(sorted(graph.get(root, ()))))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in graph:
+                    continue  # builtin or undefined: not a graph node
+                if successor not in index_of:
+                    index_of[successor] = lowlink[successor] = counter[0]
+                    counter[0] += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(sorted(graph.get(successor, ())))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: Set[Indicator] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def recursion_groups(callgraph: CallGraph) -> List[Set[Indicator]]:
+    """SCCs that constitute (mutual) recursions."""
+    components = strongly_connected_components(callgraph.callees)
+    groups = []
+    for component in components:
+        if len(component) > 1:
+            groups.append(component)
+        else:
+            (only,) = component
+            if only in callgraph.callees.get(only, set()):
+                groups.append(component)
+    return groups
+
+
+def recursive_predicates(callgraph: CallGraph) -> Set[Indicator]:
+    """All predicates that participate in any recursion."""
+    recursive: Set[Indicator] = set()
+    for group in recursion_groups(callgraph):
+        recursive.update(group)
+    return recursive

@@ -1,0 +1,5 @@
+"""Baseline reordering methods the paper compares against."""
+
+from .warren import WarrenReorderer
+
+__all__ = ["WarrenReorderer"]

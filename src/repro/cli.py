@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+The end-to-end tool the paper's §VIII asks for ("we should integrate
+our techniques into one system, so that we can provide a program as
+input and ... receive a reordered, improved program as output"):
+
+* ``reorder FILE``  — read a Prolog program, print the reordered one;
+* ``analyze FILE``  — print what the analyses infer (fixity,
+  semifixity, recursion, legal modes, warnings);
+* ``run FILE QUERY`` — execute a query, printing answers and the call
+  count;
+* ``compare FILE QUERY`` — run a query on both the original and the
+  reordered program and report the improvement ratio;
+* ``tables [N ...]`` — regenerate the paper's tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    CallGraph,
+    Declarations,
+    FixityAnalysis,
+    ModeInference,
+    SemifixityAnalysis,
+    all_input_modes,
+    mode_str,
+    recursive_predicates,
+)
+from .prolog import Database, Engine, indicator_str, term_to_string
+from .reorder import ReorderOptions, Reorderer
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(path: str, indexing: bool = True) -> Database:
+    with open(path) as handle:
+        return Database.from_source(handle.read(), indexing=indexing)
+
+
+def _options_from_args(args: argparse.Namespace) -> ReorderOptions:
+    return ReorderOptions(
+        reorder_goals=not args.no_goals,
+        reorder_clauses=not args.no_clauses,
+        specialize=not args.no_specialize,
+        runtime_tests=args.runtime_tests,
+        unfold_rounds=args.unfold,
+        exhaustive_limit=args.exhaustive_limit,
+    )
+
+
+def _add_reorder_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-goals", action="store_true",
+                        help="do not reorder goals within clauses")
+    parser.add_argument("--no-clauses", action="store_true",
+                        help="do not reorder clauses within predicates")
+    parser.add_argument("--no-specialize", action="store_true",
+                        help="reorder in place instead of per-mode versions")
+    parser.add_argument("--runtime-tests", action="store_true",
+                        help="emit nonvar-guarded if-then-else (paper §V-D)")
+    parser.add_argument("--unfold", type=int, default=0, metavar="N",
+                        help="apply N unfolding sweeps first (paper §VIII)")
+    parser.add_argument("--exhaustive-limit", type=int, default=6,
+                        help="max block size for exhaustive search (then A*)")
+
+
+def command_reorder(args: argparse.Namespace) -> int:
+    """``reorder FILE``: print the reordered program."""
+    database = _load(args.file)
+    program = Reorderer(database, _options_from_args(args)).reorder()
+    print(program.source(), end="")
+    if args.report:
+        print("\n% --- report " + "-" * 40, file=sys.stderr)
+        for line in program.report.summary().splitlines():
+            print(f"% {line}", file=sys.stderr)
+    return 0
+
+
+def command_analyze(args: argparse.Namespace) -> int:
+    """``analyze FILE``: print what the static analyses infer."""
+    database = _load(args.file)
+    declarations = Declarations.from_database(database)
+    graph = CallGraph(database)
+    fixity = FixityAnalysis(database, graph, declarations)
+    semifixity = SemifixityAnalysis(database, graph, declarations)
+    inference = ModeInference(database, declarations, graph)
+
+    print("entry points:")
+    for entry in graph.entry_points(declarations.entries):
+        print(f"  {indicator_str(entry)}")
+    print("recursive:")
+    for indicator in sorted(recursive_predicates(graph) | declarations.recursive):
+        print(f"  {indicator_str(indicator)}")
+    print("fixed (side-effecting):")
+    for indicator in sorted(fixity.fixed_predicates):
+        print(f"  {indicator_str(indicator)}")
+    print("semifixed (culprit positions):")
+    for indicator in database.predicates():
+        positions = semifixity.positions(indicator)
+        if positions:
+            print(f"  {indicator_str(indicator)}: {sorted(positions)}")
+    print("legal modes:")
+    for indicator in database.predicates():
+        pairs = []
+        for mode in all_input_modes(indicator[1]):
+            output = inference.output_mode(indicator, mode)
+            if output is not None:
+                pairs.append(f"{mode_str(mode)}->{mode_str(output)}")
+        print(f"  {indicator_str(indicator)}: {', '.join(pairs) or 'NONE'}")
+    for warning in inference.warnings:
+        print(f"warning: {warning}")
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """``run FILE QUERY``: execute a query, printing answers + calls."""
+    database = _load(args.file)
+    engine = Engine(database)
+    solutions, metrics = engine.run(args.query)
+    for solution in solutions:
+        bindings = ", ".join(
+            f"{name} = {term_to_string(term)}"
+            for name, term in solution.bindings.items()
+        )
+        print(bindings or "true")
+    if not solutions:
+        print("no")
+    print(f"% {len(solutions)} solution(s), {metrics.calls} calls")
+    if engine.output_text():
+        print(f"% output: {engine.output_text()!r}")
+    return 0
+
+
+def command_compare(args: argparse.Namespace) -> int:
+    """``compare FILE QUERY``: original vs reordered call counts."""
+    database = _load(args.file)
+    if args.method == "warren":
+        from .baselines.warren import WarrenReorderer
+
+        reordered_database = WarrenReorderer(database).reorder_program()
+        new_engine = Engine(reordered_database)
+    else:
+        program = Reorderer(database, _options_from_args(args)).reorder()
+        new_engine = program.engine()
+    original_solutions, original = Engine(database).run(args.query)
+    new_solutions, new = new_engine.run(args.query)
+    matches = sorted(s.key() for s in original_solutions) == sorted(
+        s.key() for s in new_solutions
+    )
+    print(f"original : {original.calls} calls, {len(original_solutions)} solutions")
+    print(f"reordered: {new.calls} calls, {len(new_solutions)} solutions")
+    ratio = original.calls / new.calls if new.calls else float("inf")
+    print(f"ratio    : {ratio:.2f}")
+    print(f"answers  : {'identical set' if matches else 'DIFFER (bug!)'}")
+    return 0 if matches else 1
+
+
+def command_verify(args: argparse.Namespace) -> int:
+    """``verify FILE``: sampled set-equivalence check (exit 1 on fail)."""
+    from .reorder.verify import verify_reordering
+
+    database = _load(args.file)
+    program = Reorderer(database, _options_from_args(args)).reorder()
+    report = verify_reordering(
+        database, program, max_samples=args.samples
+    )
+    print(report.format())
+    return 0 if report.passed else 1
+
+
+def command_explain(args: argparse.Namespace) -> int:
+    """``explain FILE PRED MODE``: candidate orders with model costs."""
+    from .analysis import parse_mode_string
+    from .reorder.explain import explain_predicate
+
+    database = _load(args.file)
+    name, _, arity_text = args.predicate.partition("/")
+    indicator = (name, int(arity_text))
+    mode = parse_mode_string(args.mode)
+    reorderer = Reorderer(database)
+    print(explain_predicate(reorderer, indicator, mode))
+    return 0
+
+
+def command_tables(args: argparse.Namespace) -> int:
+    """``tables [N ...]``: regenerate the paper's tables/figures."""
+    from .experiments import figure1, figure2, table1, table2, table3, table4
+
+    wanted = set(args.which or ["1", "2", "3", "4", "fig"])
+    if "fig" in wanted:
+        print(figure1().format())
+        print()
+        print(figure2().format())
+        print()
+    generators = {"1": table1, "2": table2, "3": table3, "4": table4}
+    for key in ("1", "2", "3", "4"):
+        if key in wanted:
+            print(generators[key]().format())
+            print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prolog program reordering (Gooley & Wah, ICDE 1988)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    reorder = commands.add_parser("reorder", help="reorder a Prolog file")
+    reorder.add_argument("file")
+    reorder.add_argument("--report", action="store_true",
+                         help="print the decision report to stderr")
+    _add_reorder_flags(reorder)
+    reorder.set_defaults(handler=command_reorder)
+
+    analyze = commands.add_parser("analyze", help="show the static analyses")
+    analyze.add_argument("file")
+    analyze.set_defaults(handler=command_analyze)
+
+    run = commands.add_parser("run", help="run a query against a file")
+    run.add_argument("file")
+    run.add_argument("query")
+    run.set_defaults(handler=command_run)
+
+    compare = commands.add_parser(
+        "compare", help="query the original and the reordered program"
+    )
+    compare.add_argument("file")
+    compare.add_argument("query")
+    compare.add_argument("--method", choices=["markov", "warren"],
+                         default="markov",
+                         help="reordering method (default: the Markov system)")
+    _add_reorder_flags(compare)
+    compare.set_defaults(handler=command_compare)
+
+    verify = commands.add_parser(
+        "verify", help="check the reordered program is set-equivalent"
+    )
+    verify.add_argument("file")
+    verify.add_argument("--samples", type=int, default=6,
+                        help="sample calls per predicate and mode")
+    _add_reorder_flags(verify)
+    verify.set_defaults(handler=command_verify)
+
+    explain = commands.add_parser(
+        "explain", help="show candidate goal orders and model costs"
+    )
+    explain.add_argument("file")
+    explain.add_argument("predicate", help="name/arity, e.g. aunt/2")
+    explain.add_argument("mode", help="calling mode, e.g. '(-,+)' or 'ui'")
+    explain.set_defaults(handler=command_explain)
+
+    tables = commands.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("which", nargs="*", choices=["1", "2", "3", "4", "fig"],
+                        help="which tables (default: all + figures)")
+    tables.set_defaults(handler=command_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+"""Exception hierarchy for the reproduction.
+
+All library-specific errors derive from :class:`ReproError`, so callers
+can catch a single base class. Engine-level errors mirror the run-time
+errors the paper's target systems (C-Prolog, SB-Prolog) raise: calling a
+builtin in an illegal mode gives :class:`InstantiationError`, exceeding
+the depth bound gives :class:`DepthLimitExceeded`, and so on.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrologThrow",
+    "PrologSyntaxError",
+    "PrologError",
+    "InstantiationError",
+    "TypeErrorProlog",
+    "ExistenceError",
+    "ArithmeticErrorProlog",
+    "DepthLimitExceeded",
+    "CallBudgetExceeded",
+    "AnalysisError",
+    "DeclarationError",
+    "ReorderingError",
+    "IllegalModeError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class PrologSyntaxError(ReproError):
+    """A syntax error while reading Prolog source.
+
+    Carries the source position for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class PrologError(ReproError):
+    """Base class for run-time errors raised by the engine."""
+
+
+class PrologThrow(ReproError):
+    """A ball thrown by ``throw/1``, awaiting a matching ``catch/3``.
+
+    Deliberately *not* a :class:`PrologError`: user balls are control
+    flow, not engine faults; an uncaught ball surfaces as this
+    exception with the ball term attached.
+    """
+
+    def __init__(self, ball):
+        from .prolog.writer import term_to_string
+
+        super().__init__(f"uncaught ball: {term_to_string(ball)}")
+        self.ball = ball
+
+
+class InstantiationError(PrologError):
+    """A builtin demanded an instantiated argument and got a variable.
+
+    This is exactly the "illegal mode" failure the paper's legal-mode
+    system exists to avoid (e.g. ``functor/3`` with only an arity).
+    """
+
+
+class TypeErrorProlog(PrologError):
+    """A builtin received an argument of the wrong type."""
+
+    def __init__(self, expected: str, culprit: object):
+        super().__init__(f"type error: expected {expected}, got {culprit!r}")
+        self.expected = expected
+        self.culprit = culprit
+
+
+class ExistenceError(PrologError):
+    """A goal called a predicate with no clauses and no builtin."""
+
+    def __init__(self, indicator):
+        name, arity = indicator
+        super().__init__(f"undefined predicate: {name}/{arity}")
+        self.indicator = indicator
+
+
+class ArithmeticErrorProlog(PrologError):
+    """Arithmetic evaluation failed (unknown function, division by zero)."""
+
+
+class DepthLimitExceeded(PrologError):
+    """The engine's recursion-depth safety bound was exceeded.
+
+    The paper notes that wrong modes send recursive predicates into
+    infinite recursion; the engine bounds depth so experiments on illegal
+    modes terminate with a detectable error instead of hanging.
+    """
+
+
+class CallBudgetExceeded(PrologError):
+    """The engine's call budget (max predicate calls per query) ran out."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis could not complete."""
+
+
+class DeclarationError(ReproError):
+    """A directive (``:- mode(...)`` etc.) is malformed or inconsistent."""
+
+
+class ReorderingError(ReproError):
+    """The reorderer could not produce a safe order."""
+
+
+class IllegalModeError(ReorderingError):
+    """A candidate goal order would call some goal in an illegal mode."""

@@ -1,0 +1,110 @@
+"""Evaluating a sequence of goals as one Markov chain (paper §VI-A-2).
+
+Given :class:`~repro.markov.goal_stats.GoalStats` for each goal of a
+(candidate ordering of a) clause body, :func:`evaluate_sequence`
+produces the body's aggregate statistics:
+
+* ``total_cost`` — expected cost of enumerating *all* solutions of the
+  conjunction (the Fig. 5 chain: the A* search heuristic);
+* ``solutions`` — expected number of solutions (``Π s_i`` — exactly the
+  chain's expected visits to S);
+* ``p_success`` — probability the body succeeds at least once (the
+  Fig. 4 chain's absorption probability);
+* ``single_cost`` — expected cost of finding one solution (Fig. 4).
+
+The closed forms are used by default (they are what makes A* cheap);
+``use_matrix=True`` switches to the explicit ``N = (I−Q)^{-1}``
+computation, which the tests cross-validate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .chain import all_solutions_analysis, single_solution_analysis
+from .formulas import (
+    all_solutions_cost_closed_form,
+    single_solution_success_closed_form,
+)
+from .goal_stats import GoalStats
+
+__all__ = ["SequenceEvaluation", "evaluate_sequence", "sequence_cost"]
+
+
+@dataclass(frozen=True)
+class SequenceEvaluation:
+    """Aggregate statistics of one ordering of a goal sequence."""
+
+    total_cost: float
+    solutions: float
+    p_success: float
+    single_cost: float
+
+    def as_goal_stats(self) -> GoalStats:
+        """The sequence summarised as if it were a single goal."""
+        return GoalStats(
+            cost=self.total_cost, solutions=self.solutions, prob=self.p_success
+        )
+
+
+def evaluate_sequence(
+    stats: Sequence[GoalStats], use_matrix: bool = False
+) -> SequenceEvaluation:
+    """Chain analysis of goals executed in the given order."""
+    if not stats:
+        return SequenceEvaluation(
+            total_cost=0.0, solutions=1.0, p_success=1.0, single_cost=0.0
+        )
+    probs = [s.chain_probability for s in stats]
+    costs = [s.chain_cost for s in stats]
+    if use_matrix:
+        all_result = all_solutions_analysis(probs, costs)
+        total_cost = all_result.total_cost
+        solutions = all_result.success_visits
+        single = single_solution_analysis(probs, costs)
+        p_success = single.p_success
+        single_cost = single.expected_cost
+    else:
+        total_cost, _ = all_solutions_cost_closed_form(probs, costs)
+        solutions = 1.0
+        for s in stats:
+            solutions *= s.solutions
+        p_success = single_solution_success_closed_form(probs)
+        single_cost = _single_cost_closed_form(probs, costs)
+    return SequenceEvaluation(
+        total_cost=total_cost,
+        solutions=solutions,
+        p_success=p_success,
+        single_cost=single_cost,
+    )
+
+
+def sequence_cost(stats: Sequence[GoalStats]) -> float:
+    """Just the all-solutions expected cost (the A* heuristic value)."""
+    if not stats:
+        return 0.0
+    probs = [s.chain_probability for s in stats]
+    costs = [s.chain_cost for s in stats]
+    total, _ = all_solutions_cost_closed_form(probs, costs)
+    return total
+
+
+def _single_cost_closed_form(probs: List[float], costs: List[float]) -> float:
+    """Expected cost of the single-solution chain, via visit flows.
+
+    Let ``A`` be the chain's overall success probability. Net flow
+    across every cut of the Fig. 4 chain equals the probability of being
+    absorbed above the cut: across F|g1 that gives
+    ``v_1 (1−p_1) = 1−A``; across g_i|g_{i+1} it gives
+    ``v_i p_i − v_{i+1} (1−p_{i+1}) = A``. Solving forward yields every
+    visit count without a matrix inversion.
+    """
+    success = single_solution_success_closed_form(probs)
+    total = 0.0
+    visits = (1.0 - success) / max(1e-12, 1.0 - probs[0])
+    total += visits * costs[0]
+    for p_prev, (p, c) in zip(probs, list(zip(probs, costs))[1:]):
+        visits = max(0.0, (visits * p_prev - success) / max(1e-12, 1.0 - p))
+        total += visits * c
+    return total

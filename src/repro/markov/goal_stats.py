@@ -1,0 +1,76 @@
+"""Per-goal statistics and their translation to chain parameters.
+
+The cost model summarises a goal (in a particular calling mode) by:
+
+* ``cost`` — expected total cost, in predicate calls, of exploring the
+  goal exhaustively (finding every solution and finally failing);
+* ``solutions`` — the expected number of solutions (Warren's
+  "multiplying factor"): > 1 for generators, < 1 for tests;
+* ``prob`` — the probability the goal succeeds at all.
+
+The Li & Wah chain wants a single per-visit success probability ``p_i``
+and per-visit cost ``c_i``. We choose them so the chain's expectations
+reproduce the goal's own statistics: a goal visited repeatedly succeeds
+``p/(1−p)`` times in expectation, so ``p = s/(1+s)`` makes the expected
+success count exactly ``s``; and one full generate-and-exhaust cycle of
+the goal makes ``1+s`` visits, so ``c = cost/(1+s)`` makes the chain's
+charged cost per cycle exactly ``cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GoalStats"]
+
+
+@dataclass(frozen=True)
+class GoalStats:
+    """Cost/solutions/probability summary of one goal in one mode."""
+
+    #: Expected total cost of exhaustive exploration (predicate calls).
+    cost: float
+    #: Expected number of solutions.
+    solutions: float
+    #: Probability of at least one solution.
+    prob: float
+
+    def __post_init__(self):
+        if self.cost < 0:
+            raise ValueError(f"negative cost: {self.cost}")
+        if self.solutions < 0:
+            raise ValueError(f"negative solutions: {self.solutions}")
+        if not 0.0 <= self.prob <= 1.0:
+            raise ValueError(f"probability out of range: {self.prob}")
+
+    @property
+    def chain_probability(self) -> float:
+        """Per-visit success probability ``s/(1+s)`` for the chain."""
+        return self.solutions / (1.0 + self.solutions)
+
+    @property
+    def chain_cost(self) -> float:
+        """Per-visit cost ``cost/(1+s)`` for the chain."""
+        return self.cost / (1.0 + self.solutions)
+
+    @property
+    def failure_ratio(self) -> float:
+        """Li & Wah's ``q/c`` goal-ordering key (decreasing is better)."""
+        if self.cost <= 0:
+            return float("inf")
+        return (1.0 - self.prob) / self.cost
+
+    @property
+    def success_ratio(self) -> float:
+        """Li & Wah's ``p/c`` clause-ordering key (decreasing is better)."""
+        if self.cost <= 0:
+            return float("inf")
+        return self.prob / self.cost
+
+    def scaled(self, factor: float) -> "GoalStats":
+        """Stats with solutions and probability scaled by a match factor."""
+        return GoalStats(
+            cost=self.cost,
+            solutions=self.solutions * factor,
+            prob=min(1.0, self.prob * factor),
+        )

@@ -1,0 +1,31 @@
+"""The benchmark programs of the paper's evaluation (§VII).
+
+Each module exposes ``source()`` and ``database()`` plus the query
+lists its table rows need. :data:`REGISTRY` maps the paper's program
+names to the modules for the experiment harness.
+"""
+
+from . import corporate, family_tree, geography, kmbench, meal, p58, team
+
+__all__ = [
+    "REGISTRY",
+    "corporate",
+    "family_tree",
+    "geography",
+    "kmbench",
+    "meal",
+    "p58",
+    "team",
+]
+
+#: Program name (as the paper spells it) → module. ``geography`` is the
+#: Warren §I-E scenario, not one of the paper's own benchmark tables.
+REGISTRY = {
+    "family_tree": family_tree,
+    "corporate": corporate,
+    "p58": p58,
+    "meal": meal,
+    "team": team,
+    "kmbench": kmbench,
+    "geography": geography,
+}

@@ -1,0 +1,166 @@
+"""The corporate-database benchmark (paper §VII, Table III).
+
+"We also restructured some rules from a corporate database (over 100
+employees) written in Prolog ... The facts in this database are indexed
+on the employee identification number; once that is instantiated, many
+goals of the rules become trivial. Reordering essentially becomes a way
+to make the rules find, as quickly and inexpensively as possible, the
+smallest superset of these numbers whose owners satisfy the rule."
+
+The paper's actual database was proprietary; we build a synthetic one
+with the same shape (DESIGN.md §3, substitution 2): 120 employees, one
+fact table per attribute keyed on the id, and the rules of Table III —
+``benefits/2``, ``pay/3``, ``maternity/2``, ``average_pay/2``,
+``tax/2`` — written in a "natural" attribute-first order that leaves
+room for the reorderer on some rules (``benefits``, ``maternity``) and
+none on others (``pay``, ``average_pay``), matching Table III's mix of
+2.x and 1.00 ratios.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..prolog.database import Database
+
+__all__ = [
+    "EMPLOYEE_COUNT",
+    "EMPLOYEE_NAMES",
+    "facts_source",
+    "RULES_SOURCE",
+    "DECLARATIONS_SOURCE",
+    "source",
+    "database",
+    "TABLE3_QUERIES",
+]
+
+EMPLOYEE_COUNT = 120
+
+_FIRST = [
+    "jane", "john", "mary", "bob", "sue", "tom", "ann", "max", "eva", "sam",
+    "liz", "ned", "amy", "gus", "ida", "hal", "kay", "jim", "fay", "ken",
+]
+_LAST = ["smith", "jones", "brown", "davis", "miller", "wilson"]
+
+#: Deterministic distinct employee names: jane, john, ..., jane_smith, ...
+EMPLOYEE_NAMES: List[str] = list(_FIRST) + [
+    f"{_FIRST[i % len(_FIRST)]}_{_LAST[(i // len(_FIRST)) % len(_LAST)]}"
+    for i in range(EMPLOYEE_COUNT - len(_FIRST))
+]
+
+_DEPARTMENTS = ["sales", "engineering", "accounting", "shipping", "research"]
+
+
+def facts_source() -> str:
+    """The employee fact tables, keyed on the id (first argument)."""
+    lines: List[str] = []
+    for index, name in enumerate(EMPLOYEE_NAMES, start=1):
+        lines.append(f"employee({index}, {name}).")
+    for index in range(1, EMPLOYEE_COUNT + 1):
+        department = _DEPARTMENTS[(index * 3) % len(_DEPARTMENTS)]
+        lines.append(f"department({index}, {department}).")
+    for index in range(1, EMPLOYEE_COUNT + 1):
+        salary = 22000 + (index * 977) % 40000
+        lines.append(f"salary({index}, {salary}).")
+    for index in range(1, EMPLOYEE_COUNT + 1):
+        years = (index * 7) % 23
+        lines.append(f"service({index}, {years}).")
+    for index in range(1, EMPLOYEE_COUNT + 1):
+        sex = "f" if (index % 5) in (0, 1, 2) else "m"
+        lines.append(f"sex({index}, {sex}).")
+    for index in range(1, EMPLOYEE_COUNT + 1):
+        if (index * 11) % 3 != 0:
+            lines.append(f"insured({index}).")
+    for index in range(1, EMPLOYEE_COUNT + 1):
+        lines.append(f"dependents({index}, {(index * 13) % 5}).")
+    return "\n".join(lines) + "\n"
+
+
+RULES_SOURCE = """
+% Benefits an employee is entitled to. Written person-first (the
+% natural reading: "an employee gets a pension if ..."): the reorderer
+% should move the selective attribute tests ahead of the wide
+% employee/2 generator.
+benefits(Name, pension) :-
+    employee(Id, Name), service(Id, Years), Years >= 10.
+benefits(Name, health) :-
+    employee(Id, Name), insured(Id).
+benefits(Name, bonus) :-
+    employee(Id, Name), salary(Id, S), S < 30000,
+    service(Id, Years), Years >= 3.
+
+% Pay by department: already in the best order (id generated first,
+% everything after is an indexed lookup) - expect ratio 1.00.
+pay(Dept, Name, Amount) :-
+    employee(Id, Name), department(Id, Dept), salary(Id, Amount).
+
+% Maternity leave entitlement: person-first again.
+maternity(Weeks, Name) :-
+    employee(Id, Name), sex(Id, f), service(Id, Years),
+    Years >= 1, Weeks is 12 + Years.
+
+% Average pay of each department: the findall is semifixed, nothing to
+% reorder - expect ratio 1.00.
+average_pay(Dept, Avg) :-
+    dept(Dept),
+    findall(S, dept_salary(Dept, S), Salaries),
+    sum_list(Salaries, Sum),
+    length(Salaries, N),
+    N > 0,
+    Avg is Sum // N.
+
+dept_salary(Dept, S) :- department(Id, Dept), salary(Id, S).
+
+dept(sales).  dept(engineering).  dept(accounting).
+dept(shipping).  dept(research).
+
+sum_list([], 0).
+sum_list([X | Xs], Sum) :- sum_list(Xs, Rest), Sum is X + Rest.
+
+% Tax class, person-first: optimal once the name is known (expect the
+% paper's 1.00 on tax(-,jane)), mildly improvable when enumerating.
+tax(Class, Name) :-
+    employee(Id, Name), salary(Id, S), S > 45000,
+    dependents(Id, D), D =:= 0, Class = high.
+tax(Class, Name) :-
+    employee(Id, Name), salary(Id, S), S =< 45000,
+    dependents(Id, D), D > 2, Class = low.
+"""
+
+DECLARATIONS_SOURCE = """
+:- entry(benefits/2).
+:- entry(pay/3).
+:- entry(maternity/2).
+:- entry(average_pay/2).
+:- entry(tax/2).
+:- legal_mode(sum_list(+, -), sum_list(+, +)).
+:- recursive(sum_list/2).
+:- cost(sum_list/2, [+, -], 25, 1.0).
+"""
+
+#: The queries of Table III: (label, query text).
+TABLE3_QUERIES = [
+    ("benefits(-,-)", "benefits(Name, Benefit)"),
+    ("pay(-,-,-)", "pay(Dept, Name, Amount)"),
+    ("pay(-,jane,-)", "pay(Dept, jane, Amount)"),
+    ("maternity(-,-)", "maternity(Weeks, Name)"),
+    ("maternity(-,jane)", "maternity(Weeks, jane)"),
+    ("average_pay(-,-)", "average_pay(Dept, Avg)"),
+    ("tax(-,-)", "tax(Class, Name)"),
+    ("tax(-,jane)", "tax(Class, jane)"),
+]
+
+
+def source(with_declarations: bool = True) -> str:
+    """The complete program text."""
+    parts = []
+    if with_declarations:
+        parts.append(DECLARATIONS_SOURCE)
+    parts.append(facts_source())
+    parts.append(RULES_SOURCE)
+    return "\n".join(parts)
+
+
+def database(with_declarations: bool = True, indexing: bool = True) -> Database:
+    """A fresh database holding the program."""
+    return Database.from_source(source(with_declarations), indexing=indexing)

@@ -1,0 +1,234 @@
+"""The family-tree benchmark program (paper §VII, Fig. 6, Table II).
+
+The paper's database has "55 constants ... 10 facts for girl/1, 19 for
+wife/2, and 34 for mother/2"; the rule predicates are published in
+Fig. 6. The exact pedigree was not published, so we generate a
+deterministic synthetic one with exactly those fact counts and a
+three-generation structure rich in grandmothers, aunts, and cousins
+(see DESIGN.md §3, substitution 1).
+
+Structure: 6 founder couples; 16 of their children (generation 1), of
+whom 11 marry (5 spouses marry in); 14 grandchildren (generation 2), of
+whom 6 marry (4 marry in); 4 great-grandchildren (generation 3).
+Totals: 12 + 9 + 34 = 55 persons, 6 + 8 + 5 = 19 marriages, 34
+mother facts, 10 unmarried girls.
+
+The rules are Fig. 6 verbatim (modulo OCR reconstruction of
+``father/2``). The declarations pin the two semantically
+mode-dependent predicates — ``male/1`` (defined by negation) and
+``unequal/2`` (defined by ``\\==``) — to instantiated calls, exactly
+the kind of annotation the paper says real programs need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..prolog.database import Database
+
+__all__ = [
+    "PERSONS",
+    "WIFE_FACTS",
+    "MOTHER_FACTS",
+    "GIRL_FACTS",
+    "RULES_SOURCE",
+    "DECLARATIONS_SOURCE",
+    "facts_source",
+    "source",
+    "database",
+    "TESTED_PREDICATES",
+]
+
+# -- deterministic pedigree construction ---------------------------------------
+
+_FEMALE_NAMES = [
+    "joan", "jane", "meg", "sue", "ann", "pat",          # founder wives
+    "liz", "amy", "eva", "ida", "kay", "fay", "gwen", "nell",  # g1/g2 wives
+    "mary", "ruth", "cora", "dora", "elsa",              # later wives
+    "jan", "deb", "lucy", "tess", "vera", "wilma", "zoe",
+    "iris", "opal", "pearl",                             # girls
+]
+_MALE_NAMES = [
+    "john", "bob", "al", "tom", "sam", "max",            # founder husbands
+    "ed", "hal", "gus", "ian", "jim", "ken", "leo", "ned",  # g1/g2 husbands
+    "otto", "paul", "rex", "sid", "ted",                 # later husbands
+    "uri", "vic", "walt", "xeno", "york", "zack", "quin",  # unmarried
+]
+
+
+def _build_pedigree() -> Tuple[List[str], List[Tuple[str, str]], List[Tuple[str, str]], List[str]]:
+    """Returns (persons, wife facts (husband, wife), mother facts
+    (child, mother), girls) — deterministically."""
+    females = iter(_FEMALE_NAMES)
+    males = iter(_MALE_NAMES)
+    persons: List[str] = []
+    wife_facts: List[Tuple[str, str]] = []
+    mother_facts: List[Tuple[str, str]] = []
+    girls: List[str] = []
+
+    def female() -> str:
+        name = next(females)
+        persons.append(name)
+        return name
+
+    def male() -> str:
+        name = next(males)
+        persons.append(name)
+        return name
+
+    # Generation 0: six founder couples.
+    founder_wives = [female() for _ in range(6)]
+    founder_husbands = [male() for _ in range(6)]
+    wife_facts.extend(zip(founder_husbands, founder_wives))
+
+    def breed(mothers: List[str], litter_sizes: List[int]) -> List[Tuple[str, str]]:
+        """(child-slot, mother) pairs; sexes assigned by the caller."""
+        slots = []
+        for mother, count in zip(mothers, litter_sizes):
+            slots.extend([mother] * count)
+        return slots
+
+    def make_children(mother_slots: List[str], quotas: Dict[str, int]) -> Dict[str, List[Tuple[str, str]]]:
+        """Create children per role quota, round-robin over mothers so
+        siblings spread across roles. Roles: wives, husbands, girls, boys.
+        Returns role → list of (child, mother)."""
+        roles: List[str] = []
+        for role in ("wife", "husband", "girl", "boy"):
+            roles.extend([role] * quotas[role])
+        assert len(roles) == len(mother_slots)
+        result: Dict[str, List[Tuple[str, str]]] = {
+            "wife": [], "husband": [], "girl": [], "boy": [],
+        }
+        # Interleave roles across the mother slots deterministically.
+        for index, mother in enumerate(mother_slots):
+            role = roles[(index * 7) % len(roles)]
+            # ensure quota respected: find next unfilled role from that point
+            attempts = 0
+            while len(result[role]) >= quotas[role]:
+                attempts += 1
+                role = roles[(index * 7 + attempts) % len(roles)]
+            child = female() if role in ("wife", "girl") else male()
+            result[role].append((child, mother))
+            mother_facts.append((child, mother))
+            if role == "girl":
+                girls.append(child)
+        return result
+
+    def marry(
+        wives_with_mothers: List[Tuple[str, str]],
+        husbands_with_mothers: List[Tuple[str, str]],
+        inlaw_wives: int,
+        inlaw_husbands: int,
+    ) -> List[str]:
+        """Form couples, avoiding sibling marriages; returns the wives."""
+        wife_pool = list(wives_with_mothers) + [
+            (female(), None) for _ in range(inlaw_wives)
+        ]
+        husband_pool = list(husbands_with_mothers) + [
+            (male(), None) for _ in range(inlaw_husbands)
+        ]
+        assert len(wife_pool) == len(husband_pool)
+        wives: List[str] = []
+        used = [False] * len(husband_pool)
+        for bride, bride_mother in wife_pool:
+            for index, (groom, groom_mother) in enumerate(husband_pool):
+                if used[index]:
+                    continue
+                if bride_mother is not None and bride_mother == groom_mother:
+                    continue  # no sibling marriages
+                used[index] = True
+                wife_facts.append((groom, bride))
+                wives.append(bride)
+                break
+            else:
+                raise AssertionError("could not marry off the pedigree")
+        return wives
+
+    # Generation 1: 16 children of the founder wives.
+    g1 = make_children(
+        breed(founder_wives, [3, 3, 3, 3, 2, 2]),
+        {"wife": 6, "husband": 5, "girl": 3, "boy": 2},
+    )
+    g1_wives = marry(g1["wife"], g1["husband"], inlaw_wives=2, inlaw_husbands=3)
+
+    # Generation 2: 14 children of the generation-1 wives.
+    g2 = make_children(
+        breed(g1_wives, [2, 2, 2, 2, 2, 2, 1, 1]),
+        {"wife": 3, "husband": 3, "girl": 5, "boy": 3},
+    )
+    g2_wives = marry(g2["wife"], g2["husband"], inlaw_wives=2, inlaw_husbands=2)
+
+    # Generation 3: 4 children of the generation-2 wives.
+    make_children(
+        breed(g2_wives, [1, 1, 1, 1, 0]),
+        {"wife": 0, "husband": 0, "girl": 2, "boy": 2},
+    )
+
+    assert len(persons) == 55, len(persons)
+    assert len(wife_facts) == 19, len(wife_facts)
+    assert len(mother_facts) == 34, len(mother_facts)
+    assert len(girls) == 10, len(girls)
+    assert len(set(persons)) == 55
+    return persons, wife_facts, mother_facts, girls
+
+
+PERSONS, WIFE_FACTS, MOTHER_FACTS, GIRL_FACTS = _build_pedigree()
+
+# -- program text --------------------------------------------------------------
+
+RULES_SOURCE = """
+female(X) :- girl(X).
+female(X) :- wife(_, X).
+male(X) :- not(female(X)).
+father(X, Y) :- mother(X, M), wife(Y, M).
+parent(X, Y) :- mother(X, Y).
+parent(X, Y) :- father(X, Y).
+married(X, Y) :- wife(X, Y).
+married(X, Y) :- wife(Y, X).
+siblings(X, Y) :- mother(X, M), mother(Y, M), unequal(X, Y).
+sister(X, Y) :- siblings(X, Y), female(Y).
+brother(X, Y) :- siblings(X, Y), male(Y).
+grandmother(X, Y) :- parent(X, Z), mother(Z, Y).
+cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, Z).
+cousins(X, Y) :- parent(X, Z), parent(Y, W), siblings(W, V), married(V, Z).
+aunt(X, Y) :- parent(X, Z), sister(Z, Y).
+aunt(X, Y) :- parent(X, Z), brother(Z, W), wife(W, Y).
+unequal(X, Y) :- X \\== Y.
+"""
+
+DECLARATIONS_SOURCE = """
+:- entry(aunt/2).
+:- entry(brother/2).
+:- entry(cousins/2).
+:- entry(grandmother/2).
+:- entry(sister/2).
+:- entry(married/2).
+:- legal_mode(male(+)).
+:- legal_mode(unequal(+, +)).
+"""
+
+#: Predicates × arity measured in Table II.
+TESTED_PREDICATES = [("aunt", 2), ("brother", 2), ("cousins", 2), ("grandmother", 2)]
+
+
+def facts_source() -> str:
+    """The generated fact tables as Prolog text."""
+    lines = [f"wife({h}, {w})." for h, w in WIFE_FACTS]
+    lines += [f"mother({c}, {m})." for c, m in MOTHER_FACTS]
+    lines += [f"girl({g})." for g in GIRL_FACTS]
+    return "\n".join(lines) + "\n"
+
+
+def source(with_declarations: bool = True) -> str:
+    """The complete family-tree program text."""
+    parts = []
+    if with_declarations:
+        parts.append(DECLARATIONS_SOURCE)
+    parts.append(facts_source())
+    parts.append(RULES_SOURCE)
+    return "\n".join(parts)
+
+
+def database(with_declarations: bool = True, indexing: bool = True) -> Database:
+    """A fresh database holding the family-tree program."""
+    return Database.from_source(source(with_declarations), indexing=indexing)

@@ -1,0 +1,78 @@
+"""The meal-planner benchmark (paper §VII, Table IV).
+
+"meal plans meals ... Only a single clause of ... meal ... can be
+reordered; the gains in performance are less impressive" — Table IV
+reports ratio 1.06 in both tested modes, (-,-,-) and (+,+,-).
+
+This is the classic calorie-bounded three-course planner (the standard
+teaching example the paper's one-liner describes; DESIGN.md §3,
+substitution 3): the single rule generates an appetiser, a main course
+and a dessert and checks the calorie budget. Little can be gained —
+every order must enumerate roughly the same cross product — which is
+exactly the paper's point for this row of the table.
+"""
+
+from __future__ import annotations
+
+from ..prolog.database import Database
+
+__all__ = ["SOURCE", "source", "database", "TABLE4_QUERIES", "APPETIZERS", "MAINS"]
+
+APPETIZERS = [
+    ("soup", 120), ("salad", 90), ("pate", 240), ("melon", 60),
+    ("shrimp", 150), ("olives", 80), ("bruschetta", 170), ("chowder", 200),
+]
+MAINS = [
+    ("steak", 520), ("salmon", 380), ("pasta", 450), ("tofu", 300),
+    ("chicken", 410), ("risotto", 470), ("lamb", 560), ("quiche", 340),
+    ("curry", 430), ("stew", 390),
+]
+_DESSERTS = [
+    ("cake", 350), ("fruit", 120), ("ice_cream", 270), ("cheese", 220),
+    ("sorbet", 140), ("pie", 310), ("mousse", 260), ("pudding", 230),
+]
+
+
+def _facts() -> str:
+    lines = [f"appetizer({n}, {c})." for n, c in APPETIZERS]
+    lines += [f"main_course({n}, {c})." for n, c in MAINS]
+    lines += [f"dessert({n}, {c})." for n, c in _DESSERTS]
+    return "\n".join(lines)
+
+
+SOURCE = (
+    """
+:- entry(meal/3).
+
+% The single reorderable clause: a meal under the calorie budget.
+meal(Appetizer, Main, Dessert) :-
+    appetizer(Appetizer, A),
+    main_course(Main, M),
+    dessert(Dessert, D),
+    Total is A + M + D,
+    Total =< 800.
+
+"""
+    + _facts()
+    + "\n"
+)
+
+#: Table IV rows: meal(-,-,-) and meal(+,+,-).
+TABLE4_QUERIES = [
+    ("meal(-,-,-)", ["meal(A, M, D)"]),
+    ("meal(+,+,-)", [
+        f"meal({appetizer}, {main}, D)"
+        for appetizer, _ in APPETIZERS
+        for main, _ in MAINS
+    ]),
+]
+
+
+def source() -> str:
+    """The complete program text."""
+    return SOURCE
+
+
+def database(indexing: bool = True) -> Database:
+    """A fresh database holding the program."""
+    return Database.from_source(SOURCE, indexing=indexing)

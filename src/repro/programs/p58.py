@@ -1,0 +1,88 @@
+"""Problem 58 benchmark (paper §VII, Table IV).
+
+"p58 is Problem 58 from 'How to solve it in Prolog' [7] ... Only a
+single clause of p58 ... can be reordered; the gains in performance are
+less impressive."
+
+The Coelho/Cotta/Pereira collection is long out of print and the exact
+problem statement is not recoverable; per DESIGN.md §3 (substitution 3)
+we implement a classic database-query puzzle of the same shape: one
+rule with a conjunctive body over small fact tables, queried fully
+instantiated (the paper reports only mode (+, +), 121 → 78 calls,
+ratio 1.55). The puzzle: "a contest entry wins in a category if it is
+admissible there" — the single reorderable clause joins four fact
+tables in a deliberately natural-but-suboptimal order.
+"""
+
+from __future__ import annotations
+
+from ..prolog.database import Database
+
+__all__ = ["SOURCE", "source", "database", "TABLE4_QUERIES"]
+
+SOURCE = """
+:- entry(p58/2).
+
+% The single reorderable clause: an entrant wins a category by beating
+% some rival while clearing the category threshold. The natural
+% phrasing follows the puzzle statement's reading order, enumerating
+% rivals before the cheap threshold test that usually fails.
+p58(Entrant, Category) :-
+    entrant(Entrant, Division),
+    rival(Entrant, Rival),
+    score(Rival, RivalScore),
+    score(Entrant, Score),
+    Score > RivalScore,
+    admissible(Division, Category),
+    threshold(Category, Minimum),
+    Score >= Minimum.
+
+entrant(alpha, junior).    entrant(beta, junior).
+entrant(gamma, senior).    entrant(delta, senior).
+entrant(epsilon, open).    entrant(zeta, open).
+entrant(eta, junior).      entrant(theta, senior).
+entrant(iota, open).       entrant(kappa, junior).
+
+score(alpha, 55).   score(beta, 71).    score(gamma, 88).
+score(delta, 64).   score(epsilon, 92). score(zeta, 47).
+score(eta, 78).     score(theta, 81).   score(iota, 59).
+score(kappa, 85).
+
+threshold(bronze, 50).  threshold(silver, 70).  threshold(gold, 85).
+
+admissible(junior, bronze).  admissible(junior, silver).
+admissible(senior, silver).  admissible(senior, gold).
+admissible(open, bronze).    admissible(open, silver).
+admissible(open, gold).
+
+rival(alpha, beta).     rival(alpha, eta).      rival(alpha, kappa).
+rival(beta, alpha).     rival(beta, kappa).
+rival(gamma, delta).    rival(gamma, theta).
+rival(delta, gamma).    rival(delta, theta).
+rival(epsilon, zeta).   rival(epsilon, iota).
+rival(zeta, epsilon).   rival(zeta, iota).
+rival(eta, beta).       rival(eta, kappa).
+rival(theta, gamma).    rival(theta, delta).
+rival(iota, epsilon).   rival(iota, zeta).
+rival(kappa, alpha).    rival(kappa, eta).
+"""
+
+#: Table IV row: p58(+, +) — every entrant × category, fully bound.
+TABLE4_QUERIES = [
+    ("p58(+,+)", [
+        f"p58({entrant}, {category})"
+        for entrant in ["alpha", "beta", "gamma", "delta", "epsilon",
+                        "zeta", "eta", "theta", "iota", "kappa"]
+        for category in ["bronze", "silver", "gold"]
+    ]),
+]
+
+
+def source() -> str:
+    """The complete program text."""
+    return SOURCE
+
+
+def database(indexing: bool = True) -> Database:
+    """A fresh database holding the program."""
+    return Database.from_source(SOURCE, indexing=indexing)

@@ -1,0 +1,104 @@
+"""Builtin predicate registry.
+
+Each builtin is a Python generator function ``fn(engine, args, depth,
+frame)`` yielding once per solution. Registration carries the two flags
+the static analyses need (paper §IV):
+
+* ``side_effect`` — the builtin is *fixed*: it cannot be undone by
+  backtracking (I/O predicates), so it is immobile and contaminates its
+  ancestors;
+* ``semifixed`` — the builtin's success depends on the instantiation
+  state of its arguments (``var/1``, ``nonvar/1``, negation), so the
+  modes of its *culprit* arguments must be preserved by reordering.
+
+The control constructs ``','``, ``';'``, ``'->'`` and ``!`` are handled
+directly by the engine (they need the cut frame) and are not in this
+registry, but :func:`is_control` knows about them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "Builtin",
+    "BUILTINS",
+    "builtin",
+    "lookup",
+    "is_builtin",
+    "is_control",
+    "CONTROL_INDICATORS",
+]
+
+Indicator = Tuple[str, int]
+
+#: Constructs the engine interprets structurally rather than via the registry.
+CONTROL_INDICATORS = {
+    (",", 2),
+    (";", 2),
+    ("->", 2),
+    ("!", 0),
+    ("true", 0),
+    ("fail", 0),
+    ("false", 0),
+}
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A registered builtin predicate."""
+
+    name: str
+    arity: int
+    fn: Callable
+    side_effect: bool = False
+    semifixed: bool = False
+
+    @property
+    def indicator(self) -> Indicator:
+        return (self.name, self.arity)
+
+
+BUILTINS: Dict[Indicator, Builtin] = {}
+
+
+def builtin(
+    name: str, arity: int, side_effect: bool = False, semifixed: bool = False
+) -> Callable:
+    """Decorator registering a builtin implementation."""
+
+    def decorate(fn: Callable) -> Callable:
+        key = (name, arity)
+        BUILTINS[key] = Builtin(name, arity, fn, side_effect, semifixed)
+        return fn
+
+    return decorate
+
+
+def lookup(indicator: Indicator) -> Optional[Builtin]:
+    """The registered builtin for an indicator, if any."""
+    return BUILTINS.get(indicator)
+
+
+def is_builtin(indicator: Indicator) -> bool:
+    """Is the indicator a builtin or engine-level control construct?"""
+    return indicator in BUILTINS or indicator in CONTROL_INDICATORS
+
+
+def is_control(indicator: Indicator) -> bool:
+    """Is the indicator handled structurally by the engine?"""
+    return indicator in CONTROL_INDICATORS
+
+
+# Importing the implementation modules populates the registry.
+from . import arith  # noqa: E402,F401
+from . import atoms  # noqa: E402,F401
+from . import compare  # noqa: E402,F401
+from . import control  # noqa: E402,F401
+from . import exceptions  # noqa: E402,F401
+from . import io  # noqa: E402,F401
+from . import lists  # noqa: E402,F401
+from . import solutions  # noqa: E402,F401
+from . import terms_bi  # noqa: E402,F401
+from . import typetests  # noqa: E402,F401

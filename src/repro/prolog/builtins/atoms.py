@@ -1,0 +1,181 @@
+"""Atom/term text builtins and sorting.
+
+``name/2`` is the DEC-10 original; ``atom_codes/2``/``number_codes/2``
+are its modern split. ``sort/2``, ``msort/2``, ``keysort/2`` order by
+the standard order of terms.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ...errors import InstantiationError, TypeErrorProlog
+from ..terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    deref,
+    is_number,
+    list_to_python,
+    make_list,
+    term_ordering_key,
+)
+from ..unify import unify
+from . import builtin
+
+
+def _codes_to_text(term: Term, what: str) -> str:
+    try:
+        items = list_to_python(term)
+    except ValueError:
+        raise InstantiationError(f"{what}: code list insufficiently instantiated")
+    chars = []
+    for item in items:
+        item = deref(item)
+        if not isinstance(item, int):
+            raise TypeErrorProlog("character code", item)
+        chars.append(chr(item))
+    return "".join(chars)
+
+
+def _text_to_codes(text: str) -> Term:
+    return make_list([ord(c) for c in text])
+
+
+@builtin("atom_codes", 2)
+def _atom_codes(engine, args, depth, frame) -> Iterator[None]:
+    """``atom_codes(Atom, Codes)`` — both directions."""
+    first = deref(args[0])
+    mark = engine.trail.mark()
+    if isinstance(first, Atom):
+        if unify(args[1], _text_to_codes(first.name), engine.trail):
+            yield
+    elif is_number(first):
+        if unify(args[1], _text_to_codes(str(first)), engine.trail):
+            yield
+    elif isinstance(first, Var):
+        text = _codes_to_text(args[1], "atom_codes/2")
+        if unify(first, Atom(text), engine.trail):
+            yield
+    else:
+        raise TypeErrorProlog("atom", first)
+    engine.trail.undo_to(mark)
+
+
+@builtin("number_codes", 2)
+def _number_codes(engine, args, depth, frame) -> Iterator[None]:
+    """``number_codes(Number, Codes)`` — both directions."""
+    first = deref(args[0])
+    mark = engine.trail.mark()
+    if is_number(first):
+        text = repr(first) if isinstance(first, float) else str(first)
+        if unify(args[1], _text_to_codes(text), engine.trail):
+            yield
+    elif isinstance(first, Var):
+        text = _codes_to_text(args[1], "number_codes/2")
+        try:
+            value: Term = int(text)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                raise TypeErrorProlog("number text", text)
+        if unify(first, value, engine.trail):
+            yield
+    else:
+        raise TypeErrorProlog("number", first)
+    engine.trail.undo_to(mark)
+
+
+@builtin("name", 2)
+def _name(engine, args, depth, frame) -> Iterator[None]:
+    """``name(AtomOrNumber, Codes)`` — DEC-10: numbers parse as numbers."""
+    first = deref(args[0])
+    mark = engine.trail.mark()
+    if isinstance(first, Var):
+        text = _codes_to_text(args[1], "name/2")
+        value: Term
+        try:
+            value = int(text)
+        except ValueError:
+            try:
+                value = float(text)
+            except ValueError:
+                value = Atom(text)
+        if unify(first, value, engine.trail):
+            yield
+    else:
+        if isinstance(first, Atom):
+            text = first.name
+        elif is_number(first):
+            text = repr(first) if isinstance(first, float) else str(first)
+        else:
+            raise TypeErrorProlog("atomic", first)
+        if unify(args[1], _text_to_codes(text), engine.trail):
+            yield
+    engine.trail.undo_to(mark)
+
+
+@builtin("atom_length", 2)
+def _atom_length(engine, args, depth, frame) -> Iterator[None]:
+    """``atom_length(Atom, Length)``."""
+    first = deref(args[0])
+    if isinstance(first, Var):
+        raise InstantiationError("atom_length/2: first argument unbound")
+    if not isinstance(first, Atom):
+        raise TypeErrorProlog("atom", first)
+    mark = engine.trail.mark()
+    if unify(args[1], len(first.name), engine.trail):
+        yield
+    engine.trail.undo_to(mark)
+
+
+def _sorted_items(term: Term, what: str) -> List[Term]:
+    try:
+        return list_to_python(term)
+    except ValueError:
+        raise InstantiationError(f"{what}: list insufficiently instantiated")
+
+
+@builtin("msort", 2)
+def _msort(engine, args, depth, frame) -> Iterator[None]:
+    """``msort(List, Sorted)`` — standard order, duplicates kept."""
+    items = _sorted_items(args[0], "msort/2")
+    ordered = sorted(items, key=term_ordering_key)
+    mark = engine.trail.mark()
+    if unify(args[1], make_list(ordered), engine.trail):
+        yield
+    engine.trail.undo_to(mark)
+
+
+@builtin("sort", 2)
+def _sort(engine, args, depth, frame) -> Iterator[None]:
+    """``sort(List, Sorted)`` — standard order, duplicates removed."""
+    items = _sorted_items(args[0], "sort/2")
+    unique: List[Term] = []
+    seen = set()
+    for item in sorted(items, key=term_ordering_key):
+        key = term_ordering_key(item)
+        if key not in seen:
+            seen.add(key)
+            unique.append(item)
+    mark = engine.trail.mark()
+    if unify(args[1], make_list(unique), engine.trail):
+        yield
+    engine.trail.undo_to(mark)
+
+
+@builtin("keysort", 2)
+def _keysort(engine, args, depth, frame) -> Iterator[None]:
+    """``keysort(Pairs, Sorted)`` — stable sort of Key-Value pairs."""
+    items = _sorted_items(args[0], "keysort/2")
+    for item in items:
+        pair = deref(item)
+        if not (isinstance(pair, Struct) and pair.indicator == ("-", 2)):
+            raise TypeErrorProlog("Key-Value pair", pair)
+    ordered = sorted(items, key=lambda p: term_ordering_key(deref(p).args[0]))
+    mark = engine.trail.mark()
+    if unify(args[1], make_list(ordered), engine.trail):
+        yield
+    engine.trail.undo_to(mark)

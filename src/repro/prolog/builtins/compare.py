@@ -1,0 +1,73 @@
+"""Term identity and standard-order comparison builtins."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..terms import Atom, deref, structural_eq, term_ordering_key
+from ..unify import unify
+from . import builtin
+
+
+@builtin("=", 2)
+def _unify(engine, args, depth, frame) -> Iterator[None]:
+    """``X = Y`` — unification."""
+    mark = engine.trail.mark()
+    if unify(args[0], args[1], engine.trail, occurs_check=engine.occurs_check):
+        yield
+    engine.trail.undo_to(mark)
+
+
+@builtin("\\=", 2)
+def _not_unify(engine, args, depth, frame) -> Iterator[None]:
+    """``X \\= Y`` — succeeds when X and Y do not unify (leaves no bindings)."""
+    mark = engine.trail.mark()
+    unified = unify(args[0], args[1], engine.trail, occurs_check=engine.occurs_check)
+    engine.trail.undo_to(mark)
+    if not unified:
+        yield
+
+
+@builtin("==", 2, semifixed=True)
+def _identical(engine, args, depth, frame) -> Iterator[None]:
+    """``X == Y`` — structural identity, no binding."""
+    if structural_eq(args[0], args[1]):
+        yield
+
+
+@builtin("\\==", 2, semifixed=True)
+def _not_identical(engine, args, depth, frame) -> Iterator[None]:
+    """``X \\== Y`` — structural difference, no binding."""
+    if not structural_eq(args[0], args[1]):
+        yield
+
+
+def _order_test(name: str, accept) -> None:
+    @builtin(name, 2, semifixed=True)
+    def _test(engine, args, depth, frame, _accept=accept) -> Iterator[None]:
+        left = term_ordering_key(args[0])
+        right = term_ordering_key(args[1])
+        sign = (left > right) - (left < right)
+        if _accept(sign):
+            yield
+
+    _test.__doc__ = f"Standard-order comparison ``X {name} Y``."
+
+
+_order_test("@<", lambda sign: sign < 0)
+_order_test("@>", lambda sign: sign > 0)
+_order_test("@=<", lambda sign: sign <= 0)
+_order_test("@>=", lambda sign: sign >= 0)
+
+
+@builtin("compare", 3, semifixed=True)
+def _compare(engine, args, depth, frame) -> Iterator[None]:
+    """``compare(Order, X, Y)`` — Order is one of ``<``, ``=``, ``>``."""
+    left = term_ordering_key(args[1])
+    right = term_ordering_key(args[2])
+    sign = (left > right) - (left < right)
+    symbol = Atom("<") if sign < 0 else Atom(">") if sign > 0 else Atom("=")
+    mark = engine.trail.mark()
+    if unify(args[0], symbol, engine.trail):
+        yield
+    engine.trail.undo_to(mark)

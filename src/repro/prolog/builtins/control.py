@@ -1,0 +1,103 @@
+"""Meta-call and negation builtins.
+
+``not/1`` and ``\\+/1`` implement negation as failure; the paper treats
+them as *semifixed in all their variables* (§IV-D-5): whether the
+negation succeeds depends on how instantiated its argument is, so the
+reorderer pins the instantiation state of every variable appearing in a
+negated goal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import InstantiationError, TypeErrorProlog
+from ..terms import Struct, Var, deref, is_callable_term
+from . import builtin
+
+
+def _resolve_goal(term):
+    goal = deref(term)
+    if isinstance(goal, Var):
+        raise InstantiationError("meta-call on unbound goal")
+    if not is_callable_term(goal):
+        raise TypeErrorProlog("callable", goal)
+    return goal
+
+
+@builtin("call", 1)
+def _call(engine, args, depth, frame) -> Iterator[None]:
+    """``call(Goal)`` — solve Goal; cut inside is local to the call."""
+    goal = _resolve_goal(args[0])
+    yield from engine.solve_goal(goal, depth, engine.new_frame())
+
+
+def _register_call_n(extra: int) -> None:
+    @builtin("call", 1 + extra)
+    def _call_n(engine, args, depth, frame) -> Iterator[None]:
+        goal = _resolve_goal(args[0])
+        appended = tuple(args[1:])
+        if isinstance(goal, Struct):
+            goal = Struct(goal.name, goal.args + appended)
+        else:
+            goal = Struct(goal.name, appended)
+        yield from engine.solve_goal(goal, depth, engine.new_frame())
+
+    _call_n.__doc__ = f"``call(Goal, A1..A{extra})`` — call with extra arguments."
+
+
+for _extra in range(1, 6):
+    _register_call_n(_extra)
+
+
+def _negation(engine, args, depth) -> Iterator[None]:
+    goal = _resolve_goal(args[0])
+    mark = engine.trail.mark()
+    succeeded = False
+    for _ in engine.solve_goal(goal, depth, engine.new_frame()):
+        succeeded = True
+        break
+    engine.trail.undo_to(mark)
+    if not succeeded:
+        yield
+
+
+@builtin("\\+", 1, semifixed=True)
+def _naf(engine, args, depth, frame) -> Iterator[None]:
+    """``\\+ Goal`` — negation as failure."""
+    yield from _negation(engine, args, depth)
+
+
+@builtin("not", 1, semifixed=True)
+def _not(engine, args, depth, frame) -> Iterator[None]:
+    """``not(Goal)`` — DEC-10 spelling of negation as failure."""
+    yield from _negation(engine, args, depth)
+
+
+@builtin("once", 1, semifixed=True)
+def _once(engine, args, depth, frame) -> Iterator[None]:
+    """``once(Goal)`` — the first solution of Goal only."""
+    goal = _resolve_goal(args[0])
+    for _ in engine.solve_goal(goal, depth, engine.new_frame()):
+        yield
+        return
+
+
+@builtin("forall", 2, semifixed=True)
+def _forall(engine, args, depth, frame) -> Iterator[None]:
+    """``forall(Cond, Action)`` — every Cond solution satisfies Action."""
+    condition = _resolve_goal(args[0])
+    action = _resolve_goal(args[1])
+    mark = engine.trail.mark()
+    holds = True
+    for _ in engine.solve_goal(condition, depth, engine.new_frame()):
+        satisfied = False
+        for _ in engine.solve_goal(action, depth, engine.new_frame()):
+            satisfied = True
+            break
+        if not satisfied:
+            holds = False
+            break
+    engine.trail.undo_to(mark)
+    if holds:
+        yield

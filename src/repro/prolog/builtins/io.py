@@ -1,0 +1,103 @@
+"""I/O builtins — the paper's archetypal *fixed* (side-effecting)
+predicates (§IV-B).
+
+Output goes to the engine's capture buffer (``engine.output``) so tests
+and the experiment harness can assert on it; ``engine.echo`` additionally
+mirrors to stdout for interactive use. ``read/1`` pops terms from
+``engine.input_terms`` (a deque the caller fills), simulating a user at
+the terminal; reading from an empty queue returns ``end_of_file``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...errors import TypeErrorProlog
+from ..terms import Atom, deref
+from ..unify import unify
+from ..writer import term_to_string
+from . import builtin
+
+
+def _emit(engine, text: str) -> None:
+    engine.output.append(text)
+    if engine.echo:
+        print(text, end="")
+
+
+@builtin("write", 1, side_effect=True)
+def _write(engine, args, depth, frame) -> Iterator[None]:
+    """``write(Term)`` — print Term in operator notation."""
+    _emit(engine, term_to_string(args[0]))
+    yield
+
+
+@builtin("print", 1, side_effect=True)
+def _print(engine, args, depth, frame) -> Iterator[None]:
+    """``print(Term)`` — identical to ``write/1`` here (no portray hook)."""
+    _emit(engine, term_to_string(args[0]))
+    yield
+
+
+@builtin("writeln", 1, side_effect=True)
+def _writeln(engine, args, depth, frame) -> Iterator[None]:
+    """``writeln(Term)`` — write then newline."""
+    _emit(engine, term_to_string(args[0]) + "\n")
+    yield
+
+
+@builtin("nl", 0, side_effect=True)
+def _nl(engine, args, depth, frame) -> Iterator[None]:
+    """``nl`` — write a newline."""
+    _emit(engine, "\n")
+    yield
+
+
+@builtin("tab", 1, side_effect=True)
+def _tab(engine, args, depth, frame) -> Iterator[None]:
+    """``tab(N)`` — write N spaces."""
+    from .arith import evaluate
+
+    count = evaluate(args[0])
+    if not isinstance(count, int) or count < 0:
+        raise TypeErrorProlog("non-negative integer", count)
+    _emit(engine, " " * count)
+    yield
+
+
+@builtin("put", 1, side_effect=True)
+def _put(engine, args, depth, frame) -> Iterator[None]:
+    """``put(Code)`` — write the character with the given code."""
+    from .arith import evaluate
+
+    code = evaluate(args[0])
+    if not isinstance(code, int):
+        raise TypeErrorProlog("character code", code)
+    _emit(engine, chr(code))
+    yield
+
+
+@builtin("read", 1, side_effect=True)
+def _read(engine, args, depth, frame) -> Iterator[None]:
+    """``read(Term)`` — pop the next term from the engine's input queue."""
+    if engine.input_terms:
+        term = engine.input_terms.popleft()
+    else:
+        term = Atom("end_of_file")
+    mark = engine.trail.mark()
+    if unify(args[0], term, engine.trail):
+        yield
+    engine.trail.undo_to(mark)
+
+
+@builtin("get0", 1, side_effect=True)
+def _get0(engine, args, depth, frame) -> Iterator[None]:
+    """``get0(Code)`` — pop one character code from the input queue."""
+    if engine.input_terms:
+        term = engine.input_terms.popleft()
+    else:
+        term = -1
+    mark = engine.trail.mark()
+    if unify(args[0], term, engine.trail):
+        yield
+    engine.trail.undo_to(mark)

@@ -1,0 +1,133 @@
+"""All-solutions builtins: ``findall/3``, ``bagof/3``, ``setof/3``.
+
+The paper reorders the goals *inside* these predicates' arguments but
+treats calls to them as semifixed (§IV-D-6); here we implement their full
+run-time semantics, including ``^/2`` existential qualification and
+grouping over free variables for ``bagof``/``setof``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ...errors import InstantiationError, TypeErrorProlog
+from ..terms import (
+    Struct,
+    Term,
+    Var,
+    deref,
+    is_callable_term,
+    make_list,
+    rename_term,
+    term_ordering_key,
+    term_variables,
+)
+from ..unify import unify
+from . import builtin
+
+
+def _strip_carets(goal: Term) -> Tuple[List[Var], Term]:
+    """Split ``V1 ^ V2 ^ Goal`` into (qualified vars, inner goal)."""
+    qualified: List[Var] = []
+    current = deref(goal)
+    while isinstance(current, Struct) and current.name == "^" and current.arity == 2:
+        qualified.extend(term_variables(current.args[0]))
+        current = deref(current.args[1])
+    return qualified, current
+
+
+def _check_goal(goal: Term) -> Term:
+    goal = deref(goal)
+    if isinstance(goal, Var):
+        raise InstantiationError("all-solutions goal unbound")
+    if not is_callable_term(goal):
+        raise TypeErrorProlog("callable", goal)
+    return goal
+
+
+@builtin("findall", 3, semifixed=True)
+def _findall(engine, args, depth, frame) -> Iterator[None]:
+    """``findall(Template, Goal, List)`` — List of all Template instances."""
+    template, goal_arg, result = args
+    _, goal = _strip_carets(goal_arg)  # findall ignores ^ but tolerates it
+    goal = _check_goal(goal)
+    collected: List[Term] = []
+    mark = engine.trail.mark()
+    for _ in engine.solve_goal(goal, depth, engine.new_frame()):
+        collected.append(rename_term(template, {}))
+    engine.trail.undo_to(mark)
+    if unify(result, make_list(collected), engine.trail):
+        yield
+    engine.trail.undo_to(mark)
+
+
+def _collect_grouped(engine, template, goal_arg, depth):
+    """Solutions grouped by the witness (free variables of the goal).
+
+    Returns a list of ``(witness_terms, [template_copies])`` groups in
+    order of first appearance. The witness is the tuple of variables free
+    in the goal but neither in the template nor ^-qualified.
+    """
+    qualified, goal = _strip_carets(goal_arg)
+    goal = _check_goal(goal)
+    excluded = {id(v) for v in term_variables(template)}
+    excluded.update(id(v) for v in qualified)
+    witness = [v for v in term_variables(goal) if id(v) not in excluded]
+
+    groups: List[Tuple[List[Term], List[Term]]] = []
+    keys = {}
+    mark = engine.trail.mark()
+    for _ in engine.solve_goal(goal, depth, engine.new_frame()):
+        mapping: dict = {}
+        witness_copy = [rename_term(v, mapping) for v in witness]
+        template_copy = rename_term(template, mapping)
+        key = tuple(term_ordering_key(w) for w in witness_copy)
+        slot = keys.get(key)
+        if slot is None:
+            keys[key] = len(groups)
+            groups.append((witness_copy, [template_copy]))
+        else:
+            groups[slot][1].append(template_copy)
+    engine.trail.undo_to(mark)
+    return witness, groups
+
+
+@builtin("bagof", 3, semifixed=True)
+def _bagof(engine, args, depth, frame) -> Iterator[None]:
+    """``bagof(Template, Goal, Bag)`` — fails if there are no solutions;
+    backtracks over bindings of the goal's free variables."""
+    template, goal_arg, result = args
+    witness, groups = _collect_grouped(engine, template, goal_arg, depth)
+    for witness_values, members in groups:
+        mark = engine.trail.mark()
+        bound = all(
+            unify(var, value, engine.trail)
+            for var, value in zip(witness, witness_values)
+        )
+        if bound and unify(result, make_list(members), engine.trail):
+            yield
+        engine.trail.undo_to(mark)
+
+
+@builtin("setof", 3, semifixed=True)
+def _setof(engine, args, depth, frame) -> Iterator[None]:
+    """``setof(Template, Goal, Set)`` — like bagof but sorted, duplicates
+    removed."""
+    template, goal_arg, result = args
+    witness, groups = _collect_grouped(engine, template, goal_arg, depth)
+    for witness_values, members in groups:
+        unique: List[Term] = []
+        seen = set()
+        for member in sorted(members, key=term_ordering_key):
+            key = term_ordering_key(member)
+            if key not in seen:
+                seen.add(key)
+                unique.append(member)
+        mark = engine.trail.mark()
+        bound = all(
+            unify(var, value, engine.trail)
+            for var, value in zip(witness, witness_values)
+        )
+        if bound and unify(result, make_list(unique), engine.trail):
+            yield
+        engine.trail.undo_to(mark)

@@ -1,0 +1,36 @@
+"""Type-testing builtins (``var/1``, ``atom/1``, ...).
+
+These are the canonical *semifixed* predicates of paper §IV-C: their
+success depends entirely on the instantiation state of their argument,
+so the reorderer must not move goals that (de)instantiate a tested
+variable across them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..terms import Atom, Struct, Var, deref, is_number, is_proper_list, term_is_ground
+from . import builtin
+
+
+def _type_test(name: str, accept, semifixed: bool = True) -> None:
+    @builtin(name, 1, semifixed=semifixed)
+    def _test(engine, args, depth, frame, _accept=accept) -> Iterator[None]:
+        if _accept(deref(args[0])):
+            yield
+
+    _test.__doc__ = f"``{name}(X)`` type test."
+
+
+_type_test("var", lambda t: isinstance(t, Var))
+_type_test("nonvar", lambda t: not isinstance(t, Var))
+_type_test("atom", lambda t: isinstance(t, Atom))
+_type_test("number", is_number)
+_type_test("integer", lambda t: isinstance(t, int) and not isinstance(t, bool))
+_type_test("float", lambda t: isinstance(t, float))
+_type_test("atomic", lambda t: isinstance(t, Atom) or is_number(t))
+_type_test("compound", lambda t: isinstance(t, Struct))
+_type_test("callable", lambda t: isinstance(t, (Atom, Struct)))
+_type_test("is_list", is_proper_list)
+_type_test("ground", term_is_ground)

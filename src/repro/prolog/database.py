@@ -1,0 +1,299 @@
+"""Clause database with optional first-argument indexing.
+
+The paper (§III-A) notes that clause indexing "can have the same effect"
+as clause reordering for head-match filtering, but "unless the engine
+always indexes on the proper arguments, reordering can still be useful".
+To study that interaction (the indexing ablation benchmark), indexing is
+a per-database flag.
+
+A database holds :class:`Clause` objects grouped by predicate indicator
+``(name, arity)``, preserving source order; directives are collected
+separately for the analysis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..errors import PrologSyntaxError
+from .reader.parser import parse_terms
+from .terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    deref,
+    functor_indicator,
+    is_number,
+    rename_term,
+)
+
+__all__ = ["Clause", "Database", "split_clause", "body_goals", "goals_to_body"]
+
+Indicator = Tuple[str, int]
+
+
+@dataclass
+class Clause:
+    """One stored clause: ``head :- body`` (body is ``true`` for facts)."""
+
+    head: Term
+    body: Term
+    #: Position within its predicate, in source order.
+    index: int = 0
+
+    @property
+    def indicator(self) -> Indicator:
+        return functor_indicator(self.head)
+
+    @property
+    def is_fact(self) -> bool:
+        body = deref(self.body)
+        return isinstance(body, Atom) and body.name == "true"
+
+    def rename(self) -> Tuple[Term, Term]:
+        """A fresh variant (head, body) with variables renamed apart."""
+        mapping: Dict[int, Var] = {}
+        return rename_term(self.head, mapping), rename_term(self.body, mapping)
+
+    def to_term(self) -> Term:
+        """The clause as a ``:-``/2 term (or bare head for facts)."""
+        if self.is_fact:
+            return self.head
+        return Struct(":-", (self.head, self.body))
+
+
+def split_clause(term: Term) -> Tuple[Term, Term]:
+    """Split a clause term into (head, body); facts get body ``true``."""
+    term = deref(term)
+    if isinstance(term, Struct) and term.name == ":-" and term.arity == 2:
+        return term.args[0], term.args[1]
+    return term, Atom("true")
+
+
+def body_goals(body: Term) -> List[Term]:
+    """Flatten a conjunction into its top-level goals.
+
+    Only ``','/2`` is flattened; disjunctions and if-then-elses remain
+    single (compound) goals, which is what the block partitioner wants.
+    """
+    goals: List[Term] = []
+    stack = [body]
+    while stack:
+        current = deref(stack.pop())
+        if isinstance(current, Struct) and current.name == "," and current.arity == 2:
+            stack.append(current.args[1])
+            stack.append(current.args[0])
+        else:
+            goals.append(current)
+    return goals
+
+
+def goals_to_body(goals: Iterable[Term]) -> Term:
+    """Rebuild a conjunction term from a goal list (``true`` if empty)."""
+    items = list(goals)
+    if not items:
+        return Atom("true")
+    body = items[-1]
+    for goal in reversed(items[:-1]):
+        body = Struct(",", (goal, body))
+    return body
+
+
+def _first_arg_key(term: Term) -> Optional[Tuple]:
+    """Index key of a call/head first argument; None when unindexable (var)."""
+    term = deref(term)
+    if isinstance(term, Var):
+        return None
+    if isinstance(term, Atom):
+        return ("atom", term.name)
+    if is_number(term):
+        return ("number", type(term).__name__, term)
+    assert isinstance(term, Struct)
+    return ("struct", term.name, term.arity)
+
+
+class Database:
+    """All clauses of a program, grouped by predicate.
+
+    ``indexing=True`` enables argument indexing: for a call whose
+    indexed argument is bound, only clauses whose head could unify on
+    that argument are attempted (a variable head argument matches any
+    key). ``index_argument`` selects the position:
+
+    * ``1`` (default) — classic first-argument indexing, what the
+      paper's engines (C-Prolog, SB-Prolog-style) do;
+    * ``"auto"`` — per predicate, the most *selective* argument (most
+      distinct keys among the heads) — the paper's §III-A "proper
+      arguments" engine, used by the indexing ablation.
+    """
+
+    def __init__(self, indexing: bool = True, index_argument: Union[int, str] = 1):
+        self.indexing = indexing
+        if index_argument != "auto" and (
+            not isinstance(index_argument, int) or index_argument < 1
+        ):
+            raise ValueError(f"bad index_argument: {index_argument!r}")
+        self.index_argument = index_argument
+        self._predicates: Dict[Indicator, List[Clause]] = {}
+        self._index: Dict[Indicator, Dict[Optional[Tuple], List[Clause]]] = {}
+        self._index_position: Dict[Indicator, int] = {}
+        self.directives: List[Term] = []
+        # Per-database operator table: ':- op/3' directives extend it,
+        # so queries and re-emitted source parse/print consistently.
+        from .reader.operators import standard_operators
+
+        self.operators = standard_operators()
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, indexing: bool = True) -> "Database":
+        """Build a database from Prolog source text."""
+        database = cls(indexing=indexing)
+        database.consult(source)
+        return database
+
+    def consult(self, source: str) -> None:
+        """Add all clauses/directives from ``source`` (op/3 honoured)."""
+        from .reader.parser import Parser
+
+        for term in Parser(source, self.operators).read_program():
+            self.add_term(term)
+
+    def add_term(self, term: Term) -> None:
+        """Add one parsed clause or directive term."""
+        term = deref(term)
+        if isinstance(term, Struct) and term.name == ":-" and term.arity == 1:
+            self.directives.append(term.args[0])
+            return
+        head, body = split_clause(term)
+        head = deref(head)
+        if not isinstance(head, (Atom, Struct)):
+            raise PrologSyntaxError(f"invalid clause head: {head!r}")
+        self.add_clause(Clause(head, body))
+
+    def add_clause(self, clause: Clause) -> None:
+        """Append a clause to its predicate (source order preserved)."""
+        clauses = self._predicates.setdefault(clause.indicator, [])
+        clause.index = len(clauses)
+        clauses.append(clause)
+        self._index.pop(clause.indicator, None)  # invalidate
+        self._index_position.pop(clause.indicator, None)
+
+    def replace_predicate(self, indicator: Indicator, clauses: List[Clause]) -> None:
+        """Replace all clauses of a predicate (used by the reorderer)."""
+        renumbered = []
+        for position, clause in enumerate(clauses):
+            renumbered.append(Clause(clause.head, clause.body, position))
+        self._predicates[indicator] = renumbered
+        self._index.pop(indicator, None)
+        self._index_position.pop(indicator, None)
+
+    def remove_predicate(self, indicator: Indicator) -> None:
+        """Delete a predicate and its index entries."""
+        self._predicates.pop(indicator, None)
+        self._index.pop(indicator, None)
+        self._index_position.pop(indicator, None)
+
+    # -- queries ---------------------------------------------------------
+
+    def predicates(self) -> List[Indicator]:
+        """All predicate indicators, in first-definition order."""
+        return list(self._predicates)
+
+    def clauses(self, indicator: Indicator) -> List[Clause]:
+        """All clauses of a predicate, in order (empty if undefined)."""
+        return list(self._predicates.get(indicator, ()))
+
+    def defines(self, indicator: Indicator) -> bool:
+        """Is the predicate defined by at least one clause?"""
+        return indicator in self._predicates
+
+    def matching_clauses(self, goal: Term) -> List[Clause]:
+        """Clauses worth trying for ``goal``, respecting indexing."""
+        indicator = functor_indicator(goal)
+        clauses = self._predicates.get(indicator)
+        if clauses is None:
+            return []
+        if not self.indexing or indicator[1] == 0:
+            return clauses
+        goal = deref(goal)
+        assert isinstance(goal, Struct)
+        buckets = self._index.get(indicator)
+        if buckets is None:
+            buckets = self._build_index(indicator, clauses)
+        position = self._index_position[indicator]
+        key = _first_arg_key(goal.args[position])
+        if key is None:  # unbound call argument: every clause may match
+            return clauses
+        matched = buckets.get(key)
+        unindexed = buckets.get(None)
+        if matched is None:
+            return unindexed or []
+        if not unindexed:
+            return matched
+        # Merge variable-headed clauses back in source order.
+        merged = sorted(matched + unindexed, key=lambda c: c.index)
+        return merged
+
+    def _choose_index_position(
+        self, indicator: Indicator, clauses: List[Clause]
+    ) -> int:
+        """0-based argument position to index this predicate on."""
+        if self.index_argument != "auto":
+            return min(int(self.index_argument), indicator[1]) - 1
+        best_position, best_selectivity = 0, -1
+        for position in range(indicator[1]):
+            keys = set()
+            for clause in clauses:
+                head = deref(clause.head)
+                assert isinstance(head, Struct)
+                keys.add(_first_arg_key(head.args[position]))
+            # A None key (variable argument) matches everything: it
+            # hurts selectivity, so count distinct concrete keys only.
+            selectivity = len(keys - {None}) - (10 * (None in keys))
+            if selectivity > best_selectivity:
+                best_position, best_selectivity = position, selectivity
+        return best_position
+
+    def _build_index(
+        self, indicator: Indicator, clauses: List[Clause]
+    ) -> Dict[Optional[Tuple], List[Clause]]:
+        position = self._choose_index_position(indicator, clauses)
+        self._index_position[indicator] = position
+        buckets: Dict[Optional[Tuple], List[Clause]] = {}
+        for clause in clauses:
+            head = deref(clause.head)
+            assert isinstance(head, Struct)
+            key = _first_arg_key(head.args[position])
+            buckets.setdefault(key, []).append(clause)
+        self._index[indicator] = buckets
+        return buckets
+
+    # -- whole-program views ----------------------------------------------
+
+    def all_clauses(self) -> Iterator[Clause]:
+        """Every stored clause, predicate by predicate."""
+        for clauses in self._predicates.values():
+            yield from clauses
+
+    def to_terms(self) -> List[Term]:
+        """Every clause as a term, predicate by predicate, in order."""
+        return [clause.to_term() for clause in self.all_clauses()]
+
+    def copy(self) -> "Database":
+        """A shallow copy sharing Clause objects (they are immutable in use)."""
+        other = Database(indexing=self.indexing, index_argument=self.index_argument)
+        for indicator, clauses in self._predicates.items():
+            other._predicates[indicator] = list(clauses)
+        other.directives = list(self.directives)
+        other.operators = self.operators
+        return other
+
+    def __contains__(self, indicator: Indicator) -> bool:
+        return indicator in self._predicates
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._predicates.values())

@@ -1,0 +1,361 @@
+"""The Prolog inference engine.
+
+Depth-first SLD resolution with backtracking, exactly the execution
+model the paper assumes: clauses tried in stored order, goals solved
+left to right, backtracking on failure. Implementation is generator
+based — ``solve_goal`` yields once per solution — with a WAM-style
+binding trail undone between alternatives.
+
+Cut is implemented with per-call *frames*: executing ``!`` succeeds
+immediately; when it is asked for another solution it sets the frame's
+``cut`` flag, which (a) stops retrying goals to its left in the body and
+(b) stops the clause loop from trying further clauses. ``;``, ``->``
+and ``\\+`` introduce the standard local barriers.
+
+Safety bounds (``max_depth``, ``call_budget``) turn the infinite
+recursions that illegal modes cause (§V-B) into catchable exceptions,
+which both the tests and the legality experiments rely on.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
+
+from ..errors import (
+    CallBudgetExceeded,
+    DepthLimitExceeded,
+    ExistenceError,
+    InstantiationError,
+    TypeErrorProlog,
+)
+from .builtins import BUILTINS, lookup
+from .database import Database
+from .metrics import Metrics
+from .reader.parser import parse_term
+from .terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    deref,
+    functor_indicator,
+    is_callable_term,
+    rename_term,
+    term_variables,
+)
+from .unify import Trail, unify
+
+__all__ = ["Engine", "Frame", "Solution"]
+
+Indicator = Tuple[str, int]
+
+
+class Frame:
+    """A cut barrier: one per predicate call (and per local-cut context)."""
+
+    __slots__ = ("cut",)
+
+    def __init__(self) -> None:
+        self.cut = False
+
+
+class Solution:
+    """One query answer: variable name → fully-resolved term copy."""
+
+    def __init__(self, bindings: Dict[str, Term]):
+        self.bindings = bindings
+
+    def __getitem__(self, name: str) -> Term:
+        return self.bindings[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.bindings
+
+    def __eq__(self, other: object) -> bool:
+        from .terms import structural_eq
+
+        if not isinstance(other, Solution):
+            return NotImplemented
+        if set(self.bindings) != set(other.bindings):
+            return False
+        return all(
+            structural_eq(self.bindings[k], other.bindings[k]) for k in self.bindings
+        )
+
+    def __repr__(self) -> str:
+        from .writer import term_to_string
+
+        inner = ", ".join(
+            f"{name} = {term_to_string(term)}" for name, term in self.bindings.items()
+        )
+        return "{" + inner + "}"
+
+    def key(self) -> tuple:
+        """A hashable key for set-equivalence checks.
+
+        Stable across runs: unbound variables are numbered by first
+        occurrence (scanning bindings in name order), so two solutions
+        that differ only in variable identity get equal keys.
+        """
+        from .terms import Atom, Struct, Var, deref, is_number
+
+        numbering: Dict[int, int] = {}
+
+        def canonical(term):
+            term = deref(term)
+            if isinstance(term, Var):
+                index = numbering.setdefault(id(term), len(numbering))
+                return (0, index)
+            if is_number(term):
+                return (1, float(term), 0 if isinstance(term, float) else 1)
+            if isinstance(term, Atom):
+                return (2, term.name)
+            assert isinstance(term, Struct)
+            return (3, term.arity, term.name, tuple(canonical(a) for a in term.args))
+
+        return tuple(
+            (name, canonical(self.bindings[name])) for name in sorted(self.bindings)
+        )
+
+
+class Engine:
+    """Executes queries against a :class:`~repro.prolog.database.Database`."""
+
+    #: Python stack frames consumed per Prolog call level (with margin).
+    _FRAMES_PER_LEVEL = 12
+
+    def __init__(
+        self,
+        database: Database,
+        max_depth: int = 1_000,
+        call_budget: Optional[int] = None,
+        occurs_check: bool = False,
+        echo: bool = False,
+    ):
+        self.database = database
+        self.trail = Trail()
+        self.metrics = Metrics()
+        self.max_depth = max_depth
+        self.call_budget = call_budget
+        self.occurs_check = occurs_check
+        #: Captured output of write/nl/etc.
+        self.output: List[str] = []
+        #: Mirror output to stdout as well.
+        self.echo = echo
+        #: Input queue for read/1 and get0/1.
+        self.input_terms: Deque[Term] = deque()
+        #: Optional four-port tracer callback (port, depth, goal).
+        self.tracer = None
+        #: Bound for length/2 open enumeration.
+        self.max_list_length = 10_000
+        # The generator chain nests Python frames proportionally to the
+        # Prolog depth; make sure the interpreter allows it.
+        needed = 2_000 + self._FRAMES_PER_LEVEL * max_depth
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_source(cls, source: str, **kwargs) -> "Engine":
+        """Build an engine over a database consulted from ``source``."""
+        return cls(Database.from_source(source), **kwargs)
+
+    def new_frame(self) -> Frame:
+        """A fresh cut barrier (one per call / local-cut context)."""
+        return Frame()
+
+    def output_text(self) -> str:
+        """All captured output as one string."""
+        return "".join(self.output)
+
+    # -- the solver ----------------------------------------------------------
+
+    def solve_goal(self, goal: Term, depth: int, frame: Frame) -> Iterator[None]:
+        """Yield once per solution of ``goal``. Bindings live on the trail
+        while the caller holds the yield; they are undone when the caller
+        asks for the next solution (or by an enclosing choice point)."""
+        goal = deref(goal)
+        if isinstance(goal, Var):
+            raise InstantiationError("variable goal")
+        if not is_callable_term(goal):
+            raise TypeErrorProlog("callable", goal)
+
+        if isinstance(goal, Struct):
+            name, arity = goal.name, goal.arity
+            # Control constructs: handled inline for cut transparency.
+            if name == "," and arity == 2:
+                yield from self._solve_conjunction(goal.args[0], goal.args[1], depth, frame)
+                return
+            if name == ";" and arity == 2:
+                yield from self._solve_disjunction(goal.args[0], goal.args[1], depth, frame)
+                return
+            if name == "->" and arity == 2:
+                # A bare if-then (no else): fail if the condition fails.
+                yield from self._solve_if_then_else(
+                    goal.args[0], goal.args[1], Atom("fail"), depth, frame
+                )
+                return
+            args: Tuple[Term, ...] = goal.args
+        else:
+            assert isinstance(goal, Atom)
+            name, arity = goal.name, 0
+            if name == "true":
+                yield
+                return
+            if name in ("fail", "false"):
+                return
+            if name == "!":
+                yield
+                frame.cut = True
+                return
+            args = ()
+
+        indicator = (name, arity)
+        self._charge_call(indicator)
+
+        registered = lookup(indicator)
+        if registered is not None:
+            iterator = registered.fn(self, args, depth, frame)
+        else:
+            if not self.database.defines(indicator):
+                raise ExistenceError(indicator)
+            iterator = self._solve_user(goal, indicator, depth)
+        if self.tracer is None:
+            yield from iterator
+            return
+        # Byrd's four-port box around the goal.
+        self.tracer("call", depth, goal)
+        for _ in iterator:
+            self.tracer("exit", depth, goal)
+            yield
+            self.tracer("redo", depth, goal)
+        self.tracer("fail", depth, goal)
+
+    def _charge_call(self, indicator: Indicator) -> None:
+        self.metrics.record_call(indicator)
+        if self.call_budget is not None and self.metrics.calls > self.call_budget:
+            raise CallBudgetExceeded(
+                f"exceeded {self.call_budget} calls (at {indicator[0]}/{indicator[1]})"
+            )
+
+    def _solve_conjunction(
+        self, left: Term, right: Term, depth: int, frame: Frame
+    ) -> Iterator[None]:
+        for _ in self.solve_goal(left, depth, frame):
+            yield from self.solve_goal(right, depth, frame)
+            if frame.cut:
+                return
+
+    def _solve_disjunction(
+        self, left: Term, right: Term, depth: int, frame: Frame
+    ) -> Iterator[None]:
+        left_deref = deref(left)
+        if (
+            isinstance(left_deref, Struct)
+            and left_deref.name == "->"
+            and left_deref.arity == 2
+        ):
+            yield from self._solve_if_then_else(
+                left_deref.args[0], left_deref.args[1], right, depth, frame
+            )
+            return
+        mark = self.trail.mark()
+        yield from self.solve_goal(left, depth, frame)
+        if frame.cut:
+            return
+        self.trail.undo_to(mark)
+        yield from self.solve_goal(right, depth, frame)
+
+    def _solve_if_then_else(
+        self, condition: Term, then_part: Term, else_part: Term, depth: int, frame: Frame
+    ) -> Iterator[None]:
+        mark = self.trail.mark()
+        condition_frame = self.new_frame()  # '->' cuts locally to the condition
+        satisfied = False
+        for _ in self.solve_goal(condition, depth, condition_frame):
+            satisfied = True
+            yield from self.solve_goal(then_part, depth, frame)
+            break  # commit to the first condition solution
+        if not satisfied:
+            self.trail.undo_to(mark)
+            yield from self.solve_goal(else_part, depth, frame)
+
+    def _solve_user(self, goal: Term, indicator: Indicator, depth: int) -> Iterator[None]:
+        if depth >= self.max_depth:
+            raise DepthLimitExceeded(
+                f"depth {self.max_depth} exceeded at {indicator[0]}/{indicator[1]}"
+            )
+        clauses = self.database.matching_clauses(goal)
+        frame = self.new_frame()
+        first_attempt = True
+        for clause in clauses:
+            if not first_attempt:
+                self.metrics.record_backtrack()
+            first_attempt = False
+            mark = self.trail.mark()
+            head, body = clause.rename()
+            if unify(goal, head, self.trail, occurs_check=self.occurs_check):
+                self.metrics.record_unification(True)
+                yield from self.solve_goal(body, depth + 1, frame)
+            else:
+                self.metrics.record_unification(False)
+            self.trail.undo_to(mark)
+            if frame.cut:
+                return
+
+    # -- public query API --------------------------------------------------------
+
+    def solve(self, query: Union[str, Term]) -> Iterator[Solution]:
+        """Yield a :class:`Solution` snapshot per answer to ``query``.
+
+        The snapshot's terms are copies: safe to keep after backtracking.
+        """
+        goal = (
+            parse_term(query, self.database.operators)
+            if isinstance(query, str)
+            else query
+        )
+        variables = [
+            v for v in term_variables(goal) if not v.name.startswith("_")
+        ]
+        mark = self.trail.mark()
+        try:
+            for _ in self.solve_goal(goal, 0, self.new_frame()):
+                yield Solution(
+                    {var.name: rename_term(var, {}) for var in variables}
+                )
+        except RecursionError:
+            raise DepthLimitExceeded(
+                "Python recursion limit reached before max_depth; "
+                "the query recurses too deeply"
+            ) from None
+        finally:
+            self.trail.undo_to(mark)
+
+    def ask(self, query: Union[str, Term], limit: Optional[int] = None) -> List[Solution]:
+        """All (or the first ``limit``) solutions as a list."""
+        results: List[Solution] = []
+        for solution in self.solve(query):
+            results.append(solution)
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def succeeds(self, query: Union[str, Term]) -> bool:
+        """True when ``query`` has at least one solution."""
+        for _ in self.solve(query):
+            return True
+        return False
+
+    def count_solutions(self, query: Union[str, Term]) -> int:
+        """The number of solutions (forces full backtracking)."""
+        return sum(1 for _ in self.solve(query))
+
+    def run(self, query: Union[str, Term]) -> Tuple[List[Solution], Metrics]:
+        """All solutions plus the metrics charged by this query alone."""
+        before = self.metrics.snapshot()
+        solutions = self.ask(query)
+        return solutions, self.metrics.snapshot() - before

@@ -1,0 +1,86 @@
+"""Execution instrumentation.
+
+The paper measures efficiency as "the number of predicate calls or
+unifications; CPU time is too coarse a measure and sometimes misleading"
+(§I-B). :class:`Metrics` counts both, plus backtracking events, and can
+break calls down per predicate so that the experiment harness can report
+the Table II/III/IV "number of calls" columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["Metrics"]
+
+Indicator = Tuple[str, int]
+
+
+@dataclass
+class Metrics:
+    """Counters maintained by the engine during query evaluation."""
+
+    #: Total predicate calls (user + builtin): the paper's primary metric.
+    calls: int = 0
+    #: Head-unification attempts.
+    unifications: int = 0
+    #: Successful head unifications (clause entries).
+    clause_entries: int = 0
+    #: Times the engine resumed an earlier choice point.
+    backtracks: int = 0
+    #: Calls per predicate indicator.
+    calls_by_predicate: Dict[Indicator, int] = field(default_factory=dict)
+
+    def record_call(self, indicator: Indicator) -> None:
+        """Charge one predicate call."""
+        self.calls += 1
+        self.calls_by_predicate[indicator] = (
+            self.calls_by_predicate.get(indicator, 0) + 1
+        )
+
+    def record_unification(self, succeeded: bool) -> None:
+        """Charge one head-unification attempt."""
+        self.unifications += 1
+        if succeeded:
+            self.clause_entries += 1
+
+    def record_backtrack(self) -> None:
+        """Charge one clause retry."""
+        self.backtracks += 1
+
+    def reset(self) -> None:
+        """Zero all counters in place."""
+        self.calls = 0
+        self.unifications = 0
+        self.clause_entries = 0
+        self.backtracks = 0
+        self.calls_by_predicate.clear()
+
+    def snapshot(self) -> "Metrics":
+        """An independent copy of the current counters."""
+        return Metrics(
+            calls=self.calls,
+            unifications=self.unifications,
+            clause_entries=self.clause_entries,
+            backtracks=self.backtracks,
+            calls_by_predicate=dict(self.calls_by_predicate),
+        )
+
+    def __sub__(self, other: "Metrics") -> "Metrics":
+        by_predicate = dict(self.calls_by_predicate)
+        for key, value in other.calls_by_predicate.items():
+            by_predicate[key] = by_predicate.get(key, 0) - value
+        return Metrics(
+            calls=self.calls - other.calls,
+            unifications=self.unifications - other.unifications,
+            clause_entries=self.clause_entries - other.clause_entries,
+            backtracks=self.backtracks - other.backtracks,
+            calls_by_predicate={k: v for k, v in by_predicate.items() if v},
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"calls={self.calls} unifications={self.unifications} "
+            f"entries={self.clause_entries} backtracks={self.backtracks}"
+        )

@@ -1,0 +1,140 @@
+"""The standard DEC-10 Prolog operator table.
+
+Operator-precedence parsing needs, for each atom, its possible prefix and
+infix/postfix definitions: a priority (1..1200, lower binds tighter) and
+a type that says whether each argument may have priority equal to the
+operator's (``y``) or must be strictly lower (``x``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+__all__ = ["OpDef", "OperatorTable", "standard_operators", "MAX_PRIORITY"]
+
+#: The maximum operator priority (the priority of ``:-``).
+MAX_PRIORITY = 1200
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """One operator definition: priority and type (xfx, xfy, yfx, fy, fx, xf, yf)."""
+
+    priority: int
+    type: str
+
+    @property
+    def is_prefix(self) -> bool:
+        return self.type in ("fy", "fx")
+
+    @property
+    def is_infix(self) -> bool:
+        return self.type in ("xfx", "xfy", "yfx")
+
+    @property
+    def is_postfix(self) -> bool:
+        return self.type in ("xf", "yf")
+
+    @property
+    def left_max(self) -> int:
+        """Maximum priority allowed for the left argument (infix/postfix)."""
+        return self.priority if self.type in ("yfx", "yf") else self.priority - 1
+
+    @property
+    def right_max(self) -> int:
+        """Maximum priority allowed for the right argument (infix/prefix)."""
+        return self.priority if self.type in ("xfy", "fy") else self.priority - 1
+
+
+class OperatorTable:
+    """Prefix and infix/postfix operator definitions, keyed by atom name."""
+
+    def __init__(self) -> None:
+        self._prefix: Dict[str, OpDef] = {}
+        self._infix: Dict[str, OpDef] = {}
+
+    def add(self, priority: int, op_type: str, name: str) -> None:
+        """Define an operator, as ``op(Priority, Type, Name)`` would."""
+        if not 1 <= priority <= MAX_PRIORITY:
+            raise ValueError(f"operator priority out of range: {priority}")
+        definition = OpDef(priority, op_type)
+        if definition.is_prefix:
+            self._prefix[name] = definition
+        elif definition.is_infix or definition.is_postfix:
+            self._infix[name] = definition
+        else:
+            raise ValueError(f"unknown operator type: {op_type}")
+
+    def prefix(self, name: str) -> Optional[OpDef]:
+        """The prefix definition of an atom, if any."""
+        return self._prefix.get(name)
+
+    def infix(self, name: str) -> Optional[OpDef]:
+        """The infix definition of an atom, if any."""
+        definition = self._infix.get(name)
+        return definition if definition is not None and definition.is_infix else None
+
+    def postfix(self, name: str) -> Optional[OpDef]:
+        """The postfix definition of an atom, if any."""
+        definition = self._infix.get(name)
+        return definition if definition is not None and definition.is_postfix else None
+
+    def is_operator(self, name: str) -> bool:
+        """Is the atom defined as any kind of operator?"""
+        return name in self._prefix or name in self._infix
+
+    def lookup(self, name: str) -> Tuple[Optional[OpDef], Optional[OpDef]]:
+        """(prefix definition, infix-or-postfix definition) for ``name``."""
+        return self._prefix.get(name), self._infix.get(name)
+
+
+def standard_operators() -> OperatorTable:
+    """The DEC-10 / Edinburgh standard operator table."""
+    table = OperatorTable()
+    definitions = [
+        (1200, "xfx", ":-"),
+        (1200, "xfx", "-->"),
+        (1200, "fx", ":-"),
+        (1200, "fx", "?-"),
+        (1100, "xfy", ";"),
+        (1050, "xfy", "->"),
+        (1000, "xfy", ","),
+        (900, "fy", "\\+"),
+        (700, "xfx", "="),
+        (700, "xfx", "\\="),
+        (700, "xfx", "=="),
+        (700, "xfx", "\\=="),
+        (700, "xfx", "@<"),
+        (700, "xfx", "@>"),
+        (700, "xfx", "@=<"),
+        (700, "xfx", "@>="),
+        (700, "xfx", "=.."),
+        (700, "xfx", "is"),
+        (700, "xfx", "=:="),
+        (700, "xfx", "=\\="),
+        (700, "xfx", "<"),
+        (700, "xfx", ">"),
+        (700, "xfx", "=<"),
+        (700, "xfx", ">="),
+        (500, "yfx", "+"),
+        (500, "yfx", "-"),
+        (500, "yfx", "/\\"),
+        (500, "yfx", "\\/"),
+        (500, "yfx", "xor"),
+        (400, "yfx", "*"),
+        (400, "yfx", "/"),
+        (400, "yfx", "//"),
+        (400, "yfx", "mod"),
+        (400, "yfx", "rem"),
+        (400, "yfx", "<<"),
+        (400, "yfx", ">>"),
+        (200, "xfx", "**"),
+        (200, "xfy", "^"),
+        (200, "fy", "-"),
+        (200, "fy", "+"),
+        (200, "fy", "\\"),
+    ]
+    for priority, op_type, name in definitions:
+        table.add(priority, op_type, name)
+    return table

@@ -1,0 +1,316 @@
+"""Operator-precedence parser for DEC-10-style Prolog.
+
+Turns token streams into :mod:`repro.prolog.terms` terms. The entry
+points are:
+
+* :func:`parse_term` — one term from a string (no trailing ``.``);
+* :func:`parse_program` — a whole program: a list of clause/directive
+  terms, each terminated by ``.``;
+* :class:`Parser` — the incremental interface.
+
+Variables are scoped per clause: every occurrence of ``X`` within one
+clause is the same :class:`~repro.prolog.terms.Var`; a fresh clause gets
+fresh variables. ``_`` is always fresh. The per-clause variable map is
+available from :meth:`Parser.last_variable_map` so that tools (the
+reorderer's pretty-printer, tests) can recover source names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import PrologSyntaxError
+from ..terms import Atom, Struct, Term, Var, make_list
+from .lexer import tokenize
+from .operators import MAX_PRIORITY, OperatorTable, standard_operators
+from .tokens import Token, TokenType
+
+__all__ = ["Parser", "parse_term", "parse_program", "parse_terms"]
+
+#: Priority at which arguments of a compound term / list elements are
+#: parsed: just below the priority of ',' so commas separate arguments.
+ARG_PRIORITY = 999
+
+
+class Parser:
+    """An operator-precedence (Pratt-style) Prolog parser."""
+
+    def __init__(self, text: str, operators: Optional[OperatorTable] = None):
+        self.tokens = tokenize(text)
+        self.index = 0
+        self.operators = operators or standard_operators()
+        self._variables: Dict[str, Var] = {}
+
+    # -- token stream helpers ---------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            self.index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> PrologSyntaxError:
+        token = token or self._peek()
+        return PrologSyntaxError(message, token.line, token.column)
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._next()
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise self._error(f"expected {value!r}, got {token.value!r}", token)
+        return token
+
+    def at_eof(self) -> bool:
+        """Has the token stream been consumed?"""
+        return self._peek().type is TokenType.EOF
+
+    def last_variable_map(self) -> Dict[str, Var]:
+        """Source-name → Var map of the most recently parsed clause."""
+        return dict(self._variables)
+
+    # -- primaries -----------------------------------------------------------
+
+    def _variable(self, token: Token) -> Var:
+        if token.value == "_":
+            return Var("_")
+        var = self._variables.get(token.value)
+        if var is None:
+            var = Var(token.value)
+            self._variables[token.value] = var
+        return var
+
+    def _arguments(self) -> List[Term]:
+        """Parse ``(arg, ..., arg)`` after a functor token."""
+        self._expect_punct("(")
+        args = [self._parse(ARG_PRIORITY)]
+        while self._peek().type is TokenType.PUNCT and self._peek().value == ",":
+            self._next()
+            args.append(self._parse(ARG_PRIORITY))
+        self._expect_punct(")")
+        return args
+
+    def _list(self) -> Term:
+        """Parse a list after the opening ``[``."""
+        if self._peek().type is TokenType.PUNCT and self._peek().value == "]":
+            self._next()
+            return Atom("[]")
+        items = [self._parse(ARG_PRIORITY)]
+        while self._peek().type is TokenType.PUNCT and self._peek().value == ",":
+            self._next()
+            items.append(self._parse(ARG_PRIORITY))
+        tail: Term = Atom("[]")
+        if self._peek().type is TokenType.PUNCT and self._peek().value == "|":
+            self._next()
+            tail = self._parse(ARG_PRIORITY)
+        self._expect_punct("]")
+        return make_list(items, tail)
+
+    def _primary(self, max_priority: int) -> Tuple[Term, int]:
+        """Parse one primary term; returns (term, its priority)."""
+        token = self._next()
+
+        if token.type is TokenType.EOF:
+            raise self._error("unexpected end of input", token)
+        if token.type is TokenType.VARIABLE:
+            return self._variable(token), 0
+        if token.type is TokenType.INTEGER:
+            return int(token.value), 0
+        if token.type is TokenType.FLOAT:
+            return float(token.value), 0
+        if token.type is TokenType.STRING:
+            return make_list([ord(c) for c in token.value]), 0
+
+        if token.type is TokenType.PUNCT:
+            if token.value == "(":
+                term = self._parse(MAX_PRIORITY)
+                self._expect_punct(")")
+                return term, 0
+            if token.value == "[":
+                return self._list(), 0
+            if token.value == "{":
+                term = self._parse(MAX_PRIORITY)
+                self._expect_punct("}")
+                return Struct("{}", (term,)), 0
+            raise self._error(f"unexpected {token.value!r}", token)
+
+        if token.type is TokenType.END:
+            raise self._error("unexpected clause terminator", token)
+
+        assert token.type is TokenType.ATOM
+        name = token.value
+
+        if token.functor:
+            return Struct(name, self._arguments()), 0
+
+        prefix_def = self.operators.prefix(name)
+        if prefix_def is not None and prefix_def.priority <= max_priority:
+            # Negative number literals: '-' immediately before a number.
+            if name == "-" and self._peek().type in (
+                TokenType.INTEGER,
+                TokenType.FLOAT,
+            ):
+                number = self._next()
+                if number.type is TokenType.INTEGER:
+                    return -int(number.value), 0
+                return -float(number.value), 0
+            if self._starts_term():
+                try:
+                    saved = self.index
+                    operand = self._parse(prefix_def.right_max)
+                    return Struct(name, (operand,)), prefix_def.priority
+                except PrologSyntaxError:
+                    self.index = saved  # fall through: treat as plain atom
+        return Atom(name), (
+            self.operators.infix(name).priority  # an operator used as an atom
+            if self.operators.is_operator(name) and self.operators.infix(name)
+            else 0
+        )
+
+    def _starts_term(self) -> bool:
+        """Can the next token begin a term? (Prefix-operator lookahead.)"""
+        token = self._peek()
+        if token.type in (
+            TokenType.VARIABLE,
+            TokenType.INTEGER,
+            TokenType.FLOAT,
+            TokenType.STRING,
+        ):
+            return True
+        if token.type is TokenType.ATOM:
+            # An infix operator cannot begin a term unless also prefix.
+            infix = self.operators.infix(token.value)
+            prefix = self.operators.prefix(token.value)
+            if infix is not None and prefix is None and not token.functor:
+                return False
+            return True
+        if token.type is TokenType.PUNCT:
+            return token.value in "([{"
+        return False
+
+    # -- operator-precedence climbing ---------------------------------------
+
+    def _parse(self, max_priority: int) -> Term:
+        left, left_priority = self._primary(max_priority)
+        while True:
+            token = self._peek()
+            if token.type is TokenType.PUNCT and token.value == ",":
+                definition = self.operators.infix(",")
+                assert definition is not None
+                if definition.priority > max_priority:
+                    return left
+                if left_priority > definition.left_max:
+                    return left
+                self._next()
+                right = self._parse(definition.right_max)
+                left = Struct(",", (left, right))
+                left_priority = definition.priority
+                continue
+            if token.type is not TokenType.ATOM:
+                return left
+            infix_def = self.operators.infix(token.value)
+            if infix_def is not None and infix_def.priority <= max_priority:
+                if left_priority <= infix_def.left_max and self._infix_viable():
+                    self._next()
+                    right = self._parse(infix_def.right_max)
+                    left = Struct(token.value, (left, right))
+                    left_priority = infix_def.priority
+                    continue
+            postfix_def = self.operators.postfix(token.value)
+            if postfix_def is not None and postfix_def.priority <= max_priority:
+                if left_priority <= postfix_def.left_max:
+                    self._next()
+                    left = Struct(token.value, (left,))
+                    left_priority = postfix_def.priority
+                    continue
+            return left
+
+    def _infix_viable(self) -> bool:
+        """True when the token after a would-be infix op can start a term."""
+        after = self._peek(1)
+        if after.type in (
+            TokenType.VARIABLE,
+            TokenType.INTEGER,
+            TokenType.FLOAT,
+            TokenType.STRING,
+        ):
+            return True
+        if after.type is TokenType.ATOM:
+            return True
+        if after.type is TokenType.PUNCT:
+            return after.value in "([{"
+        return False
+
+    # -- public API ------------------------------------------------------------
+
+    def read_term(self) -> Optional[Term]:
+        """Read one ``.``-terminated clause/directive; None at EOF."""
+        if self.at_eof():
+            return None
+        self._variables = {}
+        term = self._parse(MAX_PRIORITY)
+        token = self._next()
+        if token.type is not TokenType.END:
+            raise self._error(
+                f"expected '.' to end clause, got {token.value!r}", token
+            )
+        return term
+
+    def _maybe_apply_op_directive(self, term: Term) -> None:
+        """Apply a ``:- op(Priority, Type, Name)`` directive so later
+        clauses in the same read parse with the new operator (standard
+        Prolog behaviour)."""
+        if not (isinstance(term, Struct) and term.indicator == (":-", 1)):
+            return
+        directive = term.args[0]
+        if not (
+            isinstance(directive, Struct) and directive.indicator == ("op", 3)
+        ):
+            return
+        priority, op_type, name = directive.args
+        if (
+            isinstance(priority, int)
+            and isinstance(op_type, Atom)
+            and isinstance(name, Atom)
+        ):
+            try:
+                self.operators.add(priority, op_type.name, name.name)
+            except ValueError as error:
+                raise PrologSyntaxError(f"bad op/3 directive: {error}")
+
+    def read_program(self, apply_op_directives: bool = True) -> List[Term]:
+        """Read clauses until EOF, honouring ``:- op/3`` along the way."""
+        clauses = []
+        while True:
+            term = self.read_term()
+            if term is None:
+                return clauses
+            if apply_op_directives:
+                self._maybe_apply_op_directive(term)
+            clauses.append(term)
+
+
+def parse_term(text: str, operators: Optional[OperatorTable] = None) -> Term:
+    """Parse a single term from ``text`` (with or without a final ``.``)."""
+    stripped = text.rstrip()
+    if not stripped.endswith("."):
+        stripped += " ."
+    parser = Parser(stripped, operators)
+    term = parser.read_term()
+    if term is None:
+        raise PrologSyntaxError("empty input")
+    if not parser.at_eof():
+        raise PrologSyntaxError("trailing input after term")
+    return term
+
+
+def parse_terms(text: str, operators: Optional[OperatorTable] = None) -> List[Term]:
+    """Parse all ``.``-terminated terms in ``text``."""
+    return Parser(text, operators).read_program()
+
+
+def parse_program(text: str, operators: Optional[OperatorTable] = None) -> List[Term]:
+    """Alias of :func:`parse_terms`, named for intent."""
+    return parse_terms(text, operators)

@@ -1,0 +1,39 @@
+"""Token types for the Prolog lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+__all__ = ["TokenType", "Token"]
+
+
+class TokenType(Enum):
+    """Lexical categories of DEC-10-style Prolog."""
+
+    ATOM = auto()          # foo, 'quoted atom', + (symbolic), [] handled separately
+    VARIABLE = auto()      # X, _Foo, _
+    INTEGER = auto()
+    FLOAT = auto()
+    STRING = auto()        # "..." — a list of character codes
+    PUNCT = auto()         # ( ) [ ] { } , |
+    END = auto()           # the clause terminator '.'
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+    #: True when an ATOM token is immediately followed by '(' with no
+    #: whitespace — required to distinguish ``f(x)`` from ``f (x)``
+    #: and to parse negative numbers vs binary minus.
+    functor: bool = False
+
+    def __repr__(self) -> str:
+        tag = "functor" if self.functor else self.type.name.lower()
+        return f"Token({tag} {self.value!r} @{self.line}:{self.column})"

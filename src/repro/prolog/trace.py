@@ -1,0 +1,82 @@
+"""The classic four-port execution tracer (call / exit / redo / fail).
+
+Byrd's box model: every goal is entered (``call``), may succeed
+(``exit``), may be re-entered on backtracking (``redo``), and finally
+fails out (``fail``). The engine invokes a tracer callback at each
+port; :class:`CollectingTracer` is the standard consumer, rendering
+goals *with their bindings at event time* — so an ``exit`` line shows
+the answer the goal just produced.
+
+Tracing is how the reproduction was debugged, and it is part of the
+substrate a Prolog user expects; it also doubles as an execution-order
+oracle in the tests (the reordered program's trace shows the new goal
+order directly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from .terms import Term
+from .writer import term_to_string
+
+__all__ = ["TraceEvent", "CollectingTracer", "Tracer"]
+
+#: Tracer callback signature: (port, depth, goal term).
+Tracer = Callable[[str, int, Term], None]
+
+PORTS = ("call", "exit", "redo", "fail")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One port crossing, with the goal rendered at event time."""
+
+    port: str
+    depth: int
+    goal_text: str
+
+    def format(self) -> str:
+        """One indented trace line."""
+        return f"{'  ' * self.depth}{self.port:<5} {self.goal_text}"
+
+
+@dataclass
+class CollectingTracer:
+    """Collects up to ``limit`` events (then silently drops the rest)."""
+
+    limit: int = 10_000
+    events: List[TraceEvent] = field(default_factory=list)
+    #: Optional filter: only record goals of these predicate names.
+    only_predicates: Optional[set] = None
+
+    def __call__(self, port: str, depth: int, goal: Term) -> None:
+        if len(self.events) >= self.limit:
+            return
+        if self.only_predicates is not None:
+            from .terms import functor_indicator
+
+            try:
+                name, _ = functor_indicator(goal)
+            except TypeError:
+                return
+            if name not in self.only_predicates:
+                return
+        self.events.append(TraceEvent(port, depth, term_to_string(goal)))
+
+    def format(self) -> str:
+        """The whole trace as indented lines."""
+        return "\n".join(event.format() for event in self.events)
+
+    def ports(self) -> List[str]:
+        """Just the port sequence (handy for assertions)."""
+        return [event.port for event in self.events]
+
+    def lines(self, port: Optional[str] = None) -> List[str]:
+        """Goal texts of all events, optionally filtered by port."""
+        return [
+            event.goal_text
+            for event in self.events
+            if port is None or event.port == port
+        ]

@@ -1,0 +1,186 @@
+"""Pretty-printer: terms and clauses back to valid Prolog text.
+
+The reordering system is source-to-source, so its output must re-read
+under :mod:`repro.prolog.reader`. The writer round-trips everything the
+parser accepts: operators are re-emitted in operator notation with
+minimal parenthesisation, lists in ``[a, b | T]`` notation, and atoms are
+quoted when their spelling requires it.
+
+Two styles are offered:
+
+* :func:`term_to_string` — one term on one line;
+* :func:`clause_to_string` / :func:`program_to_string` — clauses with the
+  conventional ``head :-\\n    goal,\\n    goal.`` layout used by the
+  paper's Fig. 6/7 listings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .reader.operators import MAX_PRIORITY, OperatorTable, standard_operators
+from .terms import (
+    Atom,
+    Struct,
+    Term,
+    Var,
+    deref,
+    is_list_cell,
+    is_number,
+)
+
+__all__ = ["term_to_string", "clause_to_string", "program_to_string", "TermWriter"]
+
+_UNQUOTED_SOLO = {"[]", "{}", "!", ";", ",", "|"}
+_SYMBOL_CHARS = set("+-*/\\^<>=~:.?@#&$")
+
+
+def _atom_needs_quotes(name: str) -> bool:
+    if not name:
+        return True
+    if name in _UNQUOTED_SOLO:
+        return False
+    if name[0].islower() and all(c.isalnum() or c == "_" for c in name):
+        return False
+    if all(c in _SYMBOL_CHARS for c in name):
+        return False
+    return True
+
+
+def _quote_atom(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'").replace("\n", "\\n")
+    return f"'{escaped}'"
+
+
+class TermWriter:
+    """Stateful writer: remembers variable display names per clause."""
+
+    def __init__(self, operators: Optional[OperatorTable] = None):
+        self.operators = operators or standard_operators()
+        self._var_names: Dict[int, str] = {}
+        self._used_names: set = set()
+
+    def reset_variable_names(self) -> None:
+        """Forget variable display names (call between clauses)."""
+        self._var_names.clear()
+        self._used_names.clear()
+
+    def _variable_name(self, var: Var) -> str:
+        name = self._var_names.get(id(var))
+        if name is not None:
+            return name
+        candidate = var.name if var.name and var.name != "_" else "_"
+        if candidate == "_" or not (candidate[0].isupper() or candidate[0] == "_"):
+            candidate = f"_{len(self._var_names)}"
+        base = candidate
+        suffix = 1
+        while candidate in self._used_names:
+            candidate = f"{base}{suffix}"
+            suffix += 1
+        self._var_names[id(var)] = candidate
+        self._used_names.add(candidate)
+        return candidate
+
+    def atom_text(self, name: str) -> str:
+        """The atom's source spelling, quoted when necessary."""
+        return _quote_atom(name) if _atom_needs_quotes(name) else name
+
+    # -- term rendering -------------------------------------------------
+
+    def write(self, term: Term, max_priority: int = MAX_PRIORITY) -> str:
+        """Render ``term``, parenthesising if its priority exceeds the bound."""
+        term = deref(term)
+        if isinstance(term, Var):
+            return self._variable_name(term)
+        if is_number(term):
+            if isinstance(term, int) and term < 0:
+                text = str(term)
+                return f"({text})" if max_priority < 200 else text
+            if isinstance(term, float) and term < 0:
+                text = repr(term)
+                return f"({text})" if max_priority < 200 else text
+            return repr(term) if isinstance(term, float) else str(term)
+        if isinstance(term, Atom):
+            return self.atom_text(term.name)
+        assert isinstance(term, Struct)
+        if is_list_cell(term):
+            return self._write_list(term)
+        if term.name == "{}" and term.arity == 1:
+            return "{" + self.write(term.args[0], MAX_PRIORITY) + "}"
+        rendered = self._write_operator(term, max_priority)
+        if rendered is not None:
+            return rendered
+        args = ", ".join(self.write(a, 999) for a in term.args)
+        return f"{self.atom_text(term.name)}({args})"
+
+    def _write_list(self, term: Struct) -> str:
+        parts: List[str] = []
+        current: Term = term
+        while True:
+            current = deref(current)
+            if is_list_cell(current):
+                parts.append(self.write(current.args[0], 999))
+                current = current.args[1]
+                continue
+            if isinstance(current, Atom) and current.name == "[]":
+                return "[" + ", ".join(parts) + "]"
+            return "[" + ", ".join(parts) + " | " + self.write(current, 999) + "]"
+
+    def _write_operator(self, term: Struct, max_priority: int) -> Optional[str]:
+        if term.arity == 2:
+            definition = self.operators.infix(term.name)
+            if definition is None:
+                return None
+            left = self.write(term.args[0], definition.left_max)
+            right = self.write(term.args[1], definition.right_max)
+            if term.name == ",":
+                text = f"{left}, {right}"
+            else:
+                text = f"{left} {term.name} {right}"
+            if definition.priority > max_priority:
+                return f"({text})"
+            return text
+        if term.arity == 1:
+            definition = self.operators.prefix(term.name)
+            if definition is None:
+                return None
+            operand = self.write(term.args[0], definition.right_max)
+            text = f"{term.name} {operand}"
+            if definition.priority > max_priority:
+                return f"({text})"
+            return text
+        return None
+
+
+def term_to_string(term: Term, operators: Optional[OperatorTable] = None) -> str:
+    """Render one term on one line."""
+    return TermWriter(operators).write(term)
+
+
+def clause_to_string(
+    clause: Term, operators: Optional[OperatorTable] = None, indent: str = "    "
+) -> str:
+    """Render a clause with the body laid out one goal per line."""
+    writer = TermWriter(operators)
+    clause = deref(clause)
+    if isinstance(clause, Struct) and clause.name == ":-" and clause.arity == 2:
+        head, body = clause.args
+        head_text = writer.write(head, 1199)
+        goals: List[str] = []
+        current = deref(body)
+        while isinstance(current, Struct) and current.name == "," and current.arity == 2:
+            goals.append(writer.write(current.args[0], 999))
+            current = deref(current.args[1])
+        goals.append(writer.write(current, 999))
+        body_text = (",\n" + indent).join(goals)
+        return f"{head_text} :-\n{indent}{body_text}."
+    if isinstance(clause, Struct) and clause.name == ":-" and clause.arity == 1:
+        return f":- {writer.write(clause.args[0], 1199)}."
+    return f"{writer.write(clause, 1199)}."
+
+
+def program_to_string(
+    clauses, operators: Optional[OperatorTable] = None
+) -> str:
+    """Render a sequence of clause terms as a Prolog program."""
+    return "\n".join(clause_to_string(c, operators) for c in clauses) + "\n"

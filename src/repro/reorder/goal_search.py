@@ -1,0 +1,194 @@
+"""Searching for the cheapest legal goal order (paper §VI-A-3).
+
+Two strategies over the permutations of a mobile block:
+
+* **exhaustive** — evaluate every constraint-respecting, mode-legal
+  permutation with the Markov chain and keep the cheapest ("It permutes
+  other blocks exhaustively and computes their cost, saving the least
+  expensive order");
+* **A-star** — "or, if too many permutations are possible, it reorders them
+  using best-first search", adapting Smith & Genesereth: nodes are
+  ordered prefixes of the block, the evaluation function is the
+  all-solutions chain cost of the prefix, which is admissible because
+  appending goals to a prefix can only add cost (every visit count and
+  every per-visit cost is nonnegative, and the prefix's visit counts do
+  not decrease when goals are appended... they can only grow through
+  extra backtracking into the prefix). The first complete node popped is
+  optimal.
+
+Both prune illegal orders as soon as a prefix calls a goal in an
+illegal mode ("As soon as an illegal mode arises, we backtrack to
+generate another order, so that we test only legal orders").
+
+Costs: multi-solution blocks are ranked by the all-solutions total
+cost; single-solution blocks (goals committed by a cut) by the Fig. 4
+single-solution expected cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..markov.clause_model import SequenceEvaluation, evaluate_sequence
+from ..markov.goal_stats import GoalStats
+from ..markov.predicate_model import CostModel
+from ..analysis.modes import VarState
+from ..prolog.terms import Term
+
+__all__ = ["OrderResult", "find_best_order", "exhaustive_search", "astar_search"]
+
+#: Block sizes up to this bound are permuted exhaustively by default
+#: (the paper: "An n-goal clause has n! permutations; for n > 3, trying
+#: all of these can be expensive" — modern hardware affords a bit more).
+DEFAULT_EXHAUSTIVE_LIMIT = 6
+
+Constraint = Tuple[int, int]
+
+
+@dataclass
+class OrderResult:
+    """Outcome of a block search."""
+
+    #: Chosen order as indices into the original goal list.
+    order: Tuple[int, ...]
+    #: Chain evaluation of the chosen order.
+    evaluation: SequenceEvaluation
+    #: Final variable states after the ordered goals.
+    states: VarState
+    #: Number of (partial or complete) orders evaluated.
+    explored: int
+    #: Which strategy ran ('exhaustive' or 'astar' or 'fixed').
+    strategy: str
+
+
+def _respects(order: Sequence[int], constraints: Set[Constraint]) -> bool:
+    position = {goal_index: rank for rank, goal_index in enumerate(order)}
+    return all(position[a] < position[b] for a, b in constraints)
+
+
+def _order_cost(evaluation: SequenceEvaluation, multi_solution: bool) -> float:
+    return evaluation.total_cost if multi_solution else evaluation.single_cost
+
+
+def exhaustive_search(
+    goals: Sequence[Term],
+    states: VarState,
+    model: CostModel,
+    constraints: Set[Constraint],
+    multi_solution: bool = True,
+) -> Optional[OrderResult]:
+    """Evaluate every legal permutation; None if none is legal."""
+    best: Optional[OrderResult] = None
+    explored = 0
+    for permutation in itertools.permutations(range(len(goals))):
+        if not _respects(permutation, constraints):
+            continue
+        explored += 1
+        scratch = dict(states)
+        evaluation = model.evaluate_goals(
+            [goals[i] for i in permutation], scratch
+        )
+        if evaluation is None:
+            continue
+        cost = _order_cost(evaluation, multi_solution)
+        if best is None or cost < _order_cost(best.evaluation, multi_solution):
+            best = OrderResult(
+                order=permutation,
+                evaluation=evaluation,
+                states=scratch,
+                explored=explored,
+                strategy="exhaustive",
+            )
+    if best is not None:
+        best.explored = explored
+    return best
+
+
+def astar_search(
+    goals: Sequence[Term],
+    states: VarState,
+    model: CostModel,
+    constraints: Set[Constraint],
+    multi_solution: bool = True,
+) -> Optional[OrderResult]:
+    """Best-first search over ordered prefixes (Smith & Genesereth / A*)."""
+    n = len(goals)
+    blocked_by: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for before, after in constraints:
+        blocked_by[after].add(before)
+
+    counter = itertools.count()  # deterministic tie-breaking
+    # Heap entries: (cost, tiebreak, order, stats list, states)
+    start: Tuple[float, int, Tuple[int, ...], List[GoalStats], VarState] = (
+        0.0, next(counter), (), [], dict(states),
+    )
+    heap = [start]
+    explored = 0
+    while heap:
+        cost, _, order, stats_list, node_states = heapq.heappop(heap)
+        if len(order) == n:
+            evaluation = evaluate_sequence(stats_list)
+            return OrderResult(
+                order=order,
+                evaluation=evaluation,
+                states=node_states,
+                explored=explored,
+                strategy="astar",
+            )
+        used = set(order)
+        for candidate in range(n):
+            if candidate in used:
+                continue
+            if blocked_by[candidate] - used:
+                continue  # a must-precede goal is not placed yet
+            explored += 1
+            child_states = dict(node_states)
+            stats = model.goal_stats(goals[candidate], child_states)
+            if stats is None:
+                continue  # illegal in this position: prune
+            child_stats = stats_list + [stats]
+            child_eval = evaluate_sequence(child_stats)
+            child_cost = _order_cost(child_eval, multi_solution)
+            heapq.heappush(
+                heap,
+                (
+                    child_cost,
+                    next(counter),
+                    order + (candidate,),
+                    child_stats,
+                    child_states,
+                ),
+            )
+    return None
+
+
+def find_best_order(
+    goals: Sequence[Term],
+    states: VarState,
+    model: CostModel,
+    constraints: Optional[Set[Constraint]] = None,
+    multi_solution: bool = True,
+    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+) -> Optional[OrderResult]:
+    """Best legal order of a block: exhaustive for small blocks, A* above
+    the limit. None when no order is legal (caller falls back to the
+    source order and reports)."""
+    constraints = constraints or set()
+    if len(goals) <= 1:
+        scratch = dict(states)
+        evaluation = model.evaluate_goals(list(goals), scratch)
+        if evaluation is None:
+            return None
+        return OrderResult(
+            order=tuple(range(len(goals))),
+            evaluation=evaluation,
+            states=scratch,
+            explored=1,
+            strategy="fixed",
+        )
+    if len(goals) <= exhaustive_limit:
+        return exhaustive_search(goals, states, model, constraints, multi_solution)
+    return astar_search(goals, states, model, constraints, multi_solution)

@@ -1,0 +1,88 @@
+"""Unit tests for the builtin mode/cost table."""
+
+from repro.analysis.builtin_modes import BUILTIN_TABLE, builtin_profile
+from repro.analysis.modes import parse_mode_string
+from repro.prolog.builtins import BUILTINS, CONTROL_INDICATORS
+
+
+def mode(text):
+    return parse_mode_string(text)
+
+
+class TestCoverage:
+    def test_every_registered_builtin_has_a_profile(self):
+        # Every builtin the engine can run must have legal-mode info,
+        # or the reorderer cannot reason about programs that use it.
+        missing = [
+            indicator
+            for indicator in BUILTINS
+            if indicator not in BUILTIN_TABLE
+            and indicator not in CONTROL_INDICATORS
+        ]
+        assert missing == []
+
+    def test_profiles_have_entries(self):
+        for indicator, profile in BUILTIN_TABLE.items():
+            assert profile.entries, indicator
+            for entry in profile.entries:
+                assert entry.pair.arity == indicator[1], indicator
+
+
+class TestDemands:
+    def test_functor_demands(self):
+        profile = builtin_profile(("functor", 3))
+        assert profile.accepting(mode("+--")) is not None
+        assert profile.accepting(mode("-++")) is not None
+        assert profile.accepting(mode("---")) is None
+        assert profile.accepting(mode("--+")) is None  # arity only: error
+
+    def test_is_demands_rhs(self):
+        profile = builtin_profile(("is", 2))
+        assert profile.accepting(mode("-+")) is not None
+        assert profile.accepting(mode("--")) is None
+
+    def test_length_open_open_illegal(self):
+        profile = builtin_profile(("length", 2))
+        assert profile.accepting(mode("--")) is None
+        assert profile.accepting(mode("+-")) is not None
+        assert profile.accepting(mode("-+")) is not None
+
+    def test_comparisons_demand_both(self):
+        for name in ("<", ">", "=<", ">=", "=:=", "=\\="):
+            profile = builtin_profile((name, 2))
+            assert profile.accepting(mode("++")) is not None
+            assert profile.accepting(mode("+-")) is None, name
+
+    def test_unification_always_legal(self):
+        profile = builtin_profile(("=", 2))
+        for text in ("--", "-+", "+-", "++"):
+            assert profile.accepting(mode(text)) is not None
+
+    def test_type_tests_always_legal(self):
+        for name in ("var", "nonvar", "atom", "ground"):
+            profile = builtin_profile((name, 1))
+            assert profile.accepting(mode("+")) is not None
+            assert profile.accepting(mode("-")) is not None
+
+
+class TestStatistics:
+    def test_first_accepting_entry_wins(self):
+        profile = builtin_profile(("=", 2))
+        entry = profile.accepting(mode("-+"))
+        assert entry.prob == 1.0  # the deterministic binding mode
+
+    def test_deterministic_modes_prob_one(self):
+        assert builtin_profile(("is", 2)).accepting(mode("-+")).prob == 1.0
+
+    def test_between_generator_solutions(self):
+        entry = builtin_profile(("between", 3)).accepting(mode("++-"))
+        assert entry.expected_solutions > 1.0
+
+    def test_default_solutions_equal_prob(self):
+        entry = builtin_profile(("<", 2)).accepting(mode("++"))
+        assert entry.expected_solutions == entry.prob
+
+    def test_call_n_profiles(self):
+        for extra in range(1, 6):
+            profile = builtin_profile(("call", 1 + extra))
+            assert profile is not None

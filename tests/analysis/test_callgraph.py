@@ -1,0 +1,106 @@
+"""Unit tests for call-graph construction and goal traversal."""
+
+from repro.analysis.callgraph import CallGraph, iter_called_goals, iter_subgoal_indicators
+from repro.prolog import Database, parse_term
+
+
+def indicators(body_text):
+    return list(iter_subgoal_indicators(parse_term(body_text)))
+
+
+class TestIterCalledGoals:
+    def test_plain_conjunction(self):
+        assert indicators("a, b(1), c(X, Y)") == [("a", 0), ("b", 1), ("c", 2)]
+
+    def test_skips_control_atoms(self):
+        assert indicators("!, true, fail, a") == [("a", 0)]
+
+    def test_looks_through_disjunction(self):
+        assert set(indicators("(a ; b)")) == {("a", 0), ("b", 0)}
+
+    def test_looks_through_if_then_else(self):
+        assert set(indicators("(c -> t ; e)")) == {("c", 0), ("t", 0), ("e", 0)}
+
+    def test_looks_through_negation(self):
+        assert indicators("\\+ a(X)") == [("a", 1)]
+        assert indicators("not(a)") == [("a", 0)]
+
+    def test_findall_yields_itself_and_inner(self):
+        result = indicators("findall(X, p(X), L)")
+        assert ("findall", 3) in result
+        assert ("p", 1) in result
+
+    def test_caret_stripped_in_setof(self):
+        result = indicators("setof(X, Y ^ p(X, Y), S)")
+        assert ("p", 2) in result
+        assert ("^", 2) not in result
+
+    def test_variable_goal_skipped(self):
+        assert indicators("a, G") == [("a", 0)]
+
+    def test_call_once_forall(self):
+        assert set(indicators("call(a), once(b), forall(c, d)")) >= {
+            ("a", 0), ("b", 0), ("c", 0), ("d", 0),
+        }
+
+
+class TestCallGraph:
+    SOURCE = """
+    top :- middle(X), write(X).
+    middle(X) :- leaf(X).
+    middle(X) :- other(X).
+    leaf(1).
+    other(2).
+    island(9).
+    """
+
+    def test_callees(self):
+        graph = CallGraph(Database.from_source(self.SOURCE))
+        assert graph.calls(("top", 0)) == {("middle", 1), ("write", 1)}
+        assert graph.calls(("middle", 1)) == {("leaf", 1), ("other", 1)}
+        assert graph.calls(("leaf", 1)) == set()
+
+    def test_callers(self):
+        graph = CallGraph(Database.from_source(self.SOURCE))
+        assert graph.called_by(("leaf", 1)) == {("middle", 1)}
+        assert graph.called_by(("top", 0)) == set()
+
+    def test_entry_points(self):
+        graph = CallGraph(Database.from_source(self.SOURCE))
+        assert set(graph.entry_points()) == {("top", 0), ("island", 1)}
+
+    def test_declared_entries_first(self):
+        graph = CallGraph(Database.from_source(self.SOURCE))
+        entries = graph.entry_points(declared=[("middle", 1)])
+        assert entries[0] == ("middle", 1)
+        assert ("top", 0) in entries
+
+    def test_self_recursive_is_entry_if_uncalled(self):
+        graph = CallGraph(Database.from_source("loop :- loop."))
+        assert graph.entry_points() == [("loop", 0)]
+
+    def test_reachable(self):
+        graph = CallGraph(Database.from_source(self.SOURCE))
+        reachable = graph.reachable_from([("top", 0)])
+        assert reachable == {("top", 0), ("middle", 1), ("leaf", 1), ("other", 1)}
+
+    def test_reachable_excludes_islands(self):
+        graph = CallGraph(Database.from_source(self.SOURCE))
+        assert ("island", 1) not in graph.reachable_from([("top", 0)])
+
+
+class TestCatchTraversal:
+    def test_catch_goal_and_recovery_traversed(self):
+        result = indicators("catch(a(X), Ball, b(X))")
+        assert ("catch", 3) in result
+        assert ("a", 1) in result
+        assert ("b", 1) in result
+
+    def test_fixity_sees_through_catch(self):
+        from repro.analysis.fixity import FixityAnalysis
+
+        database = Database.from_source(
+            "guarded :- catch(noisy, _, true). noisy :- write(x)."
+        )
+        analysis = FixityAnalysis(database, CallGraph(database))
+        assert analysis.is_fixed(("guarded", 0))

@@ -1,0 +1,134 @@
+"""Unit tests for directive parsing and validation."""
+
+import pytest
+
+from repro.analysis.declarations import (
+    Declarations,
+    default_output_mode,
+    parse_indicator,
+)
+from repro.analysis.modes import ModeItem, parse_mode_string
+from repro.errors import DeclarationError
+from repro.prolog import Database, parse_term
+
+PLUS, MINUS, ANY = ModeItem.PLUS, ModeItem.MINUS, ModeItem.ANY
+
+
+def declarations_from(source: str) -> Declarations:
+    return Declarations.from_database(Database.from_source(source))
+
+
+class TestParseIndicator:
+    def test_ok(self):
+        assert parse_indicator(parse_term("foo/2")) == ("foo", 2)
+
+    def test_bad(self):
+        with pytest.raises(DeclarationError):
+            parse_indicator(parse_term("foo"))
+        with pytest.raises(DeclarationError):
+            parse_indicator(parse_term("foo/bar"))
+
+
+class TestDefaultOutput:
+    def test_minus_promoted(self):
+        assert default_output_mode((MINUS, PLUS, ANY)) == (PLUS, PLUS, ANY)
+
+
+class TestEntries:
+    def test_entry(self):
+        decls = declarations_from(":- entry(f/1). f(a).")
+        assert decls.entries == [("f", 1)]
+
+    def test_undefined_entry_rejected(self):
+        with pytest.raises(DeclarationError):
+            declarations_from(":- entry(g/1). f(a).")
+
+    def test_builtin_entry_allowed(self):
+        decls = declarations_from(":- entry(write/1). f(a).")
+        assert decls.entries == [("write", 1)]
+
+
+class TestLegalModes:
+    def test_pair_form(self):
+        decls = declarations_from(":- legal_mode(f(+, -), f(+, +)). f(a, b).")
+        (pair,) = decls.declared_pairs(("f", 2))
+        assert pair.input == (PLUS, MINUS)
+        assert pair.output == (PLUS, PLUS)
+
+    def test_single_form_defaults_output(self):
+        decls = declarations_from(":- legal_mode(f(-, +)). f(a, b).")
+        (pair,) = decls.declared_pairs(("f", 2))
+        assert pair.output == (PLUS, PLUS)
+
+    def test_dec10_mode_alias(self):
+        decls = declarations_from(":- mode(f(+)). f(a).")
+        assert len(decls.declared_pairs(("f", 1))) == 1
+
+    def test_mismatched_pair_rejected(self):
+        with pytest.raises(DeclarationError):
+            declarations_from(":- legal_mode(f(+), g(+)). f(a). g(a).")
+
+    def test_multiple_modes_accumulate(self):
+        decls = declarations_from(
+            ":- legal_mode(f(+, -)). :- legal_mode(f(-, +)). f(a, b)."
+        )
+        assert len(decls.declared_pairs(("f", 2))) == 2
+
+
+class TestRecursiveAndFixed:
+    def test_recursive(self):
+        decls = declarations_from(":- recursive(f/1). f(a).")
+        assert ("f", 1) in decls.recursive
+
+    def test_fixed(self):
+        decls = declarations_from(":- fixed(f/1). f(a).")
+        assert ("f", 1) in decls.fixed
+
+
+class TestCosts:
+    def test_cost4(self):
+        decls = declarations_from(":- cost(f/2, [+, -], 12, 0.75). f(a, b).")
+        declaration = decls.cost_for(("f", 2), parse_mode_string("+-"))
+        assert declaration.cost == 12.0
+        assert declaration.prob == 0.75
+        assert declaration.expected_solutions == 0.75
+
+    def test_cost5_with_solutions(self):
+        decls = declarations_from(":- cost(f/1, [+], 5, 0.9, 3.5). f(a).")
+        declaration = decls.cost_for(("f", 1), parse_mode_string("+"))
+        assert declaration.expected_solutions == 3.5
+
+    def test_cost_mode_with_any_matches(self):
+        decls = declarations_from(":- cost(f/1, [?], 5, 0.9). f(a).")
+        assert decls.cost_for(("f", 1), parse_mode_string("+")) is not None
+        assert decls.cost_for(("f", 1), parse_mode_string("-")) is not None
+
+    def test_bad_probability(self):
+        with pytest.raises(DeclarationError):
+            declarations_from(":- cost(f/1, [+], 5, 1.5). f(a).")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DeclarationError):
+            declarations_from(":- cost(f/2, [+], 5, 0.5). f(a, b).")
+
+    def test_missing_cost_is_none(self):
+        decls = declarations_from("f(a).")
+        assert decls.cost_for(("f", 1), parse_mode_string("+")) is None
+
+
+class TestOtherDirectives:
+    def test_match_prob(self):
+        decls = declarations_from(":- match_prob(f/1, 0.25). f(a).")
+        assert decls.match_probs[("f", 1)] == 0.25
+
+    def test_domain_size(self):
+        decls = declarations_from(":- domain_size(f/2, 1, 150). f(a, b).")
+        assert decls.domain_sizes[(("f", 2), 1)] == 150
+
+    def test_domain_size_position_out_of_range(self):
+        with pytest.raises(DeclarationError):
+            declarations_from(":- domain_size(f/2, 3, 150). f(a, b).")
+
+    def test_unknown_directive_collected(self):
+        decls = declarations_from(":- wibble(3). f(a).")
+        assert len(decls.unknown) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for Warren-style domain estimation (§VI-A-4)."""
+
+import pytest
+
+from repro.analysis.declarations import Declarations
+from repro.analysis.domains import DomainAnalysis
+from repro.analysis.modes import parse_mode_string
+from repro.prolog import Database
+
+
+def analyse(source):
+    database = Database.from_source(source)
+    return DomainAnalysis(database, Declarations.from_database(database))
+
+
+FACTS = """
+borders(france, spain). borders(france, italy). borders(spain, portugal).
+borders(italy, austria).
+country(france). country(spain). country(italy). country(portugal).
+country(austria).
+"""
+
+
+class TestCollection:
+    def test_tuple_count(self):
+        analysis = analyse(FACTS)
+        assert analysis.tuple_count(("borders", 2)) == 4
+        assert analysis.tuple_count(("country", 1)) == 5
+        assert analysis.tuple_count(("missing", 1)) == 0
+
+    def test_domains(self):
+        analysis = analyse(FACTS)
+        assert analysis.domain(("borders", 2), 1) == {"france", "spain", "italy"}
+        assert analysis.domain_size(("borders", 2), 1) == 3
+        assert analysis.domain_size(("borders", 2), 2) == 4
+
+    def test_rules_contribute_no_tuples(self):
+        analysis = analyse("f(a). g(X) :- f(X).")
+        assert analysis.tuple_count(("g", 1)) == 0
+
+    def test_number_domains(self):
+        analysis = analyse("age(tom, 5). age(ann, 7). age(pat, 5).")
+        assert analysis.domain(("age", 2), 2) == {5, 7}
+
+    def test_declared_domain_size_overrides(self):
+        analysis = analyse(":- domain_size(borders/2, 1, 150).\n" + FACTS)
+        assert analysis.domain_size(("borders", 2), 1) == 150
+
+    def test_minimum_domain_size_one(self):
+        analysis = analyse("f(a).")
+        assert analysis.domain_size(("f", 1), 1) == 1
+        assert analysis.domain_size(("ghost", 1), 1) == 1
+
+
+class TestWarrenFunction:
+    def test_paper_borders_example(self):
+        # §I-E: borders/2 with 900 tuples and domain 150 gives 900
+        # uninstantiated, 6 partly instantiated, 0.04 fully instantiated.
+        source = ":- domain_size(b/2, 1, 150). :- domain_size(b/2, 2, 150). b(x, y)."
+        database = Database.from_source(source)
+        analysis = DomainAnalysis(database, Declarations.from_database(database))
+        analysis._tuples[("b", 2)] = 900  # the paper's tuple count
+        assert analysis.warren_number(("b", 2), parse_mode_string("--")) == 900
+        assert analysis.warren_number(("b", 2), parse_mode_string("+-")) == 6
+        assert analysis.warren_number(("b", 2), parse_mode_string("++")) == pytest.approx(0.04)
+
+    def test_empty_predicate(self):
+        analysis = analyse(FACTS)
+        assert analysis.warren_number(("missing", 2), parse_mode_string("--")) == 0.0
+
+    def test_success_probability_capped(self):
+        analysis = analyse(FACTS)
+        assert analysis.success_probability(("borders", 2), parse_mode_string("--")) == 1.0
+        partial = analysis.success_probability(("borders", 2), parse_mode_string("++"))
+        assert 0.0 < partial < 1.0
+
+    def test_declared_match_prob_wins(self):
+        analysis = analyse(":- match_prob(borders/2, 0.2).\n" + FACTS)
+        assert analysis.success_probability(("borders", 2), parse_mode_string("--")) == 0.2
+
+    def test_fact_match_probability(self):
+        analysis = analyse(FACTS)
+        probability = analysis.fact_match_probability(
+            ("borders", 2), parse_mode_string("+-")
+        )
+        assert probability == pytest.approx(1 / 3)
+
+    def test_expected_solutions_matches_warren(self):
+        analysis = analyse(FACTS)
+        mode = parse_mode_string("+-")
+        assert analysis.expected_solutions(("borders", 2), mode) == (
+            analysis.warren_number(("borders", 2), mode)
+        )

@@ -1,0 +1,97 @@
+"""Unit tests for fixity analysis (paper §IV-B)."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.declarations import Declarations
+from repro.analysis.fixity import FixityAnalysis, side_effect_builtins
+from repro.prolog import Database, parse_term
+
+
+def analyse(source):
+    database = Database.from_source(source)
+    declarations = Declarations.from_database(database)
+    return FixityAnalysis(database, CallGraph(database), declarations)
+
+
+class TestSideEffectBuiltins:
+    def test_io_builtins_included(self):
+        builtins = side_effect_builtins()
+        assert ("write", 1) in builtins
+        assert ("nl", 0) in builtins
+        assert ("read", 1) in builtins
+
+    def test_pure_builtins_excluded(self):
+        builtins = side_effect_builtins()
+        assert ("is", 2) not in builtins
+        assert ("=", 2) not in builtins
+
+
+class TestDirectFixity:
+    def test_write_makes_fixed(self):
+        analysis = analyse("log(X) :- write(X), nl.")
+        assert analysis.is_fixed(("log", 1))
+
+    def test_pure_predicate_not_fixed(self):
+        analysis = analyse("add(X, Y, Z) :- Z is X + Y.")
+        assert not analysis.is_fixed(("add", 3))
+
+    def test_declared_fixed(self):
+        analysis = analyse(":- fixed(f/1). f(a).")
+        assert analysis.is_fixed(("f", 1))
+
+
+class TestContamination:
+    SOURCE = """
+    w(X) :- write(X).
+    x(X) :- w(X).
+    y(X) :- x(X).
+    z(X) :- pureleaf(X).
+    pureleaf(1).
+    """
+
+    def test_ancestors_contaminated(self):
+        analysis = analyse(self.SOURCE)
+        # "a predicate x that calls w might print as well. A predicate y
+        # that calls x might also print" (§IV-B)
+        for name in ("w", "x", "y"):
+            assert analysis.is_fixed((name, 1)), name
+
+    def test_siblings_clean(self):
+        analysis = analyse(self.SOURCE)
+        assert not analysis.is_fixed(("z", 1))
+        assert not analysis.is_fixed(("pureleaf", 1))
+
+    def test_fixed_predicates_only_user(self):
+        analysis = analyse(self.SOURCE)
+        assert ("write", 1) not in analysis.fixed_predicates
+        assert ("w", 1) in analysis.fixed_predicates
+
+    def test_fixity_through_control(self):
+        analysis = analyse("maybe(X) :- (X > 0 -> write(X) ; true).")
+        assert analysis.is_fixed(("maybe", 1))
+
+    def test_fixity_through_negation(self):
+        analysis = analyse("odd(X) :- \\+ noisy(X). noisy(X) :- write(X).")
+        assert analysis.is_fixed(("odd", 1))
+
+    def test_fixity_through_recursion(self):
+        analysis = analyse(
+            "dump([]). dump([X | T]) :- write(X), dump(T)."
+        )
+        assert analysis.is_fixed(("dump", 1))
+
+
+class TestGoalAndClauseQueries:
+    def test_goal_is_fixed(self):
+        analysis = analyse("f(1).")
+        assert analysis.goal_is_fixed(parse_term("write(hello)"))
+        assert not analysis.goal_is_fixed(parse_term("f(X)"))
+
+    def test_compound_goal_fixed_when_branch_writes(self):
+        analysis = analyse("f(1).")
+        assert analysis.goal_is_fixed(parse_term("(f(X) ; write(X))"))
+        assert not analysis.goal_is_fixed(parse_term("(f(X) ; f(Y))"))
+
+    def test_clause_is_fixed(self):
+        analysis = analyse("f(1).")
+        assert analysis.clause_is_fixed(parse_term("f(X), write(X)"))
+        assert not analysis.clause_is_fixed(parse_term("f(X), f(Y)"))

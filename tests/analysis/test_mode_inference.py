@@ -1,0 +1,204 @@
+"""Unit tests for mode inference by abstract interpretation (§V-E)."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.declarations import Declarations
+from repro.analysis.mode_inference import (
+    ModeInference,
+    join_modes,
+    structural_descent_positions,
+)
+from repro.analysis.modes import ModeItem, parse_mode_string
+from repro.prolog import Database
+
+PLUS, MINUS, ANY = ModeItem.PLUS, ModeItem.MINUS, ModeItem.ANY
+
+
+def inference_for(source):
+    database = Database.from_source(source)
+    return ModeInference(database, Declarations.from_database(database))
+
+
+def mode(text):
+    return parse_mode_string(text)
+
+
+class TestJoinModes:
+    def test_identical(self):
+        assert join_modes(mode("+-"), mode("+-")) == mode("+-")
+
+    def test_disagreement_is_any(self):
+        assert join_modes(mode("+-"), mode("-+")) == (ANY, ANY)
+
+
+class TestFacts:
+    def test_fact_grounds_on_success(self):
+        inference = inference_for("f(a, b).")
+        assert inference.output_mode(("f", 2), mode("--")) == mode("++")
+
+    def test_fact_any_mode_legal(self):
+        inference = inference_for("f(a).")
+        assert inference.legal_input_modes(("f", 1)) == [mode("+"), mode("-")]
+
+
+class TestBuiltins:
+    def test_is_demands_ground_rhs(self):
+        inference = inference_for("calc(X, Y) :- X is Y + 1.")
+        assert inference.is_legal(("calc", 2), mode("-+"))
+        assert not inference.is_legal(("calc", 2), mode("--"))
+        assert not inference.is_legal(("calc", 2), mode("+-"))
+
+    def test_comparison_demands_both(self):
+        inference = inference_for("gt(X, Y) :- X > Y.")
+        assert inference.legal_input_modes(("gt", 2)) == [mode("++")]
+
+    def test_functor_construct_mode(self):
+        inference = inference_for("mk(T, N) :- functor(T, N, 2).")
+        assert inference.is_legal(("mk", 2), mode("+-"))
+        assert inference.is_legal(("mk", 2), mode("-+"))
+        assert not inference.is_legal(("mk", 2), mode("--"))
+
+    def test_type_tests_any_mode(self):
+        inference = inference_for("isv(X) :- var(X).")
+        assert len(inference.legal_input_modes(("isv", 1))) == 2
+
+
+class TestRules:
+    SOURCE = """
+    p(a, b). p(c, d).
+    q(b). q(d).
+    join(X, Y) :- p(X, Y), q(Y).
+    chain(X, Z) :- p(X, Y), p(Y, Z).
+    """
+
+    def test_rule_output_ground(self):
+        inference = inference_for(self.SOURCE)
+        assert inference.output_mode(("join", 2), mode("--")) == mode("++")
+
+    def test_intermediate_variable_ok(self):
+        inference = inference_for(self.SOURCE)
+        assert inference.is_legal(("chain", 2), mode("--"))
+
+    def test_goal_sequencing(self):
+        # The test Y > 1 needs Y from p; legal only because p runs first.
+        inference = inference_for("p(1, 2). f(X) :- p(X, Y), Y > 1.")
+        assert inference.is_legal(("f", 1), mode("-"))
+
+    def test_illegal_everywhere(self):
+        inference = inference_for("f(X, Y) :- X > Y.")
+        # > demands both ground; mode (-,-) has no legal clause.
+        assert inference.output_mode(("f", 2), mode("--")) is None
+
+    def test_disjunction_joins_branches(self):
+        inference = inference_for("f(X) :- (X = 1 ; X = 2).")
+        assert inference.output_mode(("f", 1), mode("-")) == mode("+")
+
+    def test_if_then_else(self):
+        inference = inference_for("f(X, Y) :- (X > 0 -> Y = pos ; Y = neg).")
+        assert inference.is_legal(("f", 2), mode("+-"))
+        assert not inference.is_legal(("f", 2), mode("--"))
+
+    def test_negation_makes_no_bindings(self):
+        inference = inference_for("f(X) :- \\+ p(X), X = 1. p(9).")
+        output = inference.output_mode(("f", 1), mode("-"))
+        assert output == mode("+")
+
+    def test_findall_grounds_result(self):
+        inference = inference_for("f(L) :- findall(X, p(X), L). p(1).")
+        assert inference.output_mode(("f", 1), mode("-")) == mode("+")
+
+    def test_undefined_predicate_illegal_with_warning(self):
+        inference = inference_for("f(X) :- ghost(X).")
+        assert inference.output_mode(("f", 1), mode("-")) is None
+        assert any("undefined" in w for w in inference.warnings)
+
+
+class TestDeclarations:
+    def test_declared_modes_win(self):
+        inference = inference_for(
+            ":- legal_mode(f(+)). f(X) :- g(X). g(1)."
+        )
+        assert inference.is_legal(("f", 1), mode("+"))
+        # Undeclared mode is illegal even though inference would allow it.
+        assert not inference.is_legal(("f", 1), mode("-"))
+
+    def test_declared_output_used(self):
+        inference = inference_for(
+            ":- legal_mode(f(-), f(?)). f(X) :- g(X). g(1)."
+        )
+        assert inference.output_mode(("f", 1), mode("-")) == (ANY,)
+
+    def test_actual_instantiation_strengthens_output(self):
+        inference = inference_for(":- legal_mode(f(?), f(?)). f(1).")
+        assert inference.output_mode(("f", 1), mode("+")) == mode("+")
+
+
+class TestRecursion:
+    DELETE = """
+    delete(X, [X | Y], Y).
+    delete(U, [X | Y], [X | V]) :- delete(U, Y, V).
+    """
+
+    def test_structural_descent_positions(self):
+        database = Database.from_source(self.DELETE)
+        clause = database.clauses(("delete", 3))[1]
+        assert structural_descent_positions(clause) == {2, 3}
+
+    def test_delete_modes(self):
+        # The paper's example (§V-B): with only the first argument
+        # instantiated, delete/3 "produces an infinite set of solutions".
+        inference = inference_for(self.DELETE)
+        assert inference.is_legal(("delete", 3), mode("?+?"))
+        assert inference.is_legal(("delete", 3), mode("--+"))
+        assert not inference.is_legal(("delete", 3), mode("+--"))
+
+    def test_append_modes(self):
+        inference = inference_for(
+            "append([], X, X). append([X | Y], Z, [X | W]) :- append(Y, Z, W)."
+        )
+        assert inference.is_legal(("append", 3), mode("++-"))
+        assert inference.is_legal(("append", 3), mode("--+"))
+        assert not inference.is_legal(("append", 3), mode("---"))
+
+    def test_permutation_needs_declaration(self):
+        source = """
+        select(X, [X | Xs], Xs).
+        select(X, [Y | Xs], [Y | Ys]) :- select(X, Xs, Ys).
+        permutation(Xs, [X | Ys]) :- select(X, Xs, Zs), permutation(Zs, Ys).
+        permutation([], []).
+        """
+        # Without a declaration, permutation's recursion is not
+        # structurally descending -> all modes rejected, with a warning.
+        inference = inference_for(source)
+        assert not inference.is_legal(("permutation", 2), mode("+-"))
+        assert any("permutation" in w for w in inference.warnings)
+        # With the declaration, the declared mode is legal.
+        declared = inference_for(":- legal_mode(permutation(+, -)).\n" + source)
+        assert declared.is_legal(("permutation", 2), mode("+-"))
+        assert not declared.is_legal(("permutation", 2), mode("-+"))
+
+    def test_mutual_recursion_permissive(self):
+        inference = inference_for(
+            "even(z). even(s(X)) :- odd(X). odd(s(X)) :- even(X)."
+        )
+        assert inference.is_legal(("even", 1), mode("+"))
+
+    def test_fixpoint_terminates(self):
+        inference = inference_for(
+            "f(X, Y) :- g(X, Y). g(X, Y) :- f(X, Y). g(a, b)."
+        )
+        assert inference.output_mode(("f", 2), mode("--")) is not None
+
+
+class TestMetaCallModes:
+    def test_catch_over_partial_goal_legal(self):
+        inference = inference_for(
+            "safe(X) :- catch(risky(X), _, fail). risky(1)."
+        )
+        assert inference.is_legal(("safe", 1), mode("-"))
+        assert inference.is_legal(("safe", 1), mode("+"))
+
+    def test_call_over_partial_goal_legal(self):
+        inference = inference_for("meta(X) :- call(risky(X)). risky(1).")
+        assert inference.is_legal(("meta", 1), mode("-"))

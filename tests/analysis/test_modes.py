@@ -1,0 +1,232 @@
+"""Unit tests for the legal-mode system and the instantiation lattice."""
+
+import pytest
+
+from repro.analysis.modes import (
+    Inst,
+    ModeItem,
+    ModePair,
+    all_input_modes,
+    apply_output,
+    argument_inst,
+    bind_head_states,
+    call_mode,
+    inst_to_item,
+    item_accepts,
+    item_to_inst,
+    join_inst,
+    mode_accepts,
+    mode_from_term,
+    mode_str,
+    mode_to_term,
+    parse_mode_string,
+)
+from repro.errors import DeclarationError
+from repro.prolog import parse_term
+from repro.prolog.terms import Var
+
+PLUS, MINUS, ANY = ModeItem.PLUS, ModeItem.MINUS, ModeItem.ANY
+
+
+class TestModeItems:
+    def test_from_symbol(self):
+        assert ModeItem.from_symbol("+") is PLUS
+        assert ModeItem.from_symbol("-") is MINUS
+        assert ModeItem.from_symbol("?") is ANY
+
+    def test_unknown_symbol(self):
+        with pytest.raises(DeclarationError):
+            ModeItem.from_symbol("*")
+
+    def test_str(self):
+        assert str(PLUS) == "+"
+
+
+class TestModeParsing:
+    def test_parse_symbols(self):
+        assert parse_mode_string("(+, -)") == (PLUS, MINUS)
+        assert parse_mode_string("+-?") == (PLUS, MINUS, ANY)
+
+    def test_parse_paper_letters(self):
+        assert parse_mode_string("ui") == (MINUS, PLUS)
+        assert parse_mode_string("iu") == (PLUS, MINUS)
+
+    def test_parse_empty(self):
+        assert parse_mode_string("()") == ()
+
+    def test_parse_bad(self):
+        with pytest.raises(DeclarationError):
+            parse_mode_string("+x")
+
+    def test_mode_str(self):
+        assert mode_str((PLUS, MINUS)) == "(+, -)"
+
+    def test_mode_from_term(self):
+        assert mode_from_term(parse_term("f(+, -, ?)")) == (PLUS, MINUS, ANY)
+
+    def test_mode_from_list_term(self):
+        assert mode_from_term(parse_term("[+, -]")) == (PLUS, MINUS)
+
+    def test_mode_to_term_roundtrip(self):
+        term = mode_to_term("f", (PLUS, ANY))
+        assert mode_from_term(term) == (PLUS, ANY)
+
+    def test_mode_to_term_zero_arity(self):
+        assert mode_to_term("f", ()).name == "f"
+
+
+class TestModePair:
+    def test_valid(self):
+        pair = ModePair((PLUS, MINUS), (PLUS, PLUS))
+        assert pair.arity == 2
+
+    def test_output_must_keep_plus(self):
+        with pytest.raises(DeclarationError):
+            ModePair((PLUS,), (MINUS,))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DeclarationError):
+            ModePair((PLUS,), (PLUS, PLUS))
+
+    def test_str(self):
+        assert str(ModePair((PLUS,), (PLUS,))) == "(+) -> (+)"
+
+
+class TestAcceptance:
+    def test_any_accepts_everything(self):
+        for item in ModeItem:
+            assert item_accepts(ANY, item)
+
+    def test_plus_demands_plus(self):
+        assert item_accepts(PLUS, PLUS)
+        assert not item_accepts(PLUS, MINUS)
+        assert not item_accepts(PLUS, ANY)  # conservative (paper §V-D)
+
+    def test_minus_demands_minus(self):
+        assert item_accepts(MINUS, MINUS)
+        assert not item_accepts(MINUS, PLUS)
+        assert not item_accepts(MINUS, ANY)
+
+    def test_mode_accepts(self):
+        assert mode_accepts((PLUS, ANY), (PLUS, MINUS))
+        assert not mode_accepts((PLUS, ANY), (MINUS, MINUS))
+        assert not mode_accepts((PLUS,), (PLUS, PLUS))  # arity
+
+
+class TestLattice:
+    def test_join(self):
+        assert join_inst(Inst.FREE, Inst.FREE) is Inst.FREE
+        assert join_inst(Inst.GROUND, Inst.GROUND) is Inst.GROUND
+        assert join_inst(Inst.FREE, Inst.GROUND) is Inst.ANY
+        assert join_inst(Inst.ANY, Inst.GROUND) is Inst.ANY
+
+    def test_item_inst_roundtrip(self):
+        for item in ModeItem:
+            assert inst_to_item(item_to_inst(item)) is item
+
+
+class TestAllInputModes:
+    def test_counts(self):
+        assert len(list(all_input_modes(0))) == 1
+        assert len(list(all_input_modes(2))) == 4
+        assert len(list(all_input_modes(3))) == 8
+
+    def test_no_any_items(self):
+        for mode in all_input_modes(2):
+            assert ANY not in mode
+
+
+class TestArgumentInst:
+    def test_constant_ground(self):
+        assert argument_inst(parse_term("foo"), {}) is Inst.GROUND
+        assert argument_inst(42, {}) is Inst.GROUND
+
+    def test_free_var(self):
+        v = Var()
+        assert argument_inst(v, {}) is Inst.FREE
+
+    def test_ground_var(self):
+        v = Var()
+        assert argument_inst(v, {id(v): Inst.GROUND}) is Inst.GROUND
+
+    def test_struct_all_ground(self):
+        term = parse_term("f(X, a)")
+        x = term.args[0]
+        assert argument_inst(term, {id(x): Inst.GROUND}) is Inst.GROUND
+
+    def test_struct_partial(self):
+        term = parse_term("f(X, a)")
+        assert argument_inst(term, {}) is Inst.ANY
+
+    def test_ground_struct(self):
+        assert argument_inst(parse_term("f(a, 1)"), {}) is Inst.GROUND
+
+
+class TestCallMode:
+    def test_mixed(self):
+        goal = parse_term("p(X, a, f(Y))")
+        x = goal.args[0]
+        states = {id(x): Inst.GROUND}
+        assert call_mode(goal, states) == (PLUS, PLUS, ANY)
+
+    def test_atom_goal(self):
+        assert call_mode(parse_term("p"), {}) == ()
+
+
+class TestApplyOutput:
+    def test_plus_grounds(self):
+        goal = parse_term("p(X)")
+        states = {}
+        apply_output(goal, (PLUS,), states)
+        assert states[id(goal.args[0])] is Inst.GROUND
+
+    def test_any_raises_free_to_any(self):
+        goal = parse_term("p(X)")
+        states = {}
+        apply_output(goal, (ANY,), states)
+        assert states[id(goal.args[0])] is Inst.ANY
+
+    def test_any_keeps_ground(self):
+        goal = parse_term("p(X)")
+        x = goal.args[0]
+        states = {id(x): Inst.GROUND}
+        apply_output(goal, (ANY,), states)
+        assert states[id(x)] is Inst.GROUND
+
+    def test_minus_leaves_free(self):
+        goal = parse_term("p(X)")
+        states = {}
+        apply_output(goal, (MINUS,), states)
+        assert states.get(id(goal.args[0]), Inst.FREE) is Inst.FREE
+
+    def test_arity_mismatch(self):
+        with pytest.raises(DeclarationError):
+            apply_output(parse_term("p(X)"), (PLUS, PLUS), {})
+
+
+class TestBindHeadStates:
+    def test_plus_grounds_head_vars(self):
+        head = parse_term("p(X, f(Y), Z)")
+        states = {}
+        bind_head_states(head, parse_mode_string("++-"), states)
+        x = head.args[0]
+        y = head.args[1].args[0]
+        z = head.args[2]
+        assert states[id(x)] is Inst.GROUND
+        assert states[id(y)] is Inst.GROUND
+        assert states.get(id(z), Inst.FREE) is Inst.FREE
+
+    def test_shared_var_takes_strongest(self):
+        head = parse_term("p(X, X)")
+        states = {}
+        bind_head_states(head, parse_mode_string("+-"), states)
+        assert states[id(head.args[0])] is Inst.GROUND
+
+    def test_any_marks_any(self):
+        head = parse_term("p(X)")
+        states = {}
+        bind_head_states(head, (ANY,), states)
+        assert states[id(head.args[0])] is Inst.ANY
+
+    def test_atom_head(self):
+        bind_head_states(parse_term("p"), (), {})  # no crash

@@ -1,0 +1,81 @@
+"""Unit tests for recursion detection (Tarjan SCC)."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.recursion import (
+    recursion_groups,
+    recursive_predicates,
+    strongly_connected_components,
+)
+from repro.prolog import Database
+
+
+def graph_of(source):
+    return CallGraph(Database.from_source(source))
+
+
+class TestSCC:
+    def test_acyclic(self):
+        components = strongly_connected_components(
+            {("a", 0): {("b", 0)}, ("b", 0): {("c", 0)}, ("c", 0): set()}
+        )
+        assert all(len(c) == 1 for c in components)
+        # Reverse topological: callees before callers.
+        order = [next(iter(c)) for c in components]
+        assert order.index(("c", 0)) < order.index(("a", 0))
+
+    def test_cycle(self):
+        components = strongly_connected_components(
+            {("a", 0): {("b", 0)}, ("b", 0): {("a", 0)}}
+        )
+        assert {("a", 0), ("b", 0)} in components
+
+    def test_ignores_non_graph_nodes(self):
+        components = strongly_connected_components(
+            {("a", 0): {("write", 1)}}
+        )
+        assert components == [{("a", 0)}]
+
+
+class TestRecursionDetection:
+    def test_direct_recursion(self):
+        graph = graph_of("loop(X) :- loop(X).")
+        assert recursive_predicates(graph) == {("loop", 1)}
+
+    def test_list_recursion(self):
+        graph = graph_of(
+            "len([], 0). len([_ | T], N) :- len(T, M), N is M + 1."
+        )
+        assert ("len", 2) in recursive_predicates(graph)
+
+    def test_mutual_recursion(self):
+        graph = graph_of(
+            "even(0). even(X) :- X > 0, Y is X - 1, odd(Y). "
+            "odd(X) :- X > 0, Y is X - 1, even(Y)."
+        )
+        recursive = recursive_predicates(graph)
+        assert ("even", 1) in recursive and ("odd", 1) in recursive
+        groups = recursion_groups(graph)
+        assert {("even", 1), ("odd", 1)} in groups
+
+    def test_non_recursive(self):
+        graph = graph_of("a :- b. b :- c. c.")
+        assert recursive_predicates(graph) == set()
+
+    def test_same_name_different_arity_not_recursive(self):
+        graph = graph_of("f(X) :- f(X, 1). f(_, _).")
+        assert recursive_predicates(graph) == set()
+
+    def test_recursion_through_control(self):
+        graph = graph_of("walk(X) :- (stop(X) ; walk(X)). stop(0).")
+        assert ("walk", 1) in recursive_predicates(graph)
+
+    def test_permutation_select(self):
+        graph = graph_of(
+            "select(X, [X | Xs], Xs). "
+            "select(X, [Y | Xs], [Y | Ys]) :- select(X, Xs, Ys). "
+            "permutation(Xs, [X | Ys]) :- select(X, Xs, Zs), permutation(Zs, Ys). "
+            "permutation([], [])."
+        )
+        recursive = recursive_predicates(graph)
+        assert ("select", 3) in recursive
+        assert ("permutation", 2) in recursive

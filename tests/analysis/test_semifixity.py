@@ -1,0 +1,111 @@
+"""Unit tests for semifixity analysis (paper §IV-C)."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.declarations import Declarations
+from repro.analysis.semifixity import SemifixityAnalysis
+from repro.prolog import Database, parse_term
+
+
+def analyse(source, with_declarations=True):
+    database = Database.from_source(source)
+    declarations = (
+        Declarations.from_database(database) if with_declarations else None
+    )
+    return SemifixityAnalysis(database, CallGraph(database), declarations)
+
+
+class TestBuiltinSeeds:
+    def test_var_semifixed(self):
+        analysis = analyse("f(1).")
+        assert analysis.positions(("var", 1)) == {1}
+        assert analysis.positions(("nonvar", 1)) == {1}
+
+    def test_negation_semifixed(self):
+        analysis = analyse("f(1).")
+        assert analysis.is_semifixed(("\\+", 1))
+        assert analysis.is_semifixed(("not", 1))
+
+    def test_unification_not_semifixed(self):
+        analysis = analyse("f(1).")
+        assert not analysis.is_semifixed(("=", 2))
+
+
+class TestPropagation:
+    def test_var_wrapper(self):
+        analysis = analyse("unbound(X) :- var(X).")
+        assert analysis.positions(("unbound", 1)) == {1}
+
+    def test_propagates_two_levels(self):
+        analysis = analyse(
+            "unbound(X) :- var(X). check(A, B) :- unbound(B), A = B."
+        )
+        assert 2 in analysis.positions(("check", 2))
+
+    def test_only_head_positions_with_culprit(self):
+        analysis = analyse("half(X, Y) :- var(X), Y = 1.")
+        assert analysis.positions(("half", 2)) == {1}
+
+    def test_local_culprit_does_not_propagate(self):
+        # The culprit variable does not appear in the head.
+        analysis = analyse("f(X) :- g(Y), var(Y), X = done. g(_).")
+        assert not analysis.is_semifixed(("f", 1))
+
+    def test_negation_culprits(self):
+        analysis = analyse("male(X) :- not(female(X)). female(a).")
+        assert analysis.positions(("male", 1)) == {1}
+
+
+class TestCutGuarded:
+    def test_paper_example(self):
+        # a(X, Y, b) :- !.  /  a(X, Y, Z) :- c(X, Y), d(Y, Z).  (§IV-C)
+        analysis = analyse(
+            "a(_, _, b) :- !. a(X, Y, Z) :- c(X, Y), d(Y, Z). c(1, 2). d(2, 3)."
+        )
+        assert analysis.positions(("a", 3)) == {3}
+
+    def test_single_clause_cut_not_semifixed(self):
+        analysis = analyse("once_(X) :- g(X), !. g(1).")
+        assert not analysis.is_semifixed(("once_", 1))
+
+    def test_var_only_head_with_cut_not_semifixed(self):
+        analysis = analyse("f(X) :- !. f(X) :- g(X). g(1).")
+        assert not analysis.is_semifixed(("f", 1))
+
+
+class TestDeclaredPins:
+    def test_declared_mode_releases_culprits(self):
+        # unequal/2 via \== is semifixed, but the declaration pins both
+        # arguments to '+', so legality protects it and no constraint
+        # remains (§V-A: annotations buy reordering freedom).
+        pinned = analyse(
+            ":- legal_mode(unequal(+, +)). unequal(X, Y) :- X \\== Y."
+        )
+        assert not pinned.is_semifixed(("unequal", 2))
+
+    def test_without_declaration_culprits_remain(self):
+        free = analyse("unequal(X, Y) :- X \\== Y.", with_declarations=False)
+        assert free.positions(("unequal", 2)) == {1, 2}
+
+    def test_pin_stops_upward_propagation(self):
+        pinned = analyse(
+            ":- legal_mode(unequal(+, +)). "
+            "unequal(X, Y) :- X \\== Y. "
+            "distinct_pair(X, Y) :- p(X), p(Y), unequal(X, Y). p(1). p(2)."
+        )
+        assert not pinned.is_semifixed(("distinct_pair", 2))
+
+
+class TestCulpritVariables:
+    def test_culprit_vars_of_goal(self):
+        analysis = analyse("f(1).")
+        goal = parse_term("var(X)")
+        assert analysis.culprit_variables(goal) == [goal.args[0]]
+
+    def test_culprits_inside_structure(self):
+        analysis = analyse("f(1).")
+        goal = parse_term("\\+ p(X, f(Y))")
+        assert len(analysis.culprit_variables(goal)) == 2
+
+    def test_no_culprits_for_plain_goal(self):
+        analysis = analyse("f(1).")
+        assert analysis.culprit_variables(parse_term("f(X)")) == []

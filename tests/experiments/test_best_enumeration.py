@@ -1,0 +1,79 @@
+"""Unit tests for the 'cheapest reordering possible' enumeration."""
+
+import pytest
+
+from repro.analysis.modes import parse_mode_string
+from repro.experiments.harness import best_order_by_enumeration
+from repro.prolog import Database
+from repro.reorder.system import Reorderer
+
+SOURCE = """
+wide(1). wide(2). wide(3). wide(4). wide(5). wide(6).
+narrow(2). narrow(4).
+link(2, a). link(4, b).
+combo(X, T) :- wide(X), narrow(X), link(X, T).
+"""
+
+CONSTANTS = ["1", "2", "3", "4", "5", "6", "a", "b"]
+
+
+@pytest.fixture(scope="module")
+def reordered():
+    return Reorderer(Database.from_source(SOURCE)).reorder()
+
+
+class TestEnumeration:
+    def test_best_at_most_reordered(self, reordered):
+        mode = parse_mode_string("--")
+        version = reordered.version_name(("combo", 2), mode)
+        from repro.experiments.harness import count_calls, mode_queries
+
+        reordered_cost = count_calls(
+            lambda: reordered.engine(),
+            mode_queries(version, mode, CONSTANTS),
+        )
+        best = best_order_by_enumeration(
+            reordered, ("combo", 2), mode, CONSTANTS
+        )
+        assert best is not None
+        assert best <= reordered_cost
+
+    def test_combo_limit_respected(self, reordered):
+        best = best_order_by_enumeration(
+            reordered, ("combo", 2), parse_mode_string("--"), CONSTANTS,
+            combo_limit=2,  # 3 goals -> 6 permutations > 2
+        )
+        assert best is None
+
+    def test_query_limit_respected(self, reordered):
+        best = best_order_by_enumeration(
+            reordered, ("combo", 2), parse_mode_string("++"), CONSTANTS,
+            query_limit=10,  # 64 (+,+) queries > 10
+        )
+        assert best is None
+
+    def test_unknown_predicate(self, reordered):
+        assert (
+            best_order_by_enumeration(
+                reordered, ("ghost", 2), parse_mode_string("--"), CONSTANTS
+            )
+            is None
+        )
+
+    def test_answer_changing_orders_excluded(self):
+        # unequal/2 via \== succeeds wrongly on unbound args; orders
+        # that move it first change the answers and must not count.
+        source = """
+        :- legal_mode(unequal(+, +)).
+        item(a). item(b).
+        unequal(X, Y) :- X \\== Y.
+        pairs(X, Y) :- item(X), item(Y), unequal(X, Y).
+        """
+        program = Reorderer(Database.from_source(source)).reorder()
+        best = best_order_by_enumeration(
+            program, ("pairs", 2), parse_mode_string("--"), ["a", "b"]
+        )
+        assert best is not None
+        # The best answer-preserving order still runs both generators
+        # before the test: at least 3 calls.
+        assert best >= 3

@@ -1,0 +1,70 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.analysis.modes import ModeItem, parse_mode_string
+from repro.experiments.harness import (
+    Row,
+    Table,
+    count_calls,
+    label_to_mode,
+    mode_queries,
+)
+from repro.prolog import Database, Engine
+
+
+class TestRow:
+    def test_ratio(self):
+        assert Row("x", 100, 50).ratio == 2.0
+
+    def test_zero_reordered(self):
+        assert Row("x", 100, 0).ratio == float("inf")
+
+
+class TestTable:
+    def test_format_and_lookup(self):
+        table = Table("T", [Row("a(-)", 10, 5), Row("b(+)", 3, 3)], note="n")
+        text = table.format()
+        assert "a(-)" in text and "2.00" in text and "n" in text
+        assert table.row("b(+)").ratio == 1.0
+        with pytest.raises(KeyError):
+            table.row("missing")
+
+
+class TestLabelToMode:
+    def test_all_free(self):
+        assert label_to_mode("pay(-,-,-)") == parse_mode_string("---")
+
+    def test_constant_is_plus(self):
+        assert label_to_mode("pay(-,jane,-)") == parse_mode_string("-+-")
+
+    def test_spaces_tolerated(self):
+        assert label_to_mode("f( - , jane )") == parse_mode_string("-+")
+
+
+class TestModeQueries:
+    def test_open_mode_single_query(self):
+        queries = mode_queries("p", parse_mode_string("--"), ["a", "b"])
+        assert queries == ["p(V0, V1)"]
+
+    def test_half_instantiated(self):
+        queries = mode_queries("p", parse_mode_string("+-"), ["a", "b"])
+        assert queries == ["p(a, V0)", "p(b, V0)"]
+
+    def test_fully_instantiated_cross_product(self):
+        queries = mode_queries("p", parse_mode_string("++"), ["a", "b"])
+        assert len(queries) == 4
+        assert "p(a, b)" in queries
+
+    def test_paper_counts_for_55(self):
+        constants = [f"c{i}" for i in range(55)]
+        assert len(mode_queries("p", parse_mode_string("--"), constants)) == 1
+        assert len(mode_queries("p", parse_mode_string("-+"), constants)) == 55
+        assert len(mode_queries("p", parse_mode_string("++"), constants)) == 3025
+
+
+class TestCountCalls:
+    def test_counts_accumulate(self):
+        database = Database.from_source("p(a). p(b). q(X) :- p(X).")
+        total = count_calls(lambda: Engine(database), ["q(a)", "q(b)", "q(z)"])
+        assert total == 6  # each query: q + p

@@ -1,0 +1,100 @@
+"""Behavioural tests of the table generators (shape criteria).
+
+Full Table II including the 3025-call (+,+) sweep runs in the benchmark
+suite; here we regenerate the cheaper tables and Table II without the
+fully-instantiated column, and assert the paper's qualitative shape.
+"""
+
+import pytest
+
+from repro.experiments.tables import table1, table2, table3, table4
+
+
+class TestTable1:
+    def test_all_restrictions_detected(self):
+        table = table1()
+        assert len(table.rows) == 7
+        for row in table.rows:
+            assert row.reordered == 1, f"not detected: {row.label}"
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2(include_fully_instantiated=False)
+
+
+class TestTable2:
+    def test_row_count(self, table2_result):
+        assert len(table2_result.rows) == 4 * 3  # 4 predicates x 3 modes
+
+    def test_big_gain_in_half_instantiated_mode(self, table2_result):
+        # The paper's headline: "Gains are most impressive for the
+        # half-instantiated modes."
+        assert table2_result.row("aunt(-,+)").ratio > 10
+        assert table2_result.row("grandmother(-,+)").ratio > 5
+        assert table2_result.row("cousins(-,+)").ratio > 10
+
+    def test_cousins_gains_everywhere_open(self, table2_result):
+        assert table2_result.row("cousins(-,-)").ratio > 10
+        assert table2_result.row("cousins(+,-)").ratio > 10
+
+    def test_no_catastrophic_slowdown(self, table2_result):
+        for row in table2_result.rows:
+            assert row.ratio > 0.7, row.label
+
+    def test_open_modes_modest(self, table2_result):
+        # (-,-) on grandmother: the paper saw 1.15; ours should be near 1.
+        assert 0.8 < table2_result.row("grandmother(-,-)").ratio < 5
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3()
+
+    def test_all_rows_present(self, result):
+        labels = [row.label for row in result.rows]
+        assert labels == [
+            "benefits(-,-)", "pay(-,-,-)", "pay(-,jane,-)", "maternity(-,-)",
+            "maternity(-,jane)", "average_pay(-,-)", "tax(-,-)", "tax(-,jane)",
+        ]
+
+    def test_gains_where_paper_has_them(self, result):
+        assert result.row("benefits(-,-)").ratio > 1.1
+        assert result.row("maternity(-,-)").ratio > 1.05
+        assert result.row("tax(-,-)").ratio > 1.05
+
+    def test_optimal_rules_unchanged(self, result):
+        for label in ("pay(-,-,-)", "pay(-,jane,-)", "average_pay(-,-)",
+                      "maternity(-,jane)", "tax(-,jane)"):
+            assert result.row(label).ratio == pytest.approx(1.0, abs=0.1), label
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table4()
+
+    def test_rows(self, result):
+        labels = [row.label for row in result.rows]
+        assert labels == [
+            "p58(+,+)", "meal(-,-,-)", "meal(+,+,-)", "team(-,-)",
+            "team(+,+)", "kmbench",
+        ]
+
+    def test_modest_gains_band(self, result):
+        # The paper: 1.06 - 3.87, "less impressive than with our other
+        # programs"; our reconstructions land in the same band or above.
+        assert 1.2 < result.row("p58(+,+)").ratio < 3.0
+        assert 0.95 <= result.row("meal(-,-,-)").ratio < 1.5
+        assert 0.95 <= result.row("meal(+,+,-)").ratio < 1.5
+        assert result.row("kmbench").ratio > 1.05
+
+    def test_team_gains_most(self, result):
+        team_open = result.row("team(-,-)").ratio
+        assert team_open > 2.0
+        assert team_open == max(row.ratio for row in result.rows)
+
+    def test_no_slowdowns(self, result):
+        for row in result.rows:
+            assert row.ratio >= 0.95, row.label

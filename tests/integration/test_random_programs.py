@@ -1,0 +1,131 @@
+"""Property-based integration: reordering random database programs
+preserves set-equivalence.
+
+Hypothesis generates small random pure-Prolog database programs (facts
+over a fixed constant pool plus conjunctive rules), reorders them, and
+checks answer multisets match on open queries. This is the strongest
+guard against the reorderer producing illegal or semantics-changing
+orders.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.prolog import Database, Engine
+from repro.reorder.system import Reorderer
+
+CONSTANTS = ["a", "b", "c", "d", "e"]
+FACT_PREDICATES = ["p", "q", "r"]
+
+
+@st.composite
+def database_programs(draw):
+    """Source text of a random fact base plus 1–3 conjunctive rules."""
+    lines = []
+    for predicate in FACT_PREDICATES:
+        for arity in (1, 2):  # both arities exist so rules never dangle
+            count = draw(st.integers(min_value=1, max_value=5))
+            for _ in range(count):
+                args = ", ".join(
+                    draw(st.sampled_from(CONSTANTS)) for _ in range(arity)
+                )
+                lines.append(f"{predicate}{arity}({args}).")
+    rule_count = draw(st.integers(min_value=1, max_value=3))
+    for index in range(rule_count):
+        goal_count = draw(st.integers(min_value=2, max_value=4))
+        variables = ["X", "Y", "Z"]
+        goals = []
+        for _ in range(goal_count):
+            predicate = draw(st.sampled_from(FACT_PREDICATES))
+            arity = draw(st.integers(min_value=1, max_value=2))
+            args = ", ".join(
+                draw(st.sampled_from(variables + CONSTANTS[:2]))
+                for _ in range(arity)
+            )
+            goals.append(f"{predicate}{arity}({args})")
+        lines.append(f"rule{index}(X, Y) :- {', '.join(goals)}.")
+    return "\n".join(lines)
+
+
+def answers(engine, query):
+    return sorted(s.key() for s in engine.ask(query))
+
+
+@given(database_programs())
+@settings(max_examples=40, deadline=None)
+def test_reordered_program_set_equivalent(source):
+    database = Database.from_source(source)
+    try:
+        program = Reorderer(database).reorder()
+    except Exception as error:  # the reorderer must never crash on these
+        raise AssertionError(f"reorderer failed on:\n{source}\n{error}")
+    for indicator in database.predicates():
+        name, arity = indicator
+        if not name.startswith("rule"):
+            continue
+        query = f"{name}({', '.join(f'V{i}' for i in range(arity))})"
+        assert answers(Engine(database), query) == answers(
+            program.engine(), query
+        ), f"answers differ for {query} on:\n{source}"
+
+
+@given(database_programs())
+@settings(max_examples=25, deadline=None)
+def test_unfolding_preserves_answers(source):
+    from repro.reorder.unfold import UnfoldOptions, unfold_program
+
+    database = Database.from_source(source)
+    unfolded, _report = unfold_program(database, UnfoldOptions(rounds=2))
+    for indicator in database.predicates():
+        name, arity = indicator
+        if not name.startswith("rule"):
+            continue
+        query = f"{name}({', '.join(f'V{i}' for i in range(arity))})"
+        assert answers(Engine(database), query) == answers(
+            Engine(unfolded), query
+        ), f"unfold changed answers for {query} on:\n{source}"
+
+
+@given(database_programs())
+@settings(max_examples=15, deadline=None)
+def test_unfold_then_reorder_preserves_answers(source):
+    from repro.reorder.system import ReorderOptions
+
+    database = Database.from_source(source)
+    program = Reorderer(
+        Database.from_source(source), ReorderOptions(unfold_rounds=2)
+    ).reorder()
+    for indicator in database.predicates():
+        name, arity = indicator
+        if not name.startswith("rule"):
+            continue
+        query = f"{name}({', '.join(f'V{i}' for i in range(arity))})"
+        assert answers(Engine(database), query) == answers(
+            program.engine(), query
+        ), f"unfold+reorder changed answers for {query} on:\n{source}"
+
+
+@given(database_programs())
+@settings(max_examples=20, deadline=None)
+def test_reordered_never_slower_by_much(source):
+    """Reordering a pure database program never blows up the cost.
+
+    (It may be mildly slower on tiny programs — the model is a
+    heuristic — but a large regression means the model or the search is
+    broken.)
+    """
+    database = Database.from_source(source)
+    program = Reorderer(database).reorder()
+    for indicator in database.predicates():
+        name, arity = indicator
+        if not name.startswith("rule"):
+            continue
+        query = f"{name}({', '.join(f'V{i}' for i in range(arity))})"
+        _, original = Engine(database).run(query)
+        version = program.version_name(indicator, tuple(
+            __import__("repro.analysis.modes", fromlist=["ModeItem"]).ModeItem.MINUS
+            for _ in range(arity)
+        ))
+        new_query = f"{version}({', '.join(f'V{i}' for i in range(arity))})"
+        _, reordered = program.engine().run(new_query)
+        assert reordered.calls <= original.calls * 3 + 20, query

@@ -1,0 +1,26 @@
+"""The verifier run across the benchmark programs.
+
+Heavier than the per-query equivalence tests: every user predicate of
+each program, in every {+,-} mode, with sampled instantiations, through
+the reordered program's dispatchers.
+"""
+
+import pytest
+
+from repro.programs import corporate, family_tree, kmbench, p58, team
+from repro.reorder.system import Reorderer
+from repro.reorder.verify import verify_reordering
+
+
+@pytest.mark.parametrize(
+    "module", [family_tree, corporate, p58, team, kmbench],
+    ids=["family_tree", "corporate", "p58", "team", "kmbench"],
+)
+def test_program_verifies(module):
+    database = module.database()
+    program = Reorderer(database).reorder()
+    report = verify_reordering(
+        database, program, max_samples=3, call_budget=500_000
+    )
+    assert report.checks, "verifier must actually check something"
+    assert report.passed, report.format()

@@ -1,0 +1,108 @@
+"""Unit and property tests for sequence (clause-body) evaluation,
+including the closed-form vs matrix cross-check."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.markov.clause_model import evaluate_sequence, sequence_cost
+from repro.markov.goal_stats import GoalStats
+
+
+def stats(cost, solutions, prob=None):
+    if prob is None:
+        prob = min(1.0, solutions)
+    return GoalStats(cost=cost, solutions=solutions, prob=prob)
+
+
+class TestEvaluateSequence:
+    def test_empty(self):
+        result = evaluate_sequence([])
+        assert result.total_cost == 0.0
+        assert result.solutions == 1.0
+        assert result.p_success == 1.0
+
+    def test_single_goal(self):
+        result = evaluate_sequence([stats(4.0, 2.0)])
+        assert result.solutions == pytest.approx(2.0)
+        assert result.total_cost == pytest.approx(4.0)
+
+    def test_solutions_multiply(self):
+        result = evaluate_sequence([stats(1.0, 3.0), stats(1.0, 2.0)])
+        assert result.solutions == pytest.approx(6.0)
+
+    def test_tests_shrink_solutions(self):
+        result = evaluate_sequence([stats(1.0, 10.0), stats(1.0, 0.1)])
+        assert result.solutions == pytest.approx(1.0)
+
+    def test_generator_after_test_cheaper(self):
+        generator = stats(1.0, 10.0)
+        test = stats(1.0, 0.1)
+        assert sequence_cost([test, generator]) < sequence_cost([generator, test])
+
+    def test_as_goal_stats(self):
+        result = evaluate_sequence([stats(2.0, 1.0)])
+        summary = result.as_goal_stats()
+        assert summary.cost == result.total_cost
+        assert summary.solutions == result.solutions
+
+
+goal_stats_strategy = st.builds(
+    lambda c, s: GoalStats(cost=c, solutions=s, prob=min(1.0, s)),
+    st.floats(min_value=0.1, max_value=50.0),
+    st.floats(min_value=0.01, max_value=20.0),
+)
+
+
+class TestClosedFormVsMatrix:
+    @given(st.lists(goal_stats_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_total_cost_agrees(self, goal_list):
+        closed = evaluate_sequence(goal_list, use_matrix=False)
+        matrix = evaluate_sequence(goal_list, use_matrix=True)
+        assert closed.total_cost == pytest.approx(matrix.total_cost, rel=1e-6)
+
+    @given(st.lists(goal_stats_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_success_probability_agrees(self, goal_list):
+        closed = evaluate_sequence(goal_list, use_matrix=False)
+        matrix = evaluate_sequence(goal_list, use_matrix=True)
+        assert closed.p_success == pytest.approx(matrix.p_success, rel=1e-6)
+
+    @given(st.lists(goal_stats_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_single_cost_agrees(self, goal_list):
+        closed = evaluate_sequence(goal_list, use_matrix=False)
+        matrix = evaluate_sequence(goal_list, use_matrix=True)
+        assert closed.single_cost == pytest.approx(
+            matrix.single_cost, rel=1e-6, abs=1e-9
+        )
+
+    @given(st.lists(goal_stats_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_solutions_agree_with_chain_success_visits(self, goal_list):
+        closed = evaluate_sequence(goal_list, use_matrix=False)
+        matrix = evaluate_sequence(goal_list, use_matrix=True)
+        assert closed.solutions == pytest.approx(matrix.solutions, rel=1e-6)
+
+
+class TestMonotonicity:
+    """The A* admissibility invariant: prefix cost never exceeds the
+    cost of any extension."""
+
+    @given(
+        st.lists(goal_stats_strategy, min_size=2, max_size=6),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=150)
+    def test_prefix_cost_is_lower_bound(self, goal_list, cut):
+        cut = min(cut, len(goal_list) - 1)
+        prefix_cost = sequence_cost(goal_list[:cut])
+        full_cost = sequence_cost(goal_list)
+        assert prefix_cost <= full_cost * (1 + 1e-9)
+
+    @given(st.lists(goal_stats_strategy, min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_single_cost_never_exceeds_total(self, goal_list):
+        result = evaluate_sequence(goal_list)
+        assert result.single_cost <= result.total_cost * (1 + 1e-9)

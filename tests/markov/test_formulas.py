@@ -1,0 +1,116 @@
+"""Unit tests for the closed-form cost formulas, pinned to the paper's
+worked numbers (Figs. 1–2, §III)."""
+
+import pytest
+
+from repro.markov.formulas import (
+    all_solutions_cost_closed_form,
+    all_solutions_visits_closed_form,
+    expected_cost_until_failure,
+    expected_cost_until_success,
+    order_by_failure_ratio,
+    order_by_success_ratio,
+    single_solution_success_closed_form,
+)
+
+
+class TestFigure1Numbers:
+    PROBS = [0.7, 0.8, 0.5, 0.9]
+    COSTS = [100.0, 80.0, 100.0, 40.0]
+
+    def test_original_cost(self):
+        assert expected_cost_until_success(self.PROBS, self.COSTS) == pytest.approx(
+            130.24
+        )
+
+    def test_ratio_order(self):
+        # p/c: .9/40=.0225 > .8/80=.01 > .7/100=.007 > .5/100=.005
+        assert order_by_success_ratio(self.PROBS, self.COSTS) == [3, 1, 0, 2]
+
+    def test_reordered_cost(self):
+        order = order_by_success_ratio(self.PROBS, self.COSTS)
+        cost = expected_cost_until_success(
+            [self.PROBS[i] for i in order], [self.COSTS[i] for i in order]
+        )
+        assert cost == pytest.approx(49.64)
+
+    def test_optimality_of_ratio_order(self):
+        # Li & Wah: decreasing p/c minimises the expected cost — check
+        # against brute force over all 24 orders.
+        import itertools
+
+        best = min(
+            expected_cost_until_success(
+                [self.PROBS[i] for i in order], [self.COSTS[i] for i in order]
+            )
+            for order in itertools.permutations(range(4))
+        )
+        assert best == pytest.approx(49.64)
+
+
+class TestFigure2Numbers:
+    FAIL_PROBS = [0.8, 0.1, 0.3, 0.6]
+    COSTS = [70.0, 100.0, 100.0, 60.0]
+
+    def test_original_cost(self):
+        assert expected_cost_until_failure(
+            self.FAIL_PROBS, self.COSTS
+        ) == pytest.approx(98.928)
+
+    def test_ratio_order(self):
+        # q/c: .8/70 > .6/60 > .3/100 > .1/100
+        assert order_by_failure_ratio(self.FAIL_PROBS, self.COSTS) == [0, 3, 2, 1]
+
+    def test_reordered_cost(self):
+        order = order_by_failure_ratio(self.FAIL_PROBS, self.COSTS)
+        cost = expected_cost_until_failure(
+            [self.FAIL_PROBS[i] for i in order], [self.COSTS[i] for i in order]
+        )
+        assert cost == pytest.approx(78.968)
+
+    def test_optimality(self):
+        import itertools
+
+        best = min(
+            expected_cost_until_failure(
+                [self.FAIL_PROBS[i] for i in order],
+                [self.COSTS[i] for i in order],
+            )
+            for order in itertools.permutations(range(4))
+        )
+        assert best == pytest.approx(78.968)
+
+
+class TestClosedForms:
+    def test_visits_flow_equations(self):
+        # v_1 (1-p_1) = 1 and v_{i+1}(1-p_{i+1}) = v_i p_i.
+        probs = [0.6, 0.3, 0.8]
+        visits, v_success = all_solutions_visits_closed_form(probs)
+        assert visits[0] * (1 - probs[0]) == pytest.approx(1.0)
+        for i in range(len(probs) - 1):
+            assert visits[i + 1] * (1 - probs[i + 1]) == pytest.approx(
+                visits[i] * probs[i]
+            )
+        assert v_success == pytest.approx(visits[-1] * probs[-1])
+
+    def test_empty_sequence(self):
+        visits, v_success = all_solutions_visits_closed_form([])
+        assert visits == ()
+        assert v_success == 1.0
+
+    def test_cost_from_visits(self):
+        probs, costs = [0.5, 0.25], [2.0, 4.0]
+        visits, v_success = all_solutions_visits_closed_form(probs)
+        total, per_solution = all_solutions_cost_closed_form(probs, costs)
+        assert total == pytest.approx(sum(v * c for v, c in zip(visits, costs)))
+        assert per_solution == pytest.approx(total / v_success)
+
+    def test_ruin_probability_single_goal(self):
+        assert single_solution_success_closed_form([0.3]) == pytest.approx(0.3)
+
+    def test_ruin_probability_uniform(self):
+        # p=1/2 everywhere: classic symmetric ruin, P = 1/(n+1).
+        assert single_solution_success_closed_form([0.5] * 3) == pytest.approx(1 / 4)
+
+    def test_ruin_empty(self):
+        assert single_solution_success_closed_form([]) == 1.0

@@ -1,0 +1,71 @@
+"""Unit tests for GoalStats and its chain-parameter derivation."""
+
+import pytest
+
+from repro.markov.goal_stats import GoalStats
+
+
+class TestValidation:
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            GoalStats(cost=-1.0, solutions=1.0, prob=0.5)
+
+    def test_negative_solutions_rejected(self):
+        with pytest.raises(ValueError):
+            GoalStats(cost=1.0, solutions=-0.1, prob=0.5)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            GoalStats(cost=1.0, solutions=1.0, prob=1.5)
+
+
+class TestChainParameters:
+    def test_chain_probability_reproduces_solutions(self):
+        # p = s/(1+s) makes the geometric expected-successes equal s.
+        stats = GoalStats(cost=5.0, solutions=3.0, prob=0.9)
+        p = stats.chain_probability
+        assert p / (1 - p) == pytest.approx(3.0)
+
+    def test_chain_cost_per_cycle(self):
+        # One full generate-and-exhaust cycle = 1+s visits.
+        stats = GoalStats(cost=8.0, solutions=3.0, prob=0.9)
+        assert stats.chain_cost * (1 + stats.solutions) == pytest.approx(8.0)
+
+    def test_deterministic_goal(self):
+        stats = GoalStats(cost=1.0, solutions=1.0, prob=1.0)
+        assert stats.chain_probability == pytest.approx(0.5)
+
+    def test_test_goal(self):
+        stats = GoalStats(cost=1.0, solutions=0.25, prob=0.25)
+        assert stats.chain_probability == pytest.approx(0.2)
+
+    def test_zero_solutions(self):
+        stats = GoalStats(cost=1.0, solutions=0.0, prob=0.0)
+        assert stats.chain_probability == 0.0
+        assert stats.chain_cost == 1.0
+
+
+class TestRatios:
+    def test_failure_ratio(self):
+        stats = GoalStats(cost=4.0, solutions=0.2, prob=0.2)
+        assert stats.failure_ratio == pytest.approx(0.8 / 4.0)
+
+    def test_success_ratio(self):
+        stats = GoalStats(cost=4.0, solutions=0.2, prob=0.2)
+        assert stats.success_ratio == pytest.approx(0.2 / 4.0)
+
+    def test_zero_cost_infinite_ratio(self):
+        stats = GoalStats(cost=0.0, solutions=1.0, prob=0.5)
+        assert stats.failure_ratio == float("inf")
+
+
+class TestScaled:
+    def test_scaling(self):
+        stats = GoalStats(cost=2.0, solutions=4.0, prob=0.8).scaled(0.5)
+        assert stats.solutions == 2.0
+        assert stats.prob == pytest.approx(0.4)
+        assert stats.cost == 2.0
+
+    def test_probability_capped(self):
+        stats = GoalStats(cost=1.0, solutions=1.0, prob=0.8).scaled(2.0)
+        assert stats.prob == 1.0

@@ -1,0 +1,114 @@
+"""Cost-model behaviour on nested control constructs."""
+
+import pytest
+
+from repro.analysis.declarations import Declarations
+from repro.analysis.modes import Inst, parse_mode_string
+from repro.markov.predicate_model import CostModel
+from repro.prolog import Database, parse_term
+
+
+def model_for(source):
+    database = Database.from_source(source)
+    return CostModel(database, Declarations.from_database(database))
+
+
+BASE = "p(1). p(2). p(3). q(2). r(9)."
+
+
+class TestNestedDisjunction:
+    def test_nested_branches_summed(self):
+        m = model_for(BASE)
+        flat = m.goal_stats(parse_term("(p(X) ; q(X))"), {})
+        nested = m.goal_stats(parse_term("((p(X) ; q(X)) ; r(X))"), {})
+        assert nested.solutions == pytest.approx(flat.solutions + 1.0, rel=0.3)
+
+    def test_states_joined_across_branches(self):
+        m = model_for(BASE)
+        goal = parse_term("(p(X) ; q(Y))")
+        x = goal.args[0].args[0]
+        states = {}
+        m.goal_stats(goal, states)
+        # X is bound in one branch only: joined state must be ANY.
+        assert states[id(x)] is Inst.ANY
+
+    def test_same_var_both_branches_ground(self):
+        m = model_for(BASE)
+        goal = parse_term("(p(X) ; q(X))")
+        x = goal.args[0].args[0]
+        states = {}
+        m.goal_stats(goal, states)
+        assert states[id(x)] is Inst.GROUND
+
+
+class TestNestedIfThenElse:
+    def test_ite_inside_conjunction(self):
+        m = model_for(BASE)
+        goal = parse_term("p(X), (q(X) -> r(Y) ; Y = none)")
+        stats = m.goal_stats(goal, {})
+        assert stats is not None
+        assert stats.cost > 1.0
+
+    def test_ite_condition_cost_always_paid(self):
+        m = model_for(BASE)
+        with_cheap_then = m.goal_stats(parse_term("(p(X) -> true ; true)"), {})
+        bare_condition = m.goal_stats(parse_term("p(X)"), {})
+        assert with_cheap_then.cost >= bare_condition.cost * 0.5
+
+    def test_ite_probability_blends(self):
+        m = model_for(BASE + " sure(always).")
+        goal = parse_term("(q(9) -> sure(A) ; sure(B))")
+        stats = m.goal_stats(goal, {})
+        # Blend of p_cond*p_then + (1-p_cond)*p_else with both branch
+        # probabilities at least the condition's: a proper probability.
+        assert 0.0 < stats.prob <= 1.0
+        condition_prob = m.goal_stats(parse_term("q(9)"), {}).prob
+        assert stats.prob >= condition_prob * 0.99
+
+
+class TestNegationNesting:
+    def test_double_negation(self):
+        m = model_for(BASE)
+        goal = parse_term("\\+ \\+ p(X)")
+        stats = m.goal_stats(goal, {})
+        assert stats is not None
+        assert stats.solutions <= 1.0
+
+    def test_negation_of_conjunction(self):
+        m = model_for(BASE)
+        goal = parse_term("\\+ (p(X), q(X))")
+        stats = m.goal_stats(goal, {})
+        assert stats is not None
+
+    def test_negation_keeps_outer_states(self):
+        m = model_for(BASE)
+        goal = parse_term("\\+ p(X)")
+        x = goal.args[0].args[0]
+        states = {}
+        m.goal_stats(goal, states)
+        assert states.get(id(x), Inst.FREE) is Inst.FREE
+
+
+class TestFindallNesting:
+    def test_findall_of_disjunction(self):
+        m = model_for(BASE)
+        goal = parse_term("findall(X, (p(X) ; q(X)), L)")
+        states = {}
+        stats = m.goal_stats(goal, states)
+        assert stats.prob == 1.0
+        l_var = goal.args[2]
+        assert states[id(l_var)] is Inst.GROUND
+
+    def test_findall_inside_ite(self):
+        m = model_for(BASE)
+        goal = parse_term(
+            "(q(2) -> findall(X, p(X), L) ; L = [])"
+        )
+        states = {}
+        stats = m.goal_stats(goal, states)
+        assert stats is not None
+
+    def test_illegal_deep_inside_poisons(self):
+        m = model_for(BASE)
+        goal = parse_term("findall(X, (p(X), Y is Z + 1), L)")
+        assert m.goal_stats(goal, {}) is None

@@ -1,0 +1,181 @@
+"""Unit tests for the whole-program cost model."""
+
+import pytest
+
+from repro.analysis.declarations import Declarations
+from repro.analysis.modes import Inst, parse_mode_string
+from repro.markov.goal_stats import GoalStats
+from repro.markov.predicate_model import CostModel, head_match_probability
+from repro.prolog import Database, parse_term
+
+
+def model_for(source):
+    database = Database.from_source(source)
+    return CostModel(database, Declarations.from_database(database))
+
+
+def mode(text):
+    return parse_mode_string(text)
+
+
+class TestHeadMatchProbability:
+    def test_variable_head_always_matches(self):
+        m = model_for("f(X, Y).")
+        clause = m.database.clauses(("f", 2))[0]
+        assert head_match_probability(clause, mode("++"), m.domains) == 1.0
+
+    def test_constant_head_scaled_by_domain(self):
+        m = model_for("f(a). f(b). f(c). f(d).")
+        clause = m.database.clauses(("f", 1))[0]
+        assert head_match_probability(clause, mode("+"), m.domains) == pytest.approx(
+            1 / 4
+        )
+
+    def test_unbound_call_always_matches(self):
+        m = model_for("f(a). f(b).")
+        clause = m.database.clauses(("f", 1))[0]
+        assert head_match_probability(clause, mode("-"), m.domains) == 1.0
+
+    def test_structured_head_default(self):
+        m = model_for("f([_ | _]). f([]).")
+        structured = m.database.clauses(("f", 1))[0]
+        assert head_match_probability(structured, mode("+"), m.domains) == 0.5
+
+
+class TestFactPredicates:
+    def test_open_call(self):
+        m = model_for("p(a). p(b). p(c).")
+        stats = m.predicate_stats(("p", 1), mode("-"))
+        assert stats.solutions == pytest.approx(3.0)
+        assert stats.prob > 0.8
+
+    def test_bound_call_is_test(self):
+        m = model_for("p(a). p(b). p(c).")
+        stats = m.predicate_stats(("p", 1), mode("+"))
+        assert stats.solutions == pytest.approx(1.0)
+
+    def test_cost_includes_the_call(self):
+        m = model_for("p(a).")
+        stats = m.predicate_stats(("p", 1), mode("-"))
+        assert stats.cost >= 1.0
+
+
+class TestBuiltins:
+    def test_builtin_from_table(self):
+        m = model_for("f(1).")
+        stats = m.predicate_stats(("is", 2), mode("-+"))
+        assert stats.prob == 1.0
+
+    def test_illegal_builtin_mode(self):
+        m = model_for("f(1).")
+        assert m.predicate_stats(("is", 2), mode("--")) is None
+
+
+class TestRulePredicates:
+    SOURCE = """
+    p(a, b). p(c, d). p(e, b).
+    q(b).
+    r(X) :- p(X, Y), q(Y).
+    """
+
+    def test_rule_stats(self):
+        m = model_for(self.SOURCE)
+        stats = m.predicate_stats(("r", 1), mode("-"))
+        assert stats is not None
+        assert stats.cost > 1.0
+        assert 0 < stats.prob <= 1.0
+
+    def test_illegal_mode_none(self):
+        m = model_for("f(X) :- X > 0.")
+        assert m.predicate_stats(("f", 1), mode("-")) is None
+
+    def test_memoised(self):
+        m = model_for(self.SOURCE)
+        first = m.predicate_stats(("r", 1), mode("-"))
+        second = m.predicate_stats(("r", 1), mode("-"))
+        assert first is second
+
+    def test_override(self):
+        m = model_for(self.SOURCE)
+        better = GoalStats(cost=0.5, solutions=1.0, prob=1.0)
+        m.override_stats(("r", 1), mode("-"), better)
+        assert m.predicate_stats(("r", 1), mode("-")) is better
+
+
+class TestDeclarations:
+    def test_declared_cost_wins(self):
+        m = model_for(":- cost(p/1, [+], 99, 0.25). p(a).")
+        stats = m.predicate_stats(("p", 1), mode("+"))
+        assert stats.cost == 99.0
+        assert stats.prob == 0.25
+
+    def test_recursive_without_declaration_warns(self):
+        m = model_for(
+            ":- legal_mode(len(+, -)). "
+            "len([], 0). len([_ | T], N) :- len(T, M), N is M + 1."
+        )
+        stats = m.predicate_stats(("len", 2), mode("+-"))
+        assert stats is not None
+        assert any("fallback" in w for w in m.warnings)
+
+    def test_recursive_with_declaration_silent(self):
+        m = model_for(
+            ":- legal_mode(len(+, -)). :- cost(len/2, [+, ?], 10, 1.0). "
+            "len([], 0). len([_ | T], N) :- len(T, M), N is M + 1."
+        )
+        stats = m.predicate_stats(("len", 2), mode("+-"))
+        assert stats.cost == 10.0
+        assert not m.warnings
+
+
+class TestControlConstructs:
+    def test_conjunction_goal(self):
+        m = model_for("p(a). q(a).")
+        states = {}
+        stats = m.goal_stats(parse_term("p(X), q(X)"), states)
+        assert stats is not None
+
+    def test_disjunction_adds_solutions(self):
+        m = model_for("p(a). p(b). q(c).")
+        goal = parse_term("(p(X) ; q(X))")
+        stats = m.goal_stats(goal, {})
+        assert stats.solutions == pytest.approx(3.0)
+
+    def test_disjunction_illegal_branch_poisons(self):
+        m = model_for("p(1).")
+        goal = parse_term("(p(X) ; X > 0)")
+        assert m.goal_stats(goal, {}) is None
+
+    def test_negation_flips_probability(self):
+        m = model_for("p(a).")
+        goal = parse_term("\\+ p(X)")
+        x_var = goal.args[0].args[0]
+        states = {id(x_var): Inst.GROUND}
+        stats = m.goal_stats(goal, states)
+        assert stats.solutions <= 1.0
+
+    def test_cut_and_true_free(self):
+        m = model_for("p(a).")
+        assert m.goal_stats(parse_term("!"), {}).cost == 0.0
+        assert m.goal_stats(parse_term("true"), {}).prob == 1.0
+        assert m.goal_stats(parse_term("fail"), {}).prob == 0.0
+
+    def test_findall_grounds_output(self):
+        m = model_for("p(a). p(b).")
+        goal = parse_term("findall(X, p(X), L)")
+        l_var = goal.args[2]
+        states = {}
+        stats = m.goal_stats(goal, states)
+        assert stats.prob == 1.0
+        assert states[id(l_var)] is Inst.GROUND
+
+    def test_if_then_else(self):
+        m = model_for("p(a).")
+        goal = parse_term("(p(X) -> q = q ; r = r)")
+        stats = m.goal_stats(goal, {})
+        assert stats is not None
+        assert 0 < stats.prob <= 1.0
+
+    def test_variable_goal_rejected(self):
+        m = model_for("p(a).")
+        assert m.goal_stats(parse_term("G"), {}) is None

@@ -1,0 +1,101 @@
+"""Unit tests for the Warren geography scenario (§I-E scale)."""
+
+import pytest
+
+from repro.analysis.modes import parse_mode_string
+from repro.baselines.warren import WarrenReorderer
+from repro.programs import geography
+from repro.prolog import Database, Engine, parse_term
+from repro.reorder import Reorderer
+
+
+class TestWorldShape:
+    def test_paper_scale(self):
+        # "about 150" countries, 900 border tuples.
+        assert geography.COUNTRY_COUNT == 150
+        assert len(geography.COUNTRIES) == 150
+        assert len(geography.BORDER_PAIRS) == 900
+
+    def test_borders_symmetric(self):
+        pairs = set(geography.BORDER_PAIRS)
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_no_self_borders(self):
+        assert all(a != b for a, b in geography.BORDER_PAIRS)
+
+    def test_six_neighbours_each(self):
+        from collections import Counter
+
+        outgoing = Counter(a for a, _ in geography.BORDER_PAIRS)
+        assert set(outgoing.values()) == {6}
+
+    def test_deterministic(self):
+        import importlib
+
+        first = list(geography.BORDER_PAIRS)
+        importlib.reload(geography)
+        assert geography.BORDER_PAIRS == first
+
+
+class TestWarrenNumbers:
+    def test_paper_borders_values(self):
+        # The paper's exact worked numbers: 900 / 6 / 0.04.
+        warren = WarrenReorderer(geography.database())
+        goal = parse_term("borders(X, Y)")
+        x, y = goal.args
+        assert warren.goal_factor(goal, set()) == 900
+        assert warren.goal_factor(goal, {id(x)}) == pytest.approx(6)
+        assert warren.goal_factor(goal, {id(x), id(y)}) == pytest.approx(0.04)
+
+    def test_country_factor(self):
+        warren = WarrenReorderer(geography.database())
+        goal = parse_term("country(C)")
+        assert warren.goal_factor(goal, set()) == 150
+
+
+class TestQuestions:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        database = geography.database()
+        warren_database = WarrenReorderer(database).reorder_program()
+        markov_program = Reorderer(database).reorder()
+        return database, warren_database, markov_program
+
+    def test_all_equivalent(self, setup):
+        database, warren_database, markov_program = setup
+        for label, query in geography.QUESTIONS:
+            reference = sorted(s.key() for s in Engine(database).ask(query))
+            assert sorted(
+                s.key() for s in Engine(warren_database).ask(query)
+            ) == reference, label
+            assert sorted(
+                s.key() for s in markov_program.engine().ask(query)
+            ) == reference, label
+
+    def test_both_methods_win_everywhere(self, setup):
+        database, warren_database, markov_program = setup
+        for label, query in geography.QUESTIONS:
+            _, original = Engine(database).run(query)
+            _, via_warren = Engine(warren_database).run(query)
+            _, via_markov = markov_program.engine().run(query)
+            assert via_warren.calls < original.calls, label
+            assert via_markov.calls < original.calls, label
+
+    def test_speedups_up_to_hundreds(self, setup):
+        # "reordering to minimize this yielded speedups up to several
+        # hundred times" — our q4 must exceed 50x.
+        database, warren_database, _ = setup
+        _, original = Engine(database).run("q4(A, B)")
+        _, reordered = Engine(warren_database).run("q4(A, B)")
+        assert original.calls / reordered.calls > 50
+
+    def test_markov_at_least_warren_overall(self, setup):
+        database, warren_database, markov_program = setup
+        warren_total = markov_total = 0
+        for _, query in geography.QUESTIONS:
+            _, via_warren = Engine(warren_database).run(query)
+            _, via_markov = markov_program.engine().run(query)
+            warren_total += via_warren.calls
+            markov_total += via_markov.calls
+        # "somewhat better than Warren's" overall.
+        assert markov_total <= warren_total

@@ -1,0 +1,153 @@
+"""Unit tests for the benchmark program generators."""
+
+import pytest
+
+from repro.programs import REGISTRY, corporate, family_tree, kmbench, meal, p58, team
+from repro.prolog import Database, Engine
+
+
+class TestFamilyTree:
+    def test_paper_fact_counts(self):
+        # "55 constants ... 10 facts for girl/1, 19 for wife/2, and 34
+        # for mother/2."
+        assert len(family_tree.PERSONS) == 55
+        assert len(family_tree.WIFE_FACTS) == 19
+        assert len(family_tree.MOTHER_FACTS) == 34
+        assert len(family_tree.GIRL_FACTS) == 10
+
+    def test_persons_distinct(self):
+        assert len(set(family_tree.PERSONS)) == 55
+
+    def test_deterministic(self):
+        import importlib
+
+        names_before = list(family_tree.PERSONS)
+        importlib.reload(family_tree)
+        assert family_tree.PERSONS == names_before
+
+    def test_no_sibling_marriages(self):
+        mother_of = dict(family_tree.MOTHER_FACTS)
+        for husband, wife in family_tree.WIFE_FACTS:
+            if husband in mother_of and wife in mother_of:
+                assert mother_of[husband] != mother_of[wife]
+
+    def test_database_loads_and_runs(self):
+        engine = Engine(family_tree.database())
+        assert engine.succeeds("grandmother(X, Y)")
+        assert engine.succeeds("aunt(X, Y)")
+        assert engine.succeeds("cousins(X, Y)")
+        assert engine.succeeds("brother(X, Y)")
+
+    def test_every_mother_is_female(self):
+        engine = Engine(family_tree.database())
+        assert not engine.succeeds("mother(_, M), \\+ female(M)")
+
+    def test_males_and_females_partition(self):
+        engine = Engine(family_tree.database())
+        females = engine.count_solutions("female(X)")
+        # 19 wives + 10 girls (females via two rules, duplicates possible
+        # only if a girl is also a wife - by construction not the case).
+        assert females == 29
+
+    def test_relationships_consistent(self):
+        engine = Engine(family_tree.database())
+        # Every aunt pair: the aunt is female or a wife.
+        assert not engine.succeeds("aunt(_, A), \\+ female(A)")
+        # grandmother implies two generations.
+        assert not engine.succeeds("grandmother(X, X)")
+
+
+class TestCorporate:
+    def test_employee_count(self):
+        assert len(corporate.EMPLOYEE_NAMES) == corporate.EMPLOYEE_COUNT == 120
+
+    def test_names_distinct(self):
+        assert len(set(corporate.EMPLOYEE_NAMES)) == 120
+
+    def test_jane_exists(self):
+        # Table III queries mention 'jane' by name.
+        assert "jane" in corporate.EMPLOYEE_NAMES
+        engine = Engine(corporate.database())
+        assert engine.succeeds("employee(_, jane)")
+
+    def test_queries_have_answers(self):
+        engine = Engine(corporate.database())
+        for label, query in corporate.TABLE3_QUERIES:
+            assert engine.count_solutions(query) > 0, label
+
+    def test_average_pay_sane(self):
+        engine = Engine(corporate.database())
+        for solution in engine.ask("average_pay(D, Avg)"):
+            assert 20000 <= int(str(solution["Avg"])) <= 65000
+
+
+class TestP58:
+    def test_loads(self):
+        engine = Engine(p58.database())
+        assert engine.succeeds("p58(X, Y)")
+
+    def test_fully_instantiated_queries(self):
+        engine = Engine(p58.database())
+        (label, queries), = p58.TABLE4_QUERIES
+        assert label == "p58(+,+)"
+        hits = sum(1 for q in queries if engine.succeeds(q))
+        assert 0 < hits < len(queries)
+
+
+class TestMeal:
+    def test_loads(self):
+        engine = Engine(meal.database())
+        assert engine.succeeds("meal(A, M, D)")
+
+    def test_calorie_budget_respected(self):
+        engine = Engine(meal.database())
+        assert not engine.succeeds(
+            "meal(A, M, D), appetizer(A, CA), main_course(M, CM), "
+            "dessert(D, CD), T is CA + CM + CD, T > 800"
+        )
+
+    def test_some_combinations_excluded(self):
+        engine = Engine(meal.database())
+        meals = engine.count_solutions("meal(A, M, D)")
+        assert 0 < meals < 8 * 10 * 8
+
+
+class TestTeam:
+    def test_loads(self):
+        engine = Engine(team.database())
+        assert engine.succeeds("team(L, M)")
+
+    def test_no_self_teams(self):
+        engine = Engine(team.database())
+        assert not engine.succeeds("team(P, P)")
+
+    def test_people_count(self):
+        assert len(team.PEOPLE) == 25
+
+
+class TestKmbench:
+    def test_all_problems_provable(self):
+        engine = Engine(kmbench.database())
+        for problem in kmbench.PROBLEMS:
+            assert engine.succeeds(f"prove({problem})"), problem
+
+    def test_unprovable(self):
+        engine = Engine(kmbench.database())
+        assert not engine.succeeds("prove(happy(carol))")
+
+    def test_driver_runs(self):
+        engine = Engine(kmbench.database())
+        assert engine.succeeds("kmbench")
+
+
+class TestRegistry:
+    def test_all_programs_registered(self):
+        assert set(REGISTRY) == {
+            "family_tree", "corporate", "p58", "meal", "team", "kmbench",
+            "geography",
+        }
+
+    def test_all_sources_parse(self):
+        for name, module in REGISTRY.items():
+            database = Database.from_source(module.source())
+            assert len(database.predicates()) > 0, name

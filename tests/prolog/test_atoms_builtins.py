@@ -1,0 +1,96 @@
+"""Unit tests for atom-text and sorting builtins."""
+
+import pytest
+
+from repro.errors import InstantiationError, TypeErrorProlog
+from repro.prolog import Engine
+
+
+def engine(source="", **kwargs):
+    return Engine.from_source(source, **kwargs)
+
+
+def one(eng, query, var):
+    (solution,) = eng.ask(query)
+    return str(solution[var])
+
+
+class TestAtomCodes:
+    def test_atom_to_codes(self):
+        assert one(engine(), "atom_codes(abc, L)", "L") == "[97, 98, 99]"
+
+    def test_codes_to_atom(self):
+        assert one(engine(), 'atom_codes(A, "hi")', "A") == "hi"
+
+    def test_number_first_arg(self):
+        assert one(engine(), "atom_codes(12, L)", "L") == "[49, 50]"
+
+    def test_check_mode(self):
+        assert engine().succeeds('atom_codes(hi, "hi")')
+        assert not engine().succeeds('atom_codes(hi, "ho")')
+
+
+class TestNumberCodes:
+    def test_number_to_codes(self):
+        assert one(engine(), "number_codes(42, L)", "L") == "[52, 50]"
+
+    def test_codes_to_int(self):
+        assert one(engine(), 'number_codes(N, "42")', "N") == "42"
+
+    def test_codes_to_float(self):
+        assert one(engine(), 'number_codes(N, "2.5")', "N") == "2.5"
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(TypeErrorProlog):
+            engine().succeeds('number_codes(N, "abc")')
+
+
+class TestName:
+    def test_atom(self):
+        assert one(engine(), "name(foo, L), atom_codes(A, L)", "A") == "foo"
+
+    def test_parses_number(self):
+        assert one(engine(), 'name(X, "42")', "X") == "42"
+        (solution,) = engine().ask('name(X, "42")')
+        assert solution["X"].__class__ is int
+
+    def test_falls_back_to_atom(self):
+        assert one(engine(), 'name(X, "a1")', "X") == "a1"
+
+
+class TestAtomLength:
+    def test_length(self):
+        assert one(engine(), "atom_length(hello, N)", "N") == "5"
+
+    def test_unbound_raises(self):
+        with pytest.raises(InstantiationError):
+            engine().succeeds("atom_length(A, 3)")
+
+    def test_non_atom_raises(self):
+        with pytest.raises(TypeErrorProlog):
+            engine().succeeds("atom_length(42, N)")
+
+
+class TestSorting:
+    def test_msort_keeps_duplicates(self):
+        assert one(engine(), "msort([b, a, c, a], L)", "L") == "[a, a, b, c]"
+
+    def test_sort_removes_duplicates(self):
+        assert one(engine(), "sort([b, a, c, a], L)", "L") == "[a, b, c]"
+
+    def test_sort_standard_order(self):
+        assert one(engine(), "sort([foo, 2, f(1), 1], L)", "L") == "[1, 2, foo, f(1)]"
+
+    def test_keysort_stable(self):
+        result = one(
+            engine(), "keysort([b - 1, a - 2, b - 3, a - 4], L)", "L"
+        )
+        assert result == "[a - 2, a - 4, b - 1, b - 3]"
+
+    def test_keysort_requires_pairs(self):
+        with pytest.raises(TypeErrorProlog):
+            engine().succeeds("keysort([a], L)")
+
+    def test_open_list_raises(self):
+        with pytest.raises(InstantiationError):
+            engine().succeeds("sort([a | T], L)")

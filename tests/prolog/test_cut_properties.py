@@ -1,0 +1,89 @@
+"""Property-based cut semantics checks.
+
+There is no independent oracle for cut, but two strong invariants hold
+against the cut-free version of any pure program:
+
+* removing every cut can only *add* answers (cut prunes, never
+  generates);
+* the first answer is identical with and without cuts **when the cut
+  is clause-final** (a trailing cut commits to bindings already made,
+  so the first solution is untouched).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.prolog import Database, Engine
+
+CONSTS = ["a", "b", "c"]
+
+
+@st.composite
+def cut_programs(draw):
+    """Programs whose rules may end in a trailing cut."""
+    lines = []
+    for predicate in ("p", "q"):
+        for _ in range(draw(st.integers(min_value=1, max_value=4))):
+            args = ", ".join(draw(st.sampled_from(CONSTS)) for _ in range(2))
+            lines.append(f"{predicate}({args}).")
+    rule_count = draw(st.integers(min_value=1, max_value=3))
+    for index in range(rule_count):
+        goal_count = draw(st.integers(min_value=1, max_value=3))
+        goals = []
+        for _ in range(goal_count):
+            predicate = draw(st.sampled_from(["p", "q"]))
+            first = draw(st.sampled_from(["X", "Y"] + CONSTS[:1]))
+            second = draw(st.sampled_from(["X", "Y"] + CONSTS[:1]))
+            goals.append(f"{predicate}({first}, {second})")
+        if draw(st.booleans()):
+            goals.append("!")
+        lines.append(f"r{index}(X, Y) :- {', '.join(goals)}.")
+        # Possibly a second clause for the same rule.
+        if draw(st.booleans()):
+            lines.append(f"r{index}(X, Y) :- p(X, Y).")
+    return "\n".join(lines)
+
+
+def strip_cuts(source: str) -> str:
+    return (
+        source.replace(", !,", ",")
+        .replace(", !.", ".")
+        .replace(":- !,", ":-")
+        .replace(":- !.", ":- true.")
+    )
+
+
+def answer_set(source, query):
+    return [s.key() for s in Engine(Database.from_source(source)).ask(query)]
+
+
+@given(cut_programs())
+@settings(max_examples=50, deadline=None)
+def test_cut_only_prunes(source):
+    cutfree = strip_cuts(source)
+    for index in range(3):
+        query = f"r{index}(V0, V1)"
+        database = Database.from_source(source)
+        if not database.defines((f"r{index}", 2)):
+            continue
+        with_cut = set(answer_set(source, query))
+        without_cut = set(answer_set(cutfree, query))
+        assert with_cut <= without_cut, source
+
+
+@given(cut_programs())
+@settings(max_examples=50, deadline=None)
+def test_trailing_cut_keeps_first_answer(source):
+    cutfree = strip_cuts(source)
+    for index in range(3):
+        database = Database.from_source(source)
+        if not database.defines((f"r{index}", 2)):
+            continue
+        query = f"r{index}(V0, V1)"
+        with_cut = answer_set(source, query)
+        without_cut = answer_set(cutfree, query)
+        if without_cut:
+            assert with_cut, source
+            assert with_cut[0] == without_cut[0], source
+        else:
+            assert not with_cut, source

@@ -1,0 +1,163 @@
+"""Unit tests for the clause database and first-argument indexing."""
+
+import pytest
+
+from repro.prolog.database import Clause, Database, body_goals, goals_to_body, split_clause
+from repro.prolog.reader.parser import parse_term
+from repro.prolog.terms import Atom, Struct, Var
+
+
+class TestSplitClause:
+    def test_fact(self):
+        head, body = split_clause(parse_term("f(a)"))
+        assert head.indicator == ("f", 1)
+        assert body is Atom("true")
+
+    def test_rule(self):
+        head, body = split_clause(parse_term("a :- b, c"))
+        assert head is Atom("a")
+        assert body.name == ","
+
+
+class TestBodyGoals:
+    def test_flattens_conjunction(self):
+        goals = body_goals(parse_term("a, b, c"))
+        assert [g.name for g in goals] == ["a", "b", "c"]
+
+    def test_nested_left(self):
+        goals = body_goals(parse_term("(a, b), c"))
+        assert [g.name for g in goals] == ["a", "b", "c"]
+
+    def test_disjunction_stays_single(self):
+        goals = body_goals(parse_term("a, (b ; c), d"))
+        assert len(goals) == 3
+        assert goals[1].name == ";"
+
+    def test_single_goal(self):
+        assert [g.name for g in body_goals(Atom("a"))] == ["a"]
+
+    def test_roundtrip(self):
+        body = parse_term("a, b, c, d")
+        assert body_goals(goals_to_body(body_goals(body))) == body_goals(body)
+
+    def test_empty_goals_to_true(self):
+        assert goals_to_body([]) is Atom("true")
+
+
+class TestDatabaseBasics:
+    def test_from_source(self):
+        db = Database.from_source("f(a). f(b). g(X) :- f(X).")
+        assert db.defines(("f", 1))
+        assert db.defines(("g", 1))
+        assert len(db.clauses(("f", 1))) == 2
+
+    def test_source_order_preserved(self):
+        db = Database.from_source("f(c). f(a). f(b).")
+        heads = [c.head.args[0].name for c in db.clauses(("f", 1))]
+        assert heads == ["c", "a", "b"]
+
+    def test_directives_collected(self):
+        db = Database.from_source(":- mode(f(+)). f(a).")
+        assert len(db.directives) == 1
+        assert db.directives[0].indicator == ("mode", 1)
+
+    def test_clause_is_fact(self):
+        db = Database.from_source("f(a). g :- f(a).")
+        assert db.clauses(("f", 1))[0].is_fact
+        assert not db.clauses(("g", 0))[0].is_fact
+
+    def test_rename_produces_fresh_variant(self):
+        db = Database.from_source("f(X, X).")
+        clause = db.clauses(("f", 2))[0]
+        head1, _ = clause.rename()
+        head2, _ = clause.rename()
+        assert head1.args[0] is not head2.args[0]
+        assert head1.args[0] is head1.args[1]
+
+    def test_undefined_predicate(self):
+        db = Database()
+        assert db.clauses(("nope", 3)) == []
+        assert not db.defines(("nope", 3))
+
+    def test_len_counts_clauses(self):
+        db = Database.from_source("f(a). f(b). g.")
+        assert len(db) == 3
+
+    def test_to_terms_roundtrip(self):
+        db = Database.from_source("f(a). g(X) :- f(X).")
+        terms = db.to_terms()
+        assert len(terms) == 2
+        assert terms[1].indicator == (":-", 2)
+
+
+class TestReplacePredicate:
+    def test_replace(self):
+        db = Database.from_source("f(a). f(b).")
+        new = [Clause(Struct("f", (Atom("z"),)), Atom("true"))]
+        db.replace_predicate(("f", 1), new)
+        assert [c.head.args[0].name for c in db.clauses(("f", 1))] == ["z"]
+
+    def test_replace_renumbers(self):
+        db = Database.from_source("f(a).")
+        clauses = db.clauses(("f", 1)) * 3
+        db.replace_predicate(("f", 1), clauses)
+        assert [c.index for c in db.clauses(("f", 1))] == [0, 1, 2]
+
+    def test_remove(self):
+        db = Database.from_source("f(a).")
+        db.remove_predicate(("f", 1))
+        assert not db.defines(("f", 1))
+
+
+class TestIndexing:
+    SOURCE = "p(a, 1). p(b, 2). p(a, 3). p(X, 4). p([h | t], 5). p(7, 6)."
+
+    def test_bound_atom_filters(self):
+        db = Database.from_source(self.SOURCE, indexing=True)
+        goal = parse_term("p(a, N)")
+        picked = db.matching_clauses(goal)
+        # a-clauses plus the variable-head clause, in source order.
+        values = [c.head.args[1] for c in picked]
+        assert values == [1, 3, 4]
+
+    def test_unbound_first_arg_gets_all(self):
+        db = Database.from_source(self.SOURCE, indexing=True)
+        goal = parse_term("p(X, N)")
+        assert len(db.matching_clauses(goal)) == 6
+
+    def test_struct_key(self):
+        db = Database.from_source(self.SOURCE, indexing=True)
+        picked = db.matching_clauses(parse_term("p([a | B], N)"))
+        assert [c.head.args[1] for c in picked] == [4, 5]
+
+    def test_number_key(self):
+        db = Database.from_source(self.SOURCE, indexing=True)
+        picked = db.matching_clauses(parse_term("p(7, N)"))
+        assert [c.head.args[1] for c in picked] == [4, 6]
+
+    def test_no_match_key_gets_var_clauses_only(self):
+        db = Database.from_source(self.SOURCE, indexing=True)
+        picked = db.matching_clauses(parse_term("p(zzz, N)"))
+        assert [c.head.args[1] for c in picked] == [4]
+
+    def test_indexing_off_returns_all(self):
+        db = Database.from_source(self.SOURCE, indexing=False)
+        assert len(db.matching_clauses(parse_term("p(a, N)"))) == 6
+
+    def test_index_invalidated_on_add(self):
+        db = Database.from_source("p(a, 1).", indexing=True)
+        db.matching_clauses(parse_term("p(a, N)"))  # build index
+        db.consult("p(a, 2).")
+        picked = db.matching_clauses(parse_term("p(a, N)"))
+        assert [c.head.args[1] for c in picked] == [1, 2]
+
+    def test_zero_arity_unaffected(self):
+        db = Database.from_source("q. q.", indexing=True)
+        assert len(db.matching_clauses(Atom("q"))) == 2
+
+    def test_copy_shares_clauses_not_lists(self):
+        db = Database.from_source("p(a, 1).")
+        other = db.copy()
+        other.consult("p(b, 2).")
+        assert len(db.clauses(("p", 2))) == 1
+        assert len(other.clauses(("p", 2))) == 2

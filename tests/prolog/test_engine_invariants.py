@@ -1,0 +1,114 @@
+"""Engine invariants: trail discipline, re-entrancy, determinism.
+
+After any completed query (success, failure, or error), the trail must
+be fully unwound and every variable stored in the database's clauses
+must be unbound again — otherwise one query could corrupt the next.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import PrologError
+from repro.prolog import Database, Engine
+from repro.prolog.terms import Var, deref, term_variables
+
+SOURCE = """
+p(a, 1). p(b, 2). p(c, 3).
+q(1). q(3).
+r(X, N) :- p(X, N), q(N).
+first(X) :- p(X, _), !.
+neg(X) :- p(X, N), \\+ q(N).
+loop(X) :- loop(X).
+broken(X) :- X is foo + 1.
+items([a, b, c]).
+nth(I, X) :- items(L), between(1, 3, I), grab(I, L, X).
+grab(1, [X | _], X).
+grab(N, [_ | T], X) :- N > 1, M is N - 1, grab(M, T, X).
+"""
+
+QUERIES = [
+    "p(X, N)",
+    "r(X, N)",
+    "first(X)",
+    "neg(X)",
+    "nth(I, X)",
+    "p(zzz, N)",
+    "findall(X, p(X, _), L)",
+    "setof(N, X ^ p(X, N), S)",
+    "(p(a, N) -> q(N) ; true)",
+]
+
+
+def database_variables(database):
+    variables = []
+    for clause in database.all_clauses():
+        variables.extend(term_variables(clause.head))
+        variables.extend(term_variables(clause.body))
+    return variables
+
+
+class TestTrailDiscipline:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_trail_empty_after_query(self, query):
+        engine = Engine.from_source(SOURCE)
+        engine.ask(query)
+        assert len(engine.trail) == 0
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_clause_variables_unbound_after_query(self, query):
+        database = Database.from_source(SOURCE)
+        engine = Engine(database)
+        engine.ask(query)
+        # Stored clauses are renamed on use, so their own variables must
+        # never be bound; check anyway (a rename bug would show here).
+        for variable in database_variables(database):
+            assert variable.ref is None
+
+    def test_trail_unwound_after_error(self):
+        engine = Engine.from_source(SOURCE)
+        with pytest.raises(PrologError):
+            engine.ask("p(X, N), broken(X)")
+        assert len(engine.trail) == 0
+
+    def test_trail_unwound_after_depth_limit(self):
+        engine = Engine.from_source(SOURCE, max_depth=30)
+        with pytest.raises(PrologError):
+            engine.ask("loop(x)")
+        assert len(engine.trail) == 0
+
+
+class TestReentrancy:
+    def test_queries_independent(self):
+        engine = Engine.from_source(SOURCE)
+        first = [s.key() for s in engine.ask("r(X, N)")]
+        engine.ask("first(X)")
+        engine.ask("p(zzz, N)")
+        second = [s.key() for s in engine.ask("r(X, N)")]
+        assert first == second
+
+    def test_partial_consumption_then_new_query(self):
+        engine = Engine.from_source(SOURCE)
+        iterator = engine.solve("p(X, N)")
+        next(iterator)  # take one answer, abandon the rest
+        results = engine.ask("q(N)")
+        assert len(results) == 2
+
+    def test_two_engines_share_database(self):
+        database = Database.from_source(SOURCE)
+        one, two = Engine(database), Engine(database)
+        a = [s.key() for s in one.ask("r(X, N)")]
+        b = [s.key() for s in two.ask("r(X, N)")]
+        assert a == b
+
+
+class TestDeterminism:
+    @given(st.sampled_from(QUERIES))
+    @settings(max_examples=20, deadline=None)
+    def test_same_query_same_metrics(self, query):
+        first_engine = Engine.from_source(SOURCE)
+        _, first = first_engine.run(query)
+        second_engine = Engine.from_source(SOURCE)
+        _, second = second_engine.run(query)
+        assert first.calls == second.calls
+        assert first.unifications == second.unifications

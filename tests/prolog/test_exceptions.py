@@ -1,0 +1,111 @@
+"""Tests for throw/1 and catch/3."""
+
+import pytest
+
+from repro.errors import (
+    CallBudgetExceeded,
+    DepthLimitExceeded,
+    InstantiationError,
+    PrologThrow,
+)
+from repro.prolog import Engine
+
+
+def engine(source="", **kwargs):
+    return Engine.from_source(source, **kwargs)
+
+
+def one(eng, query, var):
+    (solution,) = eng.ask(query)
+    return str(solution[var])
+
+
+class TestThrow:
+    def test_uncaught_ball_surfaces(self):
+        with pytest.raises(PrologThrow) as excinfo:
+            engine().succeeds("throw(my_ball)")
+        assert str(excinfo.value.ball) == "my_ball"
+
+    def test_unbound_ball_rejected(self):
+        with pytest.raises(InstantiationError):
+            engine().succeeds("throw(B)")
+
+    def test_ball_is_copied(self):
+        # The thrown ball carries the bindings at throw time.
+        with pytest.raises(PrologThrow) as excinfo:
+            engine().succeeds("X = payload(42), throw(wrapped(X))")
+        assert str(excinfo.value.ball) == "wrapped(payload(42))"
+
+
+class TestCatch:
+    def test_catches_matching_ball(self):
+        assert one(engine(), "catch(throw(oops), E, true)", "E") == "oops"
+
+    def test_recovery_runs(self):
+        assert one(
+            engine(), "catch(throw(oops), oops, R = recovered)", "R"
+        ) == "recovered"
+
+    def test_non_matching_ball_rethrown(self):
+        with pytest.raises(PrologThrow):
+            engine().succeeds("catch(throw(alpha), beta, true)")
+
+    def test_no_ball_passes_through(self):
+        eng = engine("f(1). f(2).")
+        assert [str(s["X"]) for s in eng.ask("catch(f(X), _, fail)")] == ["1", "2"]
+
+    def test_goal_bindings_undone_before_recovery(self):
+        eng = engine("step(X) :- X = started, throw(boom).")
+        (solution,) = eng.ask("catch(step(X), boom, true)")
+        # X's binding from the aborted goal must be gone.
+        assert "X" not in solution or str(solution["X"]) == "X"
+
+    def test_nested_catch_inner_wins(self):
+        result = one(
+            engine(),
+            "catch(catch(throw(b), b, W = inner), b, W = outer)",
+            "W",
+        )
+        assert result == "inner"
+
+    def test_nested_catch_outer_on_mismatch(self):
+        result = one(
+            engine(),
+            "catch(catch(throw(z), b, W = inner), z, W = outer)",
+            "W",
+        )
+        assert result == "outer"
+
+    def test_throw_from_deep_call(self):
+        eng = engine("deep(0) :- throw(bottom). deep(N) :- M is N - 1, deep(M).")
+        assert one(eng, "catch(deep(5), E, true)", "E") == "bottom"
+
+
+class TestEngineErrorsCatchable:
+    def test_instantiation_error(self):
+        result = one(engine(), "catch(X is Y + 1, error(K, _), true)", "K")
+        assert result == "instantiation_error"
+
+    def test_existence_error(self):
+        result = one(engine(), "catch(ghost(1), error(K, _), true)", "K")
+        assert result == "existence_error"
+
+    def test_evaluation_error(self):
+        result = one(engine(), "catch(X is 1 // 0, error(K, _), true)", "K")
+        assert result == "evaluation_error"
+
+    def test_type_error(self):
+        result = one(engine(), "catch(atom_length(3, N), error(K, _), true)", "K")
+        assert result == "type_error"
+
+
+class TestSafetyBoundsStayUncatchable:
+    def test_depth_limit(self):
+        eng = engine("loop :- loop.", max_depth=30)
+        with pytest.raises(DepthLimitExceeded):
+            eng.succeeds("catch(loop, _, true)")
+
+    def test_call_budget(self):
+        eng = engine("f(1). g :- f(_), g.", call_budget=50, max_depth=20)
+        with pytest.raises((CallBudgetExceeded, DepthLimitExceeded)):
+            eng.succeeds("catch(g, _, true)")

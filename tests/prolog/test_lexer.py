@@ -1,0 +1,161 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.reader.lexer import tokenize
+from repro.prolog.reader.tokens import TokenType
+
+
+def kinds(text):
+    return [t.type for t in tokenize(text)[:-1]]  # drop EOF
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_atom(self):
+        (tok, _) = tokenize("foo")
+        assert tok.type is TokenType.ATOM
+        assert tok.value == "foo"
+
+    def test_variable(self):
+        assert kinds("X _foo _") == [TokenType.VARIABLE] * 3
+
+    def test_integer(self):
+        tok = tokenize("42")[0]
+        assert tok.type is TokenType.INTEGER
+        assert tok.value == "42"
+
+    def test_float(self):
+        tok = tokenize("3.14")[0]
+        assert tok.type is TokenType.FLOAT
+        assert tok.value == "3.14"
+
+    def test_float_exponent(self):
+        assert tokenize("1.5e10")[0].type is TokenType.FLOAT
+        assert tokenize("2e-3")[0].type is TokenType.FLOAT
+
+    def test_char_code(self):
+        tok = tokenize("0'a")[0]
+        assert tok.type is TokenType.INTEGER
+        assert tok.value == str(ord("a"))
+
+    def test_char_code_escape(self):
+        assert tokenize(r"0'\n")[0].value == str(ord("\n"))
+
+    def test_eof_token(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+
+class TestQuoting:
+    def test_quoted_atom(self):
+        tok = tokenize("'hello world'")[0]
+        assert tok.type is TokenType.ATOM
+        assert tok.value == "hello world"
+
+    def test_doubled_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_escapes(self):
+        assert tokenize(r"'a\nb'")[0].value == "a\nb"
+        assert tokenize(r"'a\\b'")[0].value == "a\\b"
+
+    def test_string(self):
+        tok = tokenize('"abc"')[0]
+        assert tok.type is TokenType.STRING
+        assert tok.value == "abc"
+
+    def test_unterminated_quote(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("'oops")
+
+
+class TestSymbolicAtoms:
+    def test_clause_neck(self):
+        assert values("a :- b") == ["a", ":-", "b"]
+
+    def test_univ(self):
+        assert values("X =.. L") == ["X", "=..", "L"]
+
+    def test_naf(self):
+        assert values("\\+ a") == ["\\+", "a"]
+
+    def test_solo_atoms_do_not_merge(self):
+        assert values("!;!") == ["!", ";", "!"]
+
+    def test_comparison_chains(self):
+        assert values("X @=< Y") == ["X", "@=<", "Y"]
+
+
+class TestEndToken:
+    def test_end_after_atom(self):
+        tokens = tokenize("foo.")
+        assert tokens[1].type is TokenType.END
+
+    def test_end_requires_layout_or_eof(self):
+        # '.(' is a symbolic atom '.', not a terminator.
+        tokens = tokenize("foo. bar.")
+        assert [t.type for t in tokens[:-1]] == [
+            TokenType.ATOM,
+            TokenType.END,
+            TokenType.ATOM,
+            TokenType.END,
+        ]
+
+    def test_float_dot_not_end(self):
+        tokens = tokenize("1.5.")
+        assert tokens[0].type is TokenType.FLOAT
+        assert tokens[1].type is TokenType.END
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert values("a % comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert values("a /* stuff\nmore */ b") == ["a", "b"]
+
+    def test_unterminated_block(self):
+        with pytest.raises(PrologSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestPunctuation:
+    def test_parens_brackets(self):
+        assert values("( ) [ ] { } , |") == ["(", ")", "[", "]", "{", "}", ",", "|"]
+
+    def test_empty_list_atom(self):
+        tok = tokenize("[]")[0]
+        assert tok.type is TokenType.ATOM
+        assert tok.value == "[]"
+
+    def test_empty_braces_atom(self):
+        assert tokenize("{}")[0].value == "{}"
+
+
+class TestFunctorFlag:
+    def test_functor_set_when_adjacent(self):
+        assert tokenize("f(x)")[0].functor
+
+    def test_not_functor_with_space(self):
+        assert not tokenize("f (x)")[0].functor
+
+    def test_quoted_functor(self):
+        assert tokenize("'my pred'(x)")[0].functor
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3
+
+    def test_error_reports_position(self):
+        with pytest.raises(PrologSyntaxError) as excinfo:
+            tokenize("a\n  \x01")
+        assert excinfo.value.line == 2

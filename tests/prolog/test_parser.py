@@ -1,0 +1,241 @@
+"""Unit tests for the operator-precedence parser."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog.reader.parser import Parser, parse_term, parse_terms
+from repro.prolog.terms import Atom, Struct, Var, list_to_python
+
+
+def s(name, *args):
+    return Struct(name, args)
+
+
+class TestPrimaries:
+    def test_atom(self):
+        assert parse_term("foo") is Atom("foo")
+
+    def test_integer(self):
+        assert parse_term("42") == 42
+
+    def test_float(self):
+        assert parse_term("3.5") == 3.5
+
+    def test_variable(self):
+        term = parse_term("X")
+        assert isinstance(term, Var)
+        assert term.name == "X"
+
+    def test_compound(self):
+        term = parse_term("f(a, b)")
+        assert term.indicator == ("f", 2)
+        assert term.args == (Atom("a"), Atom("b"))
+
+    def test_nested(self):
+        term = parse_term("f(g(X), h(1, 2.0))")
+        assert term.args[0].indicator == ("g", 1)
+        assert term.args[1].args == (1, 2.0)
+
+    def test_quoted_atom_functor(self):
+        assert parse_term("'my pred'(a)").name == "my pred"
+
+    def test_string_becomes_code_list(self):
+        term = parse_term('"ab"')
+        assert list_to_python(term) == [97, 98]
+
+    def test_braces(self):
+        term = parse_term("{a, b}")
+        assert term.indicator == ("{}", 1)
+
+
+class TestVariables:
+    def test_same_name_same_var_in_clause(self):
+        term = parse_term("f(X, X)")
+        assert term.args[0] is term.args[1]
+
+    def test_underscore_always_fresh(self):
+        term = parse_term("f(_, _)")
+        assert term.args[0] is not term.args[1]
+
+    def test_fresh_per_clause(self):
+        clauses = parse_terms("f(X). g(X).")
+        assert clauses[0].args[0] is not clauses[1].args[0]
+
+    def test_variable_map(self):
+        parser = Parser("f(Alpha, Beta).")
+        parser.read_term()
+        assert set(parser.last_variable_map()) == {"Alpha", "Beta"}
+
+
+class TestLists:
+    def test_empty(self):
+        assert parse_term("[]") is Atom("[]")
+
+    def test_elements(self):
+        assert list_to_python(parse_term("[1, 2, 3]")) == [1, 2, 3]
+
+    def test_tail(self):
+        term = parse_term("[H | T]")
+        assert isinstance(term.args[0], Var)
+        assert isinstance(term.args[1], Var)
+
+    def test_multi_head_tail(self):
+        term = parse_term("[a, b | T]")
+        assert term.args[0] is Atom("a")
+        inner = term.args[1]
+        assert inner.args[0] is Atom("b")
+
+    def test_nested_lists(self):
+        term = parse_term("[[1], [2, 3]]")
+        outer = list_to_python(term)
+        assert list_to_python(outer[0]) == [1]
+        assert list_to_python(outer[1]) == [2, 3]
+
+
+class TestOperators:
+    def test_clause(self):
+        term = parse_term("a :- b")
+        assert term.indicator == (":-", 2)
+
+    def test_conjunction_right_assoc(self):
+        term = parse_term("a, b, c")
+        assert term.name == ","
+        assert term.args[0] is Atom("a")
+        assert term.args[1].name == ","
+
+    def test_disjunction_binds_looser_than_conjunction(self):
+        term = parse_term("a, b ; c")
+        assert term.name == ";"
+        assert term.args[0].name == ","
+
+    def test_if_then_else_shape(self):
+        term = parse_term("(c -> t ; e)")
+        assert term.name == ";"
+        assert term.args[0].name == "->"
+
+    def test_arith_precedence(self):
+        term = parse_term("1 + 2 * 3")
+        assert term.name == "+"
+        assert term.args[1].name == "*"
+
+    def test_left_assoc_minus(self):
+        term = parse_term("1 - 2 - 3")
+        assert term.name == "-"
+        assert term.args[0].name == "-"
+
+    def test_power_right_side(self):
+        term = parse_term("2 ** 3")
+        assert term.indicator == ("**", 2)
+
+    def test_comparison_non_assoc(self):
+        term = parse_term("X is Y + 1")
+        assert term.name == "is"
+        assert term.args[1].name == "+"
+
+    def test_unary_minus_number(self):
+        assert parse_term("-5") == -5
+        assert parse_term("-2.5") == -2.5
+
+    def test_unary_minus_term(self):
+        term = parse_term("-(a)")
+        assert term.indicator == ("-", 1)
+
+    def test_negation_prefix(self):
+        term = parse_term("\\+ a")
+        assert term.indicator == ("\\+", 1)
+
+    def test_binary_minus_after_atom(self):
+        term = parse_term("x - 1")
+        assert term.indicator == ("-", 2)
+
+    def test_parenthesised_comma_in_args(self):
+        term = parse_term("f((a, b), c)")
+        assert term.arity == 2
+        assert term.args[0].name == ","
+
+    def test_operator_as_quoted_functor(self):
+        term = parse_term("'+'(1, 2)")
+        assert term.indicator == ("+", 2)
+
+    def test_univ(self):
+        term = parse_term("X =.. [f, A]")
+        assert term.indicator == ("=..", 2)
+
+    def test_directive(self):
+        term = parse_term(":- mode(foo(+, -))")
+        assert term.indicator == (":-", 1)
+        assert term.args[0].indicator == ("mode", 1)
+
+    def test_mode_items_parse(self):
+        # '+' and '-' as prefix operators applied to nothing would fail;
+        # inside mode declarations they are atoms in argument positions.
+        term = parse_term("mode(f(+, -, ?))")
+        args = term.args[0].args
+        assert [a.name for a in args] == ["+", "-", "?"]
+
+
+class TestPrograms:
+    def test_multiple_clauses(self):
+        clauses = parse_terms("a. b :- c. d(1).")
+        assert len(clauses) == 3
+
+    def test_comments_between_clauses(self):
+        clauses = parse_terms("a. % one\n/* two */ b.")
+        assert len(clauses) == 2
+
+    def test_empty_program(self):
+        assert parse_terms("") == []
+        assert parse_terms("  % just a comment\n") == []
+
+
+class TestErrors:
+    def test_missing_terminator(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_terms("a :- b")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("f(a")
+
+    def test_trailing_junk(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("a b")
+
+    def test_unexpected_close(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term(")")
+
+    def test_two_infix_in_a_row(self):
+        with pytest.raises(PrologSyntaxError):
+            parse_term("1 + * 2")
+
+
+class TestRealClauses:
+    """Clauses lifted from the paper's own listings."""
+
+    def test_grandmother(self):
+        term = parse_term("grandmother(GC, GM) :- grandparent(GC, GM), female(GM)")
+        head, body = term.args
+        assert head.indicator == ("grandmother", 2)
+        assert body.name == ","
+
+    def test_show_all_loop(self):
+        term = parse_term("show_all :- t(X, Y, Z), write((X, Y, Z)), nl, fail")
+        assert term.args[0] is Atom("show_all")
+
+    def test_length_clause(self):
+        term = parse_term("length([_ | List], C, L) :- C1 is C + 1, length(List, C1, L)")
+        assert term.args[0].indicator == ("length", 3)
+
+    def test_dispatcher(self):
+        source = """
+        aunt(X, Y) :-
+            ( var(X) ->
+                ( var(Y) -> aunt_uu(X, Y) ; aunt_ui(X, Y) )
+            ;   ( var(Y) -> aunt_iu(X, Y) ; aunt_ii(X, Y) )
+            ).
+        """
+        (clause,) = parse_terms(source)
+        body = clause.args[1]
+        assert body.name == ";"
+        assert body.args[0].name == "->"

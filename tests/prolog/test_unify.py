@@ -1,0 +1,158 @@
+"""Unit tests for unification and the trail."""
+
+from repro.prolog.terms import Atom, Struct, Var, deref, make_list
+from repro.prolog.unify import Trail, bind, occurs_in, unify
+
+
+def fresh_trail():
+    return Trail()
+
+
+class TestTrail:
+    def test_mark_and_undo(self):
+        trail = fresh_trail()
+        v1, v2 = Var(), Var()
+        mark = trail.mark()
+        bind(v1, Atom("a"), trail)
+        bind(v2, Atom("b"), trail)
+        assert len(trail) == 2
+        trail.undo_to(mark)
+        assert v1.ref is None and v2.ref is None
+        assert len(trail) == 0
+
+    def test_partial_undo(self):
+        trail = fresh_trail()
+        v1, v2 = Var(), Var()
+        bind(v1, Atom("a"), trail)
+        mark = trail.mark()
+        bind(v2, Atom("b"), trail)
+        trail.undo_to(mark)
+        assert v1.ref is Atom("a")
+        assert v2.ref is None
+        v1.ref = None
+
+    def test_undo_to_current_is_noop(self):
+        trail = fresh_trail()
+        trail.undo_to(trail.mark())
+
+
+class TestUnifyBasics:
+    def test_identical_atoms(self):
+        assert unify(Atom("a"), Atom("a"), fresh_trail())
+
+    def test_distinct_atoms_fail(self):
+        assert not unify(Atom("a"), Atom("b"), fresh_trail())
+
+    def test_numbers(self):
+        assert unify(3, 3, fresh_trail())
+        assert not unify(3, 4, fresh_trail())
+
+    def test_int_float_do_not_unify(self):
+        assert not unify(1, 1.0, fresh_trail())
+
+    def test_atom_vs_number_fail(self):
+        assert not unify(Atom("a"), 1, fresh_trail())
+
+    def test_var_binds_to_atom(self):
+        trail = fresh_trail()
+        v = Var()
+        assert unify(v, Atom("a"), trail)
+        assert deref(v) is Atom("a")
+        trail.undo_to(0)
+
+    def test_atom_binds_var_symmetric(self):
+        trail = fresh_trail()
+        v = Var()
+        assert unify(Atom("a"), v, trail)
+        assert deref(v) is Atom("a")
+        trail.undo_to(0)
+
+    def test_var_var_aliasing(self):
+        trail = fresh_trail()
+        x, y = Var(), Var()
+        assert unify(x, y, trail)
+        assert unify(x, Atom("a"), trail)
+        assert deref(y) is Atom("a")
+        trail.undo_to(0)
+
+    def test_same_var_trivial(self):
+        trail = fresh_trail()
+        v = Var()
+        assert unify(v, v, trail)
+        assert len(trail) == 0
+
+
+class TestUnifyStructs:
+    def test_matching_structs(self):
+        trail = fresh_trail()
+        x = Var()
+        assert unify(Struct("f", (x, Atom("b"))), Struct("f", (Atom("a"), Atom("b"))), trail)
+        assert deref(x) is Atom("a")
+        trail.undo_to(0)
+
+    def test_functor_mismatch(self):
+        assert not unify(Struct("f", (1,)), Struct("g", (1,)), fresh_trail())
+
+    def test_arity_mismatch(self):
+        assert not unify(Struct("f", (1,)), Struct("f", (1, 2)), fresh_trail())
+
+    def test_deep_structure(self):
+        trail = fresh_trail()
+        x = Var()
+        left = Struct("f", (Struct("g", (x,)),))
+        right = Struct("f", (Struct("g", (Struct("h", (1,)),)),))
+        assert unify(left, right, trail)
+        assert deref(x).indicator == ("h", 1)
+        trail.undo_to(0)
+
+    def test_lists(self):
+        trail = fresh_trail()
+        head, tail = Var(), Var()
+        pattern = Struct(".", (head, tail))
+        assert unify(pattern, make_list([1, 2, 3]), trail)
+        assert deref(head) == 1
+        trail.undo_to(0)
+
+    def test_bindings_from_failed_unify_are_on_trail(self):
+        # f(X, a) vs f(b, c): X gets bound before the mismatch is found;
+        # the caller's undo-to-mark discipline must clean it up.
+        trail = fresh_trail()
+        x = Var()
+        mark = trail.mark()
+        assert not unify(
+            Struct("f", (x, Atom("a"))), Struct("f", (Atom("b"), Atom("c"))), trail
+        )
+        trail.undo_to(mark)
+        assert x.ref is None
+
+
+class TestOccursCheck:
+    def test_occurs_in_direct(self):
+        v = Var()
+        assert occurs_in(v, Struct("f", (v,)))
+
+    def test_occurs_in_deep(self):
+        v = Var()
+        assert occurs_in(v, Struct("f", (Struct("g", (Atom("a"), v)),)))
+
+    def test_not_occurs(self):
+        assert not occurs_in(Var(), Struct("f", (Var(),)))
+
+    def test_occurs_follows_bindings(self):
+        trail = fresh_trail()
+        v, w = Var(), Var()
+        bind(w, Struct("f", (v,)), trail)
+        assert occurs_in(v, w)
+        trail.undo_to(0)
+
+    def test_cyclic_unify_rejected_with_check(self):
+        trail = fresh_trail()
+        v = Var()
+        assert not unify(v, Struct("f", (v,)), trail, occurs_check=True)
+        trail.undo_to(0)
+
+    def test_cyclic_unify_allowed_without_check(self):
+        trail = fresh_trail()
+        v = Var()
+        assert unify(v, Struct("f", (v,)), trail, occurs_check=False)
+        trail.undo_to(0)

@@ -1,0 +1,126 @@
+"""Unit tests for clause reordering (§III-A, §IV-D-1)."""
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.declarations import Declarations
+from repro.analysis.fixity import FixityAnalysis
+from repro.markov.goal_stats import GoalStats
+from repro.prolog import Database, parse_term
+from repro.prolog.database import Clause, split_clause
+from repro.reorder.clause_order import (
+    ClauseRanking,
+    heads_mutually_exclusive,
+    order_clauses,
+)
+
+
+def clause_of(text):
+    head, body = split_clause(parse_term(text))
+    return Clause(head, body)
+
+
+def ranking(text, p, c):
+    return ClauseRanking(
+        clause=clause_of(text),
+        stats=GoalStats(cost=c, solutions=p, prob=p),
+        p=p,
+        c=c,
+    )
+
+
+def fixity_for(source="p(1). q(1)."):
+    database = Database.from_source(source)
+    return FixityAnalysis(
+        database, CallGraph(database), Declarations.from_database(database)
+    )
+
+
+class TestMutualExclusion:
+    def test_distinct_constants(self):
+        a = clause_of("f(a)")
+        b = clause_of("f(b)")
+        assert heads_mutually_exclusive(a, b)
+
+    def test_nil_vs_cons(self):
+        a = clause_of("len([], 0)")
+        b = clause_of("len([_ | T], N) :- len(T, M)")
+        assert heads_mutually_exclusive(a, b)
+
+    def test_variable_head_not_exclusive(self):
+        a = clause_of("f(X)")
+        b = clause_of("f(b)")
+        assert not heads_mutually_exclusive(a, b)
+
+    def test_same_constant_not_exclusive(self):
+        assert not heads_mutually_exclusive(clause_of("f(a)"), clause_of("f(a)"))
+
+
+class TestOrderClauses:
+    def test_sorts_by_ratio(self):
+        rankings = [
+            ranking("f(a) :- p(1)", p=0.2, c=10.0),   # ratio .02
+            ranking("f(b) :- p(2)", p=0.9, c=1.0),    # ratio .9
+            ranking("f(c) :- p(3)", p=0.5, c=2.0),    # ratio .25
+        ]
+        ordered = order_clauses(rankings, fixity_for())
+        heads = [str(r.clause.head) for r in ordered]
+        assert heads == ["f(b)", "f(c)", "f(a)"]
+
+    def test_stable_on_equal_ratio(self):
+        rankings = [
+            ranking("f(a)", p=0.5, c=1.0),
+            ranking("f(b)", p=0.5, c=1.0),
+        ]
+        ordered = order_clauses(rankings, fixity_for())
+        assert [str(r.clause.head) for r in ordered] == ["f(a)", "f(b)"]
+
+    def test_fixed_clause_anchored(self):
+        fixity = fixity_for("p(1).")
+        rankings = [
+            ranking("f(a) :- p(1)", p=0.1, c=10.0),
+            ranking("f(b) :- write(x)", p=0.9, c=1.0),   # fixed: stays 2nd
+            ranking("f(c) :- p(3)", p=0.9, c=1.0),
+        ]
+        ordered = order_clauses(rankings, fixity)
+        heads = [str(r.clause.head) for r in ordered]
+        assert heads[1] == "f(b)"
+        assert heads == ["f(c)", "f(b)", "f(a)"]
+
+    def test_cut_clause_anchored_when_overlapping(self):
+        rankings = [
+            ranking("f(X) :- p(1), !", p=0.1, c=10.0),  # overlaps other heads
+            ranking("f(b) :- p(2)", p=0.9, c=1.0),
+        ]
+        ordered = order_clauses(rankings, fixity_for())
+        assert str(ordered[0].clause.head) == "f(X)"
+
+    def test_cut_clause_mobile_when_exclusive(self):
+        # "If several clauses in a predicate are mutually exclusive ...
+        # they may be swapped even if some of them have cuts."
+        rankings = [
+            ranking("f(a) :- p(1), !", p=0.1, c=10.0),
+            ranking("f(b) :- p(2)", p=0.9, c=1.0),
+        ]
+        ordered = order_clauses(rankings, fixity_for())
+        assert str(ordered[0].clause.head) == "f(b)"
+
+    def test_all_clauses_preserved(self):
+        rankings = [ranking(f"f({i})", p=0.5, c=float(i + 1)) for i in range(5)]
+        ordered = order_clauses(rankings, fixity_for())
+        assert sorted(str(r.clause.head) for r in ordered) == sorted(
+            str(r.clause.head) for r in rankings
+        )
+
+    def test_infinite_ratio_first(self):
+        rankings = [
+            ranking("f(a)", p=0.5, c=1.0),
+            ClauseRanking(
+                clause=clause_of("f(b)"),
+                stats=GoalStats(cost=0.0, solutions=1.0, prob=1.0),
+                p=1.0,
+                c=0.0,
+            ),
+        ]
+        ordered = order_clauses(rankings, fixity_for())
+        assert str(ordered[0].clause.head) == "f(b)"

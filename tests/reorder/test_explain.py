@@ -1,0 +1,76 @@
+"""Unit tests for the reordering explanation facility."""
+
+import pytest
+
+from repro.analysis.modes import parse_mode_string
+from repro.prolog import Database
+from repro.reorder.explain import explain_predicate
+from repro.reorder.system import Reorderer
+
+SOURCE = """
+wide(1). wide(2). wide(3). wide(4). wide(5). wide(6).
+narrow(2). narrow(4).
+combo(X, Y) :- wide(X), narrow(X), Y is X * 2.
+guarded(X) :- wide(X), write(X), narrow(X).
+probe(X) :- wide(X), var(X).
+"""
+
+
+@pytest.fixture(scope="module")
+def reorderer():
+    return Reorderer(Database.from_source(SOURCE))
+
+
+def mode(text):
+    return parse_mode_string(text)
+
+
+class TestExplainPredicate:
+    def test_lists_all_candidates(self, reorderer):
+        text = explain_predicate(reorderer, ("combo", 2), mode("--"))
+        # 3 goals: 6 permutations, each on its own line.
+        assert text.count("wide(X)") >= 6
+
+    def test_marks_chosen(self, reorderer):
+        text = explain_predicate(reorderer, ("combo", 2), mode("--"))
+        chosen_lines = [l for l in text.splitlines() if l.strip().startswith(">>")]
+        assert len(chosen_lines) == 1
+        assert "narrow(X), wide(X)" in chosen_lines[0]
+
+    def test_marks_illegal(self, reorderer):
+        text = explain_predicate(reorderer, ("combo", 2), mode("--"))
+        assert "ILLEGAL" in text  # 'is' before its inputs are bound
+
+    def test_chosen_is_cheapest_legal(self, reorderer):
+        text = explain_predicate(reorderer, ("combo", 2), mode("--"))
+        lines = [l for l in text.splitlines() if "cost" in l]
+        # Legal candidates are sorted by cost: the first is the chosen.
+        assert lines[0].strip().startswith(">>")
+
+    def test_immobile_blocks_labelled(self, reorderer):
+        text = explain_predicate(reorderer, ("guarded", 1), mode("-"))
+        assert "[immobile]" in text
+        assert "write(X)" in text
+
+    def test_semifixity_constraints_shown(self, reorderer):
+        text = explain_predicate(reorderer, ("probe", 1), mode("-"))
+        assert "blocked by semifixity constraints" in text
+
+    def test_unknown_predicate(self, reorderer):
+        assert "not defined" in explain_predicate(
+            reorderer, ("ghost", 1), mode("-")
+        )
+
+    def test_illegal_mode(self, reorderer):
+        source = ":- legal_mode(only_plus(+)). only_plus(1)."
+        local = Reorderer(Database.from_source(source))
+        text = explain_predicate(local, ("only_plus", 1), mode("-"))
+        assert "no legal behaviour" in text
+
+    def test_large_block_capped(self):
+        goals = ", ".join(f"g{i}(X)" for i in range(6))
+        source = "\n".join(f"g{i}(1)." for i in range(6)) + f"\nbig(X) :- {goals}.\n"
+        local = Reorderer(Database.from_source(source))
+        text = explain_predicate(local, ("big", 1), mode("-"), max_orders=10)
+        assert "720 permutations" in text
+        assert text.count(">>") == 1

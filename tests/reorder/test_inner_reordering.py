@@ -1,0 +1,158 @@
+"""Tests for reordering inside control constructs (§IV-D-2/5/6)."""
+
+import pytest
+
+from repro.prolog import Database, Engine
+from repro.reorder.system import ReorderOptions, Reorderer
+
+
+def reorder(source, **options):
+    return Reorderer(
+        Database.from_source(source), ReorderOptions(**options)
+    ).reorder()
+
+
+def answers(engine, query):
+    return sorted(s.key() for s in engine.ask(query))
+
+
+BASE = """
+wide(1). wide(2). wide(3). wide(4). wide(5). wide(6). wide(7). wide(8).
+narrow(3).
+"""
+
+
+class TestNegationBody:
+    SOURCE = BASE + """
+    item(a, 3). item(b, 9).
+    clear(X) :- item(X, N), \\+ (wide(M), narrow(M), M =:= N).
+    """
+
+    def test_inner_conjunction_reordered(self):
+        program = reorder(self.SOURCE, specialize=False)
+        (clause,) = program.database.clauses(("clear", 1))
+        body_text = str(clause.body)
+        inner = body_text[body_text.index("\\+"):]
+        assert inner.index("narrow") < inner.index("wide")
+
+    def test_equivalent(self):
+        database = Database.from_source(self.SOURCE)
+        program = reorder(self.SOURCE, specialize=False)
+        assert answers(Engine(database), "clear(X)") == answers(
+            program.engine(), "clear(X)"
+        )
+
+    def test_cheaper(self):
+        database = Database.from_source(self.SOURCE)
+        program = reorder(self.SOURCE, specialize=False)
+        _, original = Engine(database).run("clear(X)")
+        _, new = program.engine().run("clear(X)")
+        assert new.calls < original.calls
+
+
+class TestFindallBody:
+    SOURCE = BASE + """
+    collect(L) :- findall(M, (wide(M), narrow(M)), L).
+    """
+
+    def test_inner_reordered(self):
+        program = reorder(self.SOURCE, specialize=False)
+        (clause,) = program.database.clauses(("collect", 1))
+        body_text = str(clause.body)
+        assert body_text.index("narrow") < body_text.index("wide")
+
+    def test_equivalent(self):
+        database = Database.from_source(self.SOURCE)
+        program = reorder(self.SOURCE, specialize=False)
+        assert answers(Engine(database), "collect(L)") == answers(
+            program.engine(), "collect(L)"
+        )
+
+
+class TestDisjunctionHalves:
+    SOURCE = BASE + """
+    pick(X) :- ( wide(X), narrow(X) ; wide(X), X > 7 ).
+    """
+
+    def test_halves_reordered_independently(self):
+        program = reorder(self.SOURCE, specialize=False)
+        (clause,) = program.database.clauses(("pick", 1))
+        body_text = str(clause.body)
+        left, right = body_text.split(";")
+        assert left.index("narrow") < left.index("wide")
+        # The right half keeps wide first ('>' demands a bound arg).
+        assert right.index("wide") < right.index(">")
+
+    def test_solution_set_preserved(self):
+        database = Database.from_source(self.SOURCE)
+        program = reorder(self.SOURCE, specialize=False)
+        assert answers(Engine(database), "pick(X)") == answers(
+            program.engine(), "pick(X)"
+        )
+
+
+class TestIfThenElse:
+    SOURCE = BASE + """
+    flag(yes).
+    route(X) :- ( flag(yes) -> wide(X), narrow(X) ; wide(X), X > 6 ).
+    """
+
+    def test_then_half_reordered_premise_kept(self):
+        program = reorder(self.SOURCE, specialize=False)
+        (clause,) = program.database.clauses(("route", 1))
+        body_text = str(clause.body)
+        then_half = body_text[body_text.index("->"): body_text.index(";")]
+        assert then_half.index("narrow") < then_half.index("wide")
+        assert body_text.index("flag") < body_text.index("->")
+
+    def test_equivalent(self):
+        database = Database.from_source(self.SOURCE)
+        program = reorder(self.SOURCE, specialize=False)
+        assert answers(Engine(database), "route(X)") == answers(
+            program.engine(), "route(X)"
+        )
+
+
+class TestSetofCaret:
+    SOURCE = BASE + """
+    link(1, a). link(3, b). link(3, c).
+    tags(S) :- setof(T, M ^ (wide(M), narrow(M), link(M, T)), S).
+    """
+
+    def test_caret_preserved_and_inner_reordered(self):
+        program = reorder(self.SOURCE, specialize=False)
+        (clause,) = program.database.clauses(("tags", 1))
+        body_text = str(clause.body)
+        assert "^" in body_text
+        assert body_text.index("narrow") < body_text.index("wide")
+
+    def test_equivalent(self):
+        database = Database.from_source(self.SOURCE)
+        program = reorder(self.SOURCE, specialize=False)
+        assert answers(Engine(database), "tags(S)") == answers(
+            program.engine(), "tags(S)"
+        )
+
+
+class TestSafetyInside:
+    def test_cut_half_not_reordered_across(self):
+        source = BASE + """
+        pickone(X) :- ( wide(X), narrow(X), ! ; narrow(X) ).
+        """
+        database = Database.from_source(source)
+        program = reorder(source, specialize=False)
+        assert answers(Engine(database), "pickone(X)") == answers(
+            program.engine(), "pickone(X)"
+        )
+
+    def test_write_inside_half_immobile(self):
+        source = BASE + """
+        noisy(X) :- ( wide(X), write(X), narrow(X) ; fail ).
+        """
+        database = Database.from_source(source)
+        program = reorder(source, specialize=False)
+        original = Engine(database)
+        original.count_solutions("noisy(X)")
+        new = program.engine()
+        new.count_solutions("noisy(X)")
+        assert original.output_text() == new.output_text()

@@ -1,0 +1,107 @@
+"""Option-matrix tests: every ReorderOptions combination must produce a
+set-equivalent program on a workload exercising all constructs."""
+
+import itertools
+
+import pytest
+
+from repro.prolog import Database, Engine
+from repro.reorder.system import ReorderOptions, Reorderer
+
+SOURCE = """
+:- entry(summary/2).
+item(1). item(2). item(3). item(4). item(5). item(6).
+flag(3). flag(5).
+score(1, 10). score(2, 40). score(3, 15). score(4, 70). score(5, 5). score(6, 90).
+
+good(X) :- item(X), flag(X).
+wrapped(X) :- good(X).
+pick(X) :- item(X), score(X, S), S > 30, !.
+choice(X) :- ( good(X) ; item(X), score(X, S), S > 60 ).
+summary(X, Total) :-
+    wrapped(X),
+    findall(S, (item(I), score(I, S), I =< X), Scores),
+    sum(Scores, Total).
+sum([], 0).
+sum([X | Xs], T) :- sum(Xs, R), T is X + R.
+:- recursive(sum/2).
+:- legal_mode(sum(+, -), sum(+, +)).
+:- cost(sum/2, [+, ?], 12, 1.0).
+"""
+
+QUERIES = [
+    "good(X)", "wrapped(X)", "pick(X)", "choice(X)", "summary(X, T)",
+    "summary(5, T)", "pick(4)", "choice(9)",
+]
+
+
+def reference_answers():
+    database = Database.from_source(SOURCE)
+    engine = Engine(database)
+    return {
+        query: sorted(s.key() for s in engine.ask(query)) for query in QUERIES
+    }
+
+
+REFERENCE = reference_answers()
+
+OPTION_MATRIX = list(
+    itertools.product([True, False], repeat=4)
+)  # goals, clauses, specialize, runtime_tests
+
+
+@pytest.mark.parametrize(
+    "reorder_goals,reorder_clauses,specialize,runtime_tests", OPTION_MATRIX
+)
+def test_option_combination_equivalent(
+    reorder_goals, reorder_clauses, specialize, runtime_tests
+):
+    options = ReorderOptions(
+        reorder_goals=reorder_goals,
+        reorder_clauses=reorder_clauses,
+        specialize=specialize,
+        runtime_tests=runtime_tests,
+    )
+    program = Reorderer(Database.from_source(SOURCE), options).reorder()
+    engine = program.engine()
+    for query in QUERIES:
+        assert sorted(s.key() for s in engine.ask(query)) == REFERENCE[query], (
+            query,
+            options,
+        )
+
+
+@pytest.mark.parametrize("unfold_rounds", [0, 1, 2, 3])
+def test_unfold_rounds_equivalent(unfold_rounds):
+    options = ReorderOptions(unfold_rounds=unfold_rounds)
+    program = Reorderer(Database.from_source(SOURCE), options).reorder()
+    engine = program.engine()
+    for query in QUERIES:
+        assert sorted(s.key() for s in engine.ask(query)) == REFERENCE[query], (
+            query,
+            unfold_rounds,
+        )
+
+
+@pytest.mark.parametrize("exhaustive_limit", [0, 1, 3, 10])
+def test_exhaustive_limit_equivalent(exhaustive_limit):
+    # Any limit (forcing A* everywhere, or exhaustive everywhere) must
+    # yield equivalent — and equally cheap — programs.
+    options = ReorderOptions(exhaustive_limit=exhaustive_limit)
+    program = Reorderer(Database.from_source(SOURCE), options).reorder()
+    engine = program.engine()
+    for query in QUERIES:
+        assert sorted(s.key() for s in engine.ask(query)) == REFERENCE[query]
+
+
+def test_astar_and_exhaustive_programs_equal_cost():
+    via_astar = Reorderer(
+        Database.from_source(SOURCE), ReorderOptions(exhaustive_limit=1)
+    ).reorder()
+    via_exhaustive = Reorderer(
+        Database.from_source(SOURCE), ReorderOptions(exhaustive_limit=10)
+    ).reorder()
+    for query in QUERIES:
+        _, a = via_astar.engine().run(query)
+        _, e = via_exhaustive.engine().run(query)
+        assert a.calls == e.calls, query

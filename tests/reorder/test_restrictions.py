@@ -1,0 +1,181 @@
+"""Unit tests for the restriction/block partitioner (Table I)."""
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.declarations import Declarations
+from repro.analysis.fixity import FixityAnalysis
+from repro.analysis.semifixity import SemifixityAnalysis
+from repro.prolog import Database, parse_term
+from repro.reorder.restrictions import (
+    goal_is_mobile,
+    order_constraints,
+    partition_body,
+)
+
+
+def analyses(source="p(1). q(1). r(1). s(1)."):
+    database = Database.from_source(source)
+    declarations = Declarations.from_database(database)
+    graph = CallGraph(database)
+    return (
+        FixityAnalysis(database, graph, declarations),
+        SemifixityAnalysis(database, graph, declarations),
+    )
+
+
+class TestGoalMobility:
+    def test_plain_goal_mobile(self):
+        fixity, _ = analyses()
+        assert goal_is_mobile(parse_term("p(X)"), fixity)
+
+    def test_write_immobile(self):
+        fixity, _ = analyses()
+        assert not goal_is_mobile(parse_term("write(X)"), fixity)
+
+    def test_cut_immobile(self):
+        fixity, _ = analyses()
+        assert not goal_is_mobile(parse_term("!"), fixity)
+
+    def test_fail_immobile(self):
+        fixity, _ = analyses()
+        assert not goal_is_mobile(parse_term("fail"), fixity)
+
+    def test_disjunction_mobile_when_pure(self):
+        fixity, _ = analyses()
+        assert goal_is_mobile(parse_term("(p(X) ; q(X))"), fixity)
+
+    def test_disjunction_with_cut_immobile(self):
+        fixity, _ = analyses()
+        assert not goal_is_mobile(parse_term("(p(X), ! ; q(X))"), fixity)
+
+    def test_disjunction_with_write_immobile(self):
+        fixity, _ = analyses()
+        assert not goal_is_mobile(parse_term("(p(X) ; write(X))"), fixity)
+
+    def test_negation_mobile(self):
+        fixity, _ = analyses()
+        assert goal_is_mobile(parse_term("\\+ p(X)"), fixity)
+
+    def test_cut_in_condition_is_local(self):
+        # A cut inside the condition of '->' is local (the condition is
+        # an implicit cut barrier), so the construct stays mobile; a cut
+        # in the 'then' part cuts the clause and freezes it.
+        fixity, _ = analyses()
+        assert goal_is_mobile(parse_term("(p(X), ! -> q(X) ; r(X))"), fixity)
+        assert not goal_is_mobile(parse_term("(p(X) -> q(X), ! ; r(X))"), fixity)
+        assert goal_is_mobile(parse_term("(p(X) -> q(X) ; r(X))"), fixity)
+
+
+class TestPartition:
+    def test_all_mobile(self):
+        fixity, _ = analyses()
+        partition = partition_body(parse_term("p(X), q(X), r(X)"), fixity)
+        assert len(partition.blocks) == 1
+        assert partition.blocks[0].mobile
+        assert len(partition.blocks[0]) == 3
+
+    def test_write_splits(self):
+        fixity, _ = analyses()
+        partition = partition_body(
+            parse_term("p(X), q(X), write(X), r(X), s(X)"), fixity
+        )
+        mobilities = [(block.mobile, len(block)) for block in partition.blocks]
+        assert mobilities == [(True, 2), (False, 1), (True, 2)]
+
+    def test_cut_freezes_prefix(self):
+        fixity, _ = analyses()
+        partition = partition_body(parse_term("p(X), q(X), !, r(X), s(X)"), fixity)
+        # p,q block immobile and single-solution; cut; r,s mobile.
+        first, cut_block, last = partition.blocks
+        assert not first.mobile and not first.multi_solution
+        assert not cut_block.mobile
+        assert last.mobile and last.multi_solution
+
+    def test_goals_after_last_cut_mobile(self):
+        fixity, _ = analyses()
+        partition = partition_body(parse_term("!, p(X), q(X)"), fixity)
+        assert partition.blocks[-1].mobile
+        assert len(partition.blocks[-1]) == 2
+
+    def test_two_cuts(self):
+        fixity, _ = analyses()
+        partition = partition_body(
+            parse_term("p(X), !, q(X), !, r(X)"), fixity
+        )
+        pre_blocks = partition.blocks[:-1]
+        assert all(not block.mobile for block in pre_blocks)
+        assert partition.blocks[-1].mobile
+
+    def test_failure_driven_loop(self):
+        fixity, _ = analyses()
+        partition = partition_body(
+            parse_term("p(X), q(X), write(X), fail"), fixity
+        )
+        # p,q reorderable within the loop, the write and fail are barriers.
+        assert partition.blocks[0].mobile and len(partition.blocks[0]) == 2
+        assert not partition.blocks[1].mobile
+        assert not partition.blocks[2].mobile
+
+    def test_all_goals_preserved(self):
+        fixity, _ = analyses()
+        body = parse_term("p(X), write(X), !, q(X)")
+        partition = partition_body(body, fixity)
+        assert len(partition.all_goals()) == 4
+
+    def test_mobile_goal_count(self):
+        fixity, _ = analyses()
+        partition = partition_body(parse_term("p(X), write(Y), q(X)"), fixity)
+        assert partition.mobile_goal_count == 2
+
+
+class TestOrderConstraints:
+    def test_no_constraints_for_plain_goals(self):
+        _, semifixity = analyses()
+        goals = [parse_term("p(X)"), parse_term("q(X)")]
+        assert order_constraints(goals, semifixity) == set()
+
+    def test_var_test_constrained_with_sharer(self):
+        _, semifixity = analyses()
+        body = parse_term("p(X), var(X), q(X)")
+        from repro.prolog.database import body_goals
+
+        goals = body_goals(body)
+        constraints = order_constraints(goals, semifixity)
+        assert (0, 1) in constraints  # p before var
+        assert (1, 2) in constraints  # var before q
+
+    def test_unrelated_goals_unconstrained(self):
+        _, semifixity = analyses()
+        body = parse_term("var(X), q(Y)")
+        from repro.prolog.database import body_goals
+
+        constraints = order_constraints(body_goals(body), semifixity)
+        assert constraints == set()
+
+    def test_ground_culprit_released(self):
+        from repro.analysis.modes import Inst
+        from repro.prolog.database import body_goals
+
+        _, semifixity = analyses()
+        body = parse_term("p(X), var(X)")
+        goals = body_goals(body)
+        x = goals[1].args[0]
+        constraints = order_constraints(
+            goals, semifixity, initial_states={id(x): Inst.GROUND}
+        )
+        assert constraints == set()
+
+    def test_negation_constrained(self):
+        from repro.prolog.database import body_goals
+
+        _, semifixity = analyses()
+        goals = body_goals(parse_term("p(X), \\+ q(X)"))
+        constraints = order_constraints(goals, semifixity)
+        assert (0, 1) in constraints
+
+    def test_findall_constrained_on_free_variable(self):
+        from repro.prolog.database import body_goals
+
+        _, semifixity = analyses()
+        goals = body_goals(parse_term("p(D), findall(S, q(D, S), L)"))
+        constraints = order_constraints(goals, semifixity)
+        assert (0, 1) in constraints

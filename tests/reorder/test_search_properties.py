@@ -1,0 +1,105 @@
+"""Property-based tests of the goal-order search.
+
+Random programs are synthesised whose per-goal statistics are fixed by
+``:- cost`` declarations, so the search operates on a known cost
+surface. Invariants:
+
+* A* returns an order with the same model cost as exhaustive search
+  (optimality of the admissible-prefix best-first search);
+* both respect arbitrary (acyclic) precedence constraints;
+* the chosen order's model cost is never above the source order's.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.declarations import Declarations
+from repro.analysis.modes import bind_head_states, parse_mode_string
+from repro.markov.predicate_model import CostModel
+from repro.prolog import Database, parse_term
+from repro.prolog.database import body_goals, split_clause
+from repro.reorder.goal_search import astar_search, exhaustive_search
+
+
+@st.composite
+def cost_programs(draw):
+    """(source text, goal count, constraints) with declared costs."""
+    goal_count = draw(st.integers(min_value=2, max_value=5))
+    lines = []
+    for index in range(goal_count):
+        cost = draw(st.floats(min_value=0.5, max_value=40.0))
+        solutions = draw(st.floats(min_value=0.05, max_value=12.0))
+        prob = min(1.0, solutions)
+        lines.append(f"g{index}(1).")
+        lines.append(
+            f":- cost(g{index}/1, [?], {cost:.3f}, {prob:.3f}, {solutions:.3f})."
+        )
+    body = ", ".join(f"g{i}(X)" for i in range(goal_count))
+    lines.append(f"target(X) :- {body}.")
+    # Random acyclic constraints: i before j for i < j only.
+    constraints = set()
+    for i in range(goal_count):
+        for j in range(i + 1, goal_count):
+            if draw(st.booleans()) and draw(st.booleans()):
+                constraints.add((i, j))
+    return "\n".join(lines), goal_count, frozenset(constraints)
+
+
+def _setup(source):
+    database = Database.from_source(source)
+    model = CostModel(database, Declarations.from_database(database))
+    clause = database.clauses(("target", 1))[0]
+    goals = body_goals(clause.body)
+    states = {}
+    bind_head_states(clause.head, parse_mode_string("-"), states)
+    return model, goals, states
+
+
+class TestAStarOptimality:
+    @given(cost_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_astar_matches_exhaustive(self, program):
+        source, _, constraints = program
+        model, goals, states = _setup(source)
+        exhaustive = exhaustive_search(
+            goals, dict(states), model, set(constraints)
+        )
+        astar = astar_search(goals, dict(states), model, set(constraints))
+        assert (exhaustive is None) == (astar is None)
+        if exhaustive is not None:
+            assert astar.evaluation.total_cost == pytest.approx(
+                exhaustive.evaluation.total_cost, rel=1e-9
+            )
+
+    @given(cost_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_constraints_respected(self, program):
+        source, _, constraints = program
+        model, goals, states = _setup(source)
+        for search in (exhaustive_search, astar_search):
+            result = search(goals, dict(states), model, set(constraints))
+            if result is None:
+                continue
+            position = {g: r for r, g in enumerate(result.order)}
+            for before, after in constraints:
+                assert position[before] < position[after]
+
+    @given(cost_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_source_order(self, program):
+        source, goal_count, constraints = program
+        model, goals, states = _setup(source)
+        result = exhaustive_search(goals, dict(states), model, set(constraints))
+        assert result is not None  # declared-cost goals are legal anywhere
+        source_eval = model.evaluate_goals(list(goals), dict(states))
+        assert result.evaluation.total_cost <= source_eval.total_cost * (1 + 1e-9)
+
+    @given(cost_programs())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, program):
+        source, _, constraints = program
+        model, goals, states = _setup(source)
+        first = astar_search(goals, dict(states), model, set(constraints))
+        second = astar_search(goals, dict(states), model, set(constraints))
+        assert first.order == second.order

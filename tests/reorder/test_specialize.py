@@ -1,0 +1,117 @@
+"""Unit tests for per-mode specialisation and dispatchers (§VII)."""
+
+from repro.analysis.modes import ModeItem, parse_mode_string
+from repro.prolog import Engine, Database
+from repro.prolog.database import Database
+from repro.prolog.writer import clause_to_string
+from repro.reorder.specialize import (
+    build_dispatcher,
+    mode_suffix,
+    rename_goal,
+    specialized_indicator,
+    specialized_name,
+)
+from repro.prolog import parse_term
+
+
+def mode(text):
+    return parse_mode_string(text)
+
+
+class TestNaming:
+    def test_suffix_paper_convention(self):
+        assert mode_suffix(mode("--")) == "uu"
+        assert mode_suffix(mode("-+")) == "ui"
+        assert mode_suffix(mode("+-")) == "iu"
+        assert mode_suffix(mode("++")) == "ii"
+
+    def test_any_suffix(self):
+        assert mode_suffix((ModeItem.ANY,)) == "a"
+
+    def test_specialized_name(self):
+        assert specialized_name("aunt", mode("-+")) == "aunt_ui"
+
+    def test_zero_arity_keeps_name(self):
+        assert specialized_name("main", ()) == "main"
+
+    def test_specialized_indicator(self):
+        assert specialized_indicator(("aunt", 2), mode("--")) == ("aunt_uu", 2)
+
+
+class TestRenameGoal:
+    def test_struct(self):
+        goal = parse_term("aunt(X, Y)")
+        renamed = rename_goal(goal, "aunt_uu")
+        assert renamed.name == "aunt_uu"
+        assert renamed.args == goal.args
+
+    def test_atom(self):
+        assert rename_goal(parse_term("go"), "go_x").name == "go_x"
+
+
+class TestDispatcher:
+    def test_routes_by_instantiation(self):
+        versions = {
+            mode("--"): "p_uu",
+            mode("-+"): "p_ui",
+            mode("+-"): "p_iu",
+            mode("++"): "p_ii",
+        }
+        dispatcher = build_dispatcher(("p", 2), versions)
+        database = Database.from_source(
+            """
+            p_uu(uu, 1). p_ui(ui, 2). p_iu(iu, 3). p_ii(ii, 4).
+            """
+        )
+        database.add_clause(dispatcher)
+        engine = Engine(database)
+        # (-,-) route
+        (solution,) = engine.ask("p(A, B)")
+        assert str(solution["A"]) == "uu"
+        # (+,-) route
+        assert engine.succeeds("p(iu, B)")
+        assert not engine.succeeds("p(uu, B)")
+        # (+,+) route
+        assert engine.succeeds("p(ii, 4)")
+        # (-,+) route
+        (solution,) = engine.ask("p(A, 2)")
+        assert str(solution["A"]) == "ui"
+
+    def test_missing_mode_falls_back_to_closest(self):
+        versions = {mode("++"): "p_ii"}
+        dispatcher = build_dispatcher(("p", 2), versions)
+        database = Database.from_source("p_ii(a, b).")
+        database.add_clause(dispatcher)
+        engine = Engine(database)
+        # All routes exist and lead to p_ii.
+        assert engine.succeeds("p(X, Y)")
+
+    def test_merged_versions_share_target(self):
+        versions = {
+            mode("--"): "p_ii",
+            mode("-+"): "p_ii",
+            mode("+-"): "p_ii",
+            mode("++"): "p_ii",
+        }
+        dispatcher = build_dispatcher(("p", 2), versions)
+        text = clause_to_string(dispatcher.to_term())
+        assert "p_ii" in text
+
+    def test_zero_arity(self):
+        dispatcher = build_dispatcher(("go", 0), {(): "go_v"})
+        database = Database.from_source("go_v.")
+        database.add_clause(dispatcher)
+        assert Engine(database).succeeds("go")
+
+    def test_arity_three(self):
+        versions = {m: "q_" + mode_suffix(m) for m in [
+            mode("---"), mode("--+"), mode("-+-"), mode("-++"),
+            mode("+--"), mode("+-+"), mode("++-"), mode("+++"),
+        ]}
+        dispatcher = build_dispatcher(("q", 3), versions)
+        source = " ".join(f"q_{mode_suffix(m)}(1, 2, 3)." for m in versions)
+        database = Database.from_source(source)
+        database.add_clause(dispatcher)
+        engine = Engine(database)
+        assert engine.succeeds("q(1, B, C)")
+        assert engine.succeeds("q(1, 2, 3)")

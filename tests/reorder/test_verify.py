@@ -1,0 +1,98 @@
+"""Tests for the set-equivalence verifier."""
+
+import pytest
+
+from repro.prolog import Database
+from repro.prolog.database import Clause
+from repro.prolog.terms import Atom, Struct, Var
+from repro.reorder.system import Reorderer
+from repro.reorder.verify import verify_reordering
+
+SOURCE = """
+wife(john, jane). wife(tom, pat).
+mother(john, joan). mother(joan, pat). mother(ann, joan).
+girl(jan).
+female(W) :- girl(W).
+female(W) :- wife(_, W).
+grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+parent(C, P) :- mother(C, P).
+parent(C, P) :- mother(C, M), wife(P, M).
+"""
+
+
+@pytest.fixture(scope="module")
+def verified():
+    database = Database.from_source(SOURCE)
+    program = Reorderer(database).reorder()
+    return database, program, verify_reordering(database, program)
+
+
+class TestHonestReordering:
+    def test_passes(self, verified):
+        _, _, report = verified
+        assert report.passed, report.format()
+
+    def test_covers_every_predicate_and_mode(self, verified):
+        database, _, report = verified
+        queried = {check.query.split("(")[0] for check in report.checks}
+        assert {"grandmother", "parent", "female", "wife", "mother"} <= queried
+
+    def test_format_mentions_counts(self, verified):
+        _, _, report = verified
+        text = report.format()
+        assert "0 failures" in text
+        assert "identical" in text
+
+
+class TestBrokenReordering:
+    def test_detects_dropped_answers(self):
+        database = Database.from_source(SOURCE)
+        program = Reorderer(database).reorder()
+        # Sabotage: drop one wife fact from the reordered database.
+        clauses = program.database.clauses(("wife", 2))
+        program.database.replace_predicate(("wife", 2), clauses[:-1])
+        report = verify_reordering(database, program)
+        assert not report.passed
+        assert report.failures
+
+    def test_detects_extra_answers(self):
+        database = Database.from_source(SOURCE)
+        program = Reorderer(database).reorder()
+        extra = Clause(Struct("girl", (Atom("impostor"),)), Atom("true"))
+        clauses = program.database.clauses(("girl", 1)) + [extra]
+        program.database.replace_predicate(("girl", 1), clauses)
+        report = verify_reordering(database, program)
+        assert not report.passed
+
+    def test_detects_runtime_errors(self):
+        database = Database.from_source(SOURCE)
+        program = Reorderer(database).reorder()
+        broken = Clause(
+            Struct("female", (Var("X"),)),
+            Struct("is", (Var("Y"), Struct("+", (Var("X"), 1)))),
+        )
+        program.database.replace_predicate(("female", 1), [broken])
+        report = verify_reordering(database, program)
+        assert not report.passed
+        assert any(
+            check.error and "raised" in check.error for check in report.failures
+        )
+
+
+class TestSideEffectNotes:
+    def test_output_difference_noted_not_failed(self):
+        source = """
+        t(1). t(2).
+        show :- t(X), write(X), fail.
+        show.
+        """
+        database = Database.from_source(source)
+        program = Reorderer(database).reorder()
+        # Sabotage output order only: swap the t/1 facts (set-equal,
+        # different write order).
+        clauses = list(program.database.clauses(("t", 1)))
+        program.database.replace_predicate(("t", 1), list(reversed(clauses)))
+        report = verify_reordering(database, program)
+        assert report.passed  # answers still identical as sets
+        assert report.output_mismatches

@@ -1,0 +1,125 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM = """
+:- entry(grandmother/2).
+wife(john, jane). wife(tom, pat).
+mother(john, joan). mother(joan, pat). mother(ann, joan).
+girl(jan).
+female(W) :- girl(W).
+female(W) :- wife(_, W).
+grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+parent(C, P) :- mother(C, P).
+parent(C, P) :- mother(C, M), wife(P, M).
+"""
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "family.pl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reorder_flags(self):
+        args = build_parser().parse_args(
+            ["reorder", "f.pl", "--no-specialize", "--unfold", "2"]
+        )
+        assert args.no_specialize and args.unfold == 2
+
+
+class TestReorderCommand:
+    def test_prints_valid_prolog(self, program_file, capsys):
+        assert main(["reorder", program_file]) == 0
+        output = capsys.readouterr().out
+        from repro.prolog import Database, Engine
+
+        engine = Engine(Database.from_source(output))
+        assert engine.succeeds("grandmother(X, Y)")
+
+    def test_report_flag(self, program_file, capsys):
+        main(["reorder", program_file, "--report"])
+        captured = capsys.readouterr()
+        assert "goals reordered" in captured.err
+
+    def test_no_specialize(self, program_file, capsys):
+        main(["reorder", program_file, "--no-specialize"])
+        output = capsys.readouterr().out
+        assert "_uu" not in output
+
+
+class TestAnalyzeCommand:
+    def test_sections(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        output = capsys.readouterr().out
+        for section in ("entry points:", "recursive:", "fixed", "legal modes:"):
+            assert section in output
+        assert "grandmother/2" in output
+
+
+class TestRunCommand:
+    def test_answers_and_count(self, program_file, capsys):
+        assert main(["run", program_file, "grandmother(X, Y)"]) == 0
+        output = capsys.readouterr().out
+        assert "X = john" in output
+        assert "calls" in output
+
+    def test_failing_query(self, program_file, capsys):
+        main(["run", program_file, "grandmother(jane, jane)"])
+        assert "no" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def test_improvement_reported(self, program_file, capsys):
+        assert main(["compare", program_file, "grandmother(X, Y)"]) == 0
+        output = capsys.readouterr().out
+        assert "ratio" in output
+        assert "identical set" in output
+
+    def test_runtime_tests_flag(self, program_file, capsys):
+        code = main(
+            ["compare", program_file, "grandmother(X, Y)",
+             "--no-specialize", "--runtime-tests"]
+        )
+        assert code == 0
+
+
+class TestExplainCommand:
+    def test_shows_candidates(self, program_file, capsys):
+        assert main(["explain", program_file, "grandmother/2", "ui"]) == 0
+        output = capsys.readouterr().out
+        assert "grandmother/2 in mode (-, +)" in output
+        assert ">>" in output
+
+
+class TestTablesCommand:
+    def test_figures_only(self, capsys):
+        assert main(["tables", "fig"]) == 0
+        output = capsys.readouterr().out
+        assert "130.24" in output and "78.968" in output
+
+    def test_table1(self, capsys):
+        assert main(["tables", "1"]) == 0
+        assert "restrictions" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_passes_on_honest_reordering(self, program_file, capsys):
+        assert main(["verify", program_file, "--samples", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "0 failures" in output
+
+    def test_warren_method(self, program_file, capsys):
+        assert main(
+            ["compare", program_file, "grandmother(X, Y)", "--method", "warren"]
+        ) == 0
+        assert "identical set" in capsys.readouterr().out
