@@ -11,7 +11,13 @@ input and ... receive a reordered, improved program as output"):
   count;
 * ``compare FILE QUERY`` — run a query on both the original and the
   reordered program and report the improvement ratio;
+* ``profile FILE QUERY`` — run a query fully instrumented (event bus,
+  pipeline spans, search counters, calibration drift) and export the
+  telemetry as JSONL (see docs/OBSERVABILITY.md);
 * ``tables [N ...]`` — regenerate the paper's tables.
+
+``run``, ``compare`` and ``reorder`` accept ``--profile`` (human
+telemetry summary) and ``--json PATH`` (JSONL export; ``-`` = stdout).
 """
 
 from __future__ import annotations
@@ -52,6 +58,13 @@ def _options_from_args(args: argparse.Namespace) -> ReorderOptions:
     )
 
 
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile", action="store_true",
+                        help="print a telemetry summary (events, spans, wall time)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write telemetry as JSONL to PATH ('-' = stdout)")
+
+
 def _add_reorder_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-goals", action="store_true",
                         help="do not reorder goals within clauses")
@@ -70,12 +83,25 @@ def _add_reorder_flags(parser: argparse.ArgumentParser) -> None:
 def command_reorder(args: argparse.Namespace) -> int:
     """``reorder FILE``: print the reordered program."""
     database = _load(args.file)
-    program = Reorderer(database, _options_from_args(args)).reorder()
+    reorderer = Reorderer(database, _options_from_args(args))
+    program = reorderer.reorder()
     print(program.source(), end="")
     if args.report:
         print("\n% --- report " + "-" * 40, file=sys.stderr)
         for line in program.report.summary().splitlines():
             print(f"% {line}", file=sys.stderr)
+    if args.profile:
+        print("% --- pipeline spans " + "-" * 32, file=sys.stderr)
+        for line in reorderer.spans.format().splitlines():
+            print(f"%{line}", file=sys.stderr)
+    if args.json:
+        from .observability import profile_header, report_records, write_jsonl
+
+        records = [profile_header(command="reorder", file=args.file)]
+        records.extend(reorderer.spans.to_records())
+        records.append(reorderer.search_counters.to_record())
+        records.extend(report_records(program.report))
+        write_jsonl(records, args.json)
     return 0
 
 
@@ -115,10 +141,49 @@ def command_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_profile_summary(bus, metrics) -> None:
+    """Human-readable telemetry summary to stderr."""
+    counts = bus.counts()
+    ports = ", ".join(
+        f"{port}={counts.get(f'port.{port}', 0)}"
+        for port in ("call", "exit", "redo", "fail")
+    )
+    print(f"% events  : {len(bus)} ({ports})", file=sys.stderr)
+    if bus.truncated:
+        print(f"% events  : {bus.dropped} dropped (limit {bus.limit})",
+              file=sys.stderr)
+    index_events = bus.by_kind("index")
+    if index_events:
+        hits = sum(1 for e in index_events if e.hit)
+        narrowed = sum(1 for e in index_events if e.candidates < e.total)
+        print(
+            f"% index   : {len(index_events)} lookups, {hits} keyed, "
+            f"{narrowed} narrowed",
+            file=sys.stderr,
+        )
+    wall = bus.predicate_wall_seconds()
+    by_calls = sorted(
+        metrics.calls_by_predicate.items(), key=lambda item: -item[1]
+    )[:8]
+    print("% top predicates (calls, boxed wall time):", file=sys.stderr)
+    for indicator, calls in by_calls:
+        seconds = wall.get(indicator, 0.0)
+        print(
+            f"%   {indicator[0]}/{indicator[1]:<3} {calls:>8} calls"
+            f"  {seconds * 1e3:9.3f} ms",
+            file=sys.stderr,
+        )
+
+
 def command_run(args: argparse.Namespace) -> int:
     """``run FILE QUERY``: execute a query, printing answers + calls."""
     database = _load(args.file)
     engine = Engine(database)
+    bus = None
+    if args.profile or args.json:
+        from .observability import attach
+
+        bus = attach(engine)
     solutions, metrics = engine.run(args.query)
     for solution in solutions:
         bindings = ", ".join(
@@ -131,31 +196,202 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"% {len(solutions)} solution(s), {metrics.calls} calls")
     if engine.output_text():
         print(f"% output: {engine.output_text()!r}")
+    if bus is not None and args.profile:
+        _print_profile_summary(bus, metrics)
+    if bus is not None and args.json:
+        from .observability import (
+            event_records,
+            metrics_record,
+            profile_header,
+            solutions_record,
+            write_jsonl,
+        )
+
+        records = [profile_header(command="run", file=args.file, query=args.query)]
+        records.append(metrics_record(metrics))
+        records.append(solutions_record(solutions))
+        records.extend(event_records(bus))
+        write_jsonl(records, args.json)
     return 0
+
+
+def compare_exit_code(
+    original_count: int, new_count: int, matches: bool
+) -> int:
+    """Exit code of ``compare``: nonzero when the answer sets differ,
+    including the asymmetric-emptiness case (one run found solutions,
+    the other none) the paper treats as an outright reordering bug."""
+    if (original_count == 0) != (new_count == 0):
+        return 1
+    return 0 if matches else 1
 
 
 def command_compare(args: argparse.Namespace) -> int:
     """``compare FILE QUERY``: original vs reordered call counts."""
     database = _load(args.file)
+    report = None
+    spans = None
+    search = None
     if args.method == "warren":
         from .baselines.warren import WarrenReorderer
 
         reordered_database = WarrenReorderer(database).reorder_program()
         new_engine = Engine(reordered_database)
     else:
-        program = Reorderer(database, _options_from_args(args)).reorder()
+        reorderer = Reorderer(database, _options_from_args(args))
+        program = reorderer.reorder()
         new_engine = program.engine()
-    original_solutions, original = Engine(database).run(args.query)
+        report, spans, search = (
+            program.report, reorderer.spans, reorderer.search_counters
+        )
+    original_engine = Engine(database)
+    original_bus = new_bus = None
+    if args.profile or args.json:
+        from .observability import attach
+
+        original_bus = attach(original_engine)
+        new_bus = attach(new_engine)
+    original_solutions, original = original_engine.run(args.query)
     new_solutions, new = new_engine.run(args.query)
     matches = sorted(s.key() for s in original_solutions) == sorted(
         s.key() for s in new_solutions
     )
     print(f"original : {original.calls} calls, {len(original_solutions)} solutions")
     print(f"reordered: {new.calls} calls, {len(new_solutions)} solutions")
-    ratio = original.calls / new.calls if new.calls else float("inf")
-    print(f"ratio    : {ratio:.2f}")
+    if new.calls:
+        print(f"ratio    : {original.calls / new.calls:.2f}")
+    else:
+        print("ratio    : n/a")
+        print("warning: reordered run made 0 calls; ratio is undefined",
+              file=sys.stderr)
+    if (len(original_solutions) == 0) != (len(new_solutions) == 0):
+        print(
+            "warning: one run returned solutions and the other none — "
+            "the reordering is not set-equivalent on this query",
+            file=sys.stderr,
+        )
     print(f"answers  : {'identical set' if matches else 'DIFFER (bug!)'}")
-    return 0 if matches else 1
+    if args.json:
+        from .observability import (
+            event_records,
+            metrics_record,
+            profile_header,
+            report_records,
+            solutions_record,
+            write_jsonl,
+        )
+
+        records = [
+            profile_header(command="compare", file=args.file, query=args.query,
+                           method=args.method)
+        ]
+        records.append(metrics_record(original, run="original"))
+        records.append(solutions_record(original_solutions, run="original"))
+        records.append(metrics_record(new, run="reordered"))
+        records.append(solutions_record(new_solutions, run="reordered"))
+        if spans is not None:
+            records.extend(spans.to_records())
+        if search is not None:
+            records.append(search.to_record())
+        if report is not None:
+            records.extend(report_records(report))
+        records.extend(event_records(original_bus, run="original"))
+        records.extend(event_records(new_bus, run="reordered"))
+        write_jsonl(records, args.json)
+    if args.profile:
+        print("% original run:", file=sys.stderr)
+        _print_profile_summary(original_bus, original)
+        print("% reordered run:", file=sys.stderr)
+        _print_profile_summary(new_bus, new)
+    return compare_exit_code(len(original_solutions), len(new_solutions), matches)
+
+
+def command_profile(args: argparse.Namespace) -> int:
+    """``profile FILE QUERY``: fully instrumented run + JSONL export.
+
+    Produces, in order: a header record, the ten pipeline span records,
+    the goal-search counters, the reorder report, engine metrics, the
+    solution count, calibration-drift records, and the raw event
+    stream. A human summary goes to stderr.
+    """
+    from .analysis.calibration import CalibrationOptions, EmpiricalCalibrator
+    from .observability import (
+        PIPELINE_PHASES,
+        attach,
+        event_records,
+        metrics_record,
+        profile_header,
+        report_records,
+        solutions_record,
+        write_jsonl,
+    )
+    from .observability.drift import DriftOptions, DriftReporter
+
+    database = _load(args.file)
+    # 1. The reordering pipeline, for spans / search counters / report.
+    reorderer = Reorderer(database.copy(), _options_from_args(args))
+    program = reorderer.reorder()
+    spans = reorderer.spans
+    # 2. Empirical calibration (measures its own phase span).
+    calibrated = 0
+    if args.no_calibrate:
+        spans.mark_skipped("calibration")
+    else:
+        calibrator = EmpiricalCalibrator(
+            database, CalibrationOptions(max_samples=args.calibration_samples)
+        )
+        with spans.span("calibration") as span:
+            declarations = calibrator.calibrate()
+            calibrated = len(declarations.costs)
+            span.meta.update(
+                measured=calibrated, failures=len(calibrator.failures)
+            )
+    spans.ensure(PIPELINE_PHASES)
+    # 3. The instrumented run itself (on the original program: that is
+    #    what the model's predictions describe).
+    engine = Engine(database)
+    bus = attach(engine)
+    try:
+        solutions, metrics = engine.run(args.query)
+    finally:
+        database.events = None
+    # 4. Predicted-vs-observed drift, reusing the event stream.
+    reporter = DriftReporter(
+        database, DriftOptions(cost_factor=args.drift_factor)
+    )
+    drift = reporter.report(bus=bus)
+
+    print(f"% profile : {args.file} ?- {args.query}", file=sys.stderr)
+    print(f"% answers : {len(solutions)} solution(s), {metrics.calls} calls",
+          file=sys.stderr)
+    _print_profile_summary(bus, metrics)
+    print("% pipeline spans:", file=sys.stderr)
+    for line in spans.format().splitlines():
+        print(f"%{line}", file=sys.stderr)
+    flagged = [record for record in drift if record.flagged]
+    print(
+        f"% drift   : {len(flagged)}/{len(drift)} (predicate, mode) pairs "
+        f"flagged (factor {args.drift_factor:g})",
+        file=sys.stderr,
+    )
+    for record in drift[: args.drift_top]:
+        print(f"%   {record.format()}", file=sys.stderr)
+
+    if args.json:
+        records = [
+            profile_header(command="profile", file=args.file, query=args.query)
+        ]
+        records.extend(spans.to_records())
+        records.append(reorderer.search_counters.to_record())
+        records.extend(report_records(program.report))
+        records.append(metrics_record(metrics))
+        records.append(solutions_record(solutions))
+        records.extend(record.to_record() for record in drift)
+        records.extend(event_records(bus))
+        count = write_jsonl(records, args.json)
+        if args.json != "-":
+            print(f"% wrote {count} records to {args.json}", file=sys.stderr)
+    return 0
 
 
 def command_verify(args: argparse.Namespace) -> int:
@@ -216,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     reorder.add_argument("--report", action="store_true",
                          help="print the decision report to stderr")
     _add_reorder_flags(reorder)
+    _add_profile_flags(reorder)
     reorder.set_defaults(handler=command_reorder)
 
     analyze = commands.add_parser("analyze", help="show the static analyses")
@@ -225,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run a query against a file")
     run.add_argument("file")
     run.add_argument("query")
+    _add_profile_flags(run)
     run.set_defaults(handler=command_run)
 
     compare = commands.add_parser(
@@ -236,7 +474,27 @@ def build_parser() -> argparse.ArgumentParser:
                          default="markov",
                          help="reordering method (default: the Markov system)")
     _add_reorder_flags(compare)
+    _add_profile_flags(compare)
     compare.set_defaults(handler=command_compare)
+
+    profile = commands.add_parser(
+        "profile",
+        help="instrumented run: events, spans, search counters, drift",
+    )
+    profile.add_argument("file")
+    profile.add_argument("query")
+    profile.add_argument("--json", metavar="PATH", default=None,
+                         help="write telemetry as JSONL to PATH ('-' = stdout)")
+    profile.add_argument("--drift-factor", type=float, default=3.0,
+                         help="flag estimates off by this factor (default 3)")
+    profile.add_argument("--drift-top", type=int, default=10,
+                         help="drift lines printed in the summary (default 10)")
+    profile.add_argument("--no-calibrate", action="store_true",
+                         help="skip the empirical-calibration phase")
+    profile.add_argument("--calibration-samples", type=int, default=8,
+                         help="sample queries per (predicate, mode) (default 8)")
+    _add_reorder_flags(profile)
+    profile.set_defaults(handler=command_profile)
 
     verify = commands.add_parser(
         "verify", help="check the reordered program is set-equivalent"

@@ -1,0 +1,66 @@
+"""Observability: the telemetry substrate of the reproduction.
+
+Four layers, all optional and zero-overhead when unused:
+
+* :mod:`.events` — a typed event bus fed by the engine (Byrd ports,
+  unifications, choice points, per-predicate wall time) and the clause
+  database (index hits/misses);
+* :mod:`.spans`  — accumulating wall-clock timers over the ten
+  reordering-pipeline phases;
+* :mod:`.drift`  — predicted-vs-observed statistics per (predicate,
+  mode), flagging where the Markov model needs calibration;
+* :mod:`.export` — JSONL serialization of all of the above.
+
+``repro profile FILE QUERY --json out.jsonl`` drives everything from
+the command line; docs/OBSERVABILITY.md documents the record schema.
+
+Note: :mod:`.drift` is intentionally not imported here — it depends on
+the engine, which itself imports :mod:`.events`; import it as
+``from repro.observability.drift import DriftReporter``.
+"""
+
+from .events import (
+    ChoicePointEvent,
+    Event,
+    EventBus,
+    IndexEvent,
+    PortEvent,
+    PredicateTimeEvent,
+    UnifyEvent,
+    attach,
+    detach,
+)
+from .export import (
+    SCHEMA_VERSION,
+    event_records,
+    metrics_record,
+    profile_header,
+    records_to_jsonl,
+    report_records,
+    solutions_record,
+    write_jsonl,
+)
+from .spans import PIPELINE_PHASES, Span, SpanRecorder
+
+__all__ = [
+    "Event",
+    "EventBus",
+    "PortEvent",
+    "IndexEvent",
+    "ChoicePointEvent",
+    "UnifyEvent",
+    "PredicateTimeEvent",
+    "attach",
+    "detach",
+    "PIPELINE_PHASES",
+    "Span",
+    "SpanRecorder",
+    "SCHEMA_VERSION",
+    "profile_header",
+    "event_records",
+    "metrics_record",
+    "solutions_record",
+    "report_records",
+    "records_to_jsonl",
+    "write_jsonl",
+]

@@ -1,0 +1,215 @@
+"""Typed execution events and the event bus.
+
+The paper's whole methodology is counting — "the number of predicate
+calls or unifications; CPU time is too coarse a measure" (§I-B) — but
+scalar counters cannot say *where* the calls went, whether the clause
+index actually narrowed anything, or how the observed behaviour of a
+predicate compares with what the Markov model predicted for it. The
+event bus records a structured stream of those facts.
+
+Design constraints:
+
+* **zero overhead when disabled** — the engine and database hold
+  ``events = None`` by default and guard every emission site with a
+  single ``is not None`` test (the same convention as the four-port
+  tracer), so the uninstrumented hot path never constructs an event;
+* **typed events** — each record is a small dataclass with a ``kind``
+  tag and a ``to_record()`` JSONL serializer, so consumers (the drift
+  reporter, the CLI exporters, tests) never parse strings;
+* **bounded memory** — the bus keeps at most ``limit`` events and
+  counts the overflow instead of growing without bound.
+
+This module deliberately imports nothing from the engine layer so the
+engine can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "Event",
+    "PortEvent",
+    "IndexEvent",
+    "ChoicePointEvent",
+    "UnifyEvent",
+    "PredicateTimeEvent",
+    "EventBus",
+    "attach",
+    "detach",
+]
+
+Indicator = Tuple[str, int]
+
+
+def _indicator_text(indicator: Indicator) -> str:
+    return f"{indicator[0]}/{indicator[1]}"
+
+
+@dataclass
+class Event:
+    """Common shape of every bus event: a kind tag plus a timestamp
+    (``time.perf_counter()`` at construction, for ordering/latency)."""
+
+    kind = "event"
+
+    ts: float = field(default_factory=time.perf_counter, init=False)
+
+    def to_record(self) -> Dict[str, object]:
+        """The event as one flat JSONL-ready dict."""
+        record: Dict[str, object] = {"type": "event", "kind": self.kind}
+        for name, value in self.__dict__.items():
+            if name == "ts":
+                continue
+            if name == "indicator":
+                record["predicate"] = _indicator_text(value)
+            else:
+                record[name] = value
+        record["ts"] = self.ts
+        return record
+
+
+@dataclass
+class PortEvent(Event):
+    """One Byrd-box port crossing of a real (non-control) goal.
+
+    ``mode`` is the runtime calling mode — ``+`` per nonvar argument,
+    ``-`` per unbound one — rendered like ``(+, -)``; it is recorded on
+    the ``call`` port only (``None`` elsewhere).
+    """
+
+    kind = "port"
+
+    port: str
+    indicator: Indicator
+    depth: int
+    mode: Optional[str] = None
+
+
+@dataclass
+class IndexEvent(Event):
+    """One clause-index consultation by ``Database.matching_clauses``.
+
+    ``hit`` means a bound key selected a bucket; ``candidates`` is how
+    many clauses survived out of ``total`` stored ones (a hit that does
+    not narrow still reports ``candidates == total``).
+    """
+
+    kind = "index"
+
+    indicator: Indicator
+    hit: bool
+    candidates: int
+    total: int
+
+
+@dataclass
+class ChoicePointEvent(Event):
+    """A user-predicate activation that left alternatives to retry."""
+
+    kind = "choicepoint"
+
+    indicator: Indicator
+    alternatives: int
+    depth: int
+
+
+@dataclass
+class UnifyEvent(Event):
+    """One head-unification attempt against a clause."""
+
+    kind = "unify"
+
+    indicator: Indicator
+    succeeded: bool
+
+
+@dataclass
+class PredicateTimeEvent(Event):
+    """Wall-clock time of one completed Byrd box (call through final
+    fail), including all descendant work performed inside it."""
+
+    kind = "wall"
+
+    indicator: Indicator
+    seconds: float
+
+
+class EventBus:
+    """Collects typed events up to ``limit``; counts overflow after."""
+
+    __slots__ = ("events", "limit", "dropped")
+
+    def __init__(self, limit: int = 1_000_000):
+        self.events: List[Event] = []
+        self.limit = limit
+        self.dropped = 0
+
+    def emit(self, event: Event) -> None:
+        """Record one event (or count it as dropped past the limit)."""
+        if len(self.events) < self.limit:
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    @property
+    def truncated(self) -> bool:
+        """Did any event overflow the limit?"""
+        return self.dropped > 0
+
+    def by_kind(self, kind: str) -> List[Event]:
+        """All events of one kind, in emission order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind (ports additionally per port name)."""
+        tally: Dict[str, int] = {}
+        for event in self.events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+            if isinstance(event, PortEvent):
+                key = f"port.{event.port}"
+                tally[key] = tally.get(key, 0) + 1
+        return tally
+
+    def predicate_wall_seconds(self) -> Dict[Indicator, float]:
+        """Total boxed wall time per predicate (from ``wall`` events)."""
+        totals: Dict[Indicator, float] = {}
+        for event in self.events:
+            if isinstance(event, PredicateTimeEvent):
+                totals[event.indicator] = (
+                    totals.get(event.indicator, 0.0) + event.seconds
+                )
+        return totals
+
+    def clear(self) -> None:
+        """Drop all collected events and the overflow count."""
+        self.events.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+
+def attach(engine, bus: Optional[EventBus] = None) -> EventBus:
+    """Attach a bus to an engine *and* its database; returns the bus.
+
+    Duck-typed on purpose (no engine import): anything with ``events``
+    and ``database.events`` attributes works.
+    """
+    bus = bus if bus is not None else EventBus()
+    engine.events = bus
+    engine.database.events = bus
+    return bus
+
+
+def detach(engine) -> Optional[EventBus]:
+    """Detach and return the engine's bus (restores the fast path)."""
+    bus = engine.events
+    engine.events = None
+    engine.database.events = None
+    return bus

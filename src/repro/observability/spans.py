@@ -1,0 +1,126 @@
+"""Pipeline spans: named, accumulating wall-clock timers.
+
+The reordering pipeline (paper Fig. 3) runs ten distinguishable phases
+— reading declarations, building the call graph, fixity, semifixity,
+mode inference, empirical calibration, the per-block goal search, the
+``p/c`` clause ordering, mode specialisation, and unfolding. A
+:class:`SpanRecorder` times each of them: phases that run many times
+(the goal search runs once per mobile block) *accumulate* into a single
+span carrying a total duration and an entry count, so the export stays
+one record per phase regardless of program size.
+
+Phases that were skipped (``unfold_rounds=0``, calibration disabled)
+are still materialised as zero-duration records with ``skipped: true``,
+so consumers of the JSONL stream always see the full phase vocabulary.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+__all__ = ["PIPELINE_PHASES", "Span", "SpanRecorder"]
+
+#: The canonical phase names of the reordering pipeline, in order.
+PIPELINE_PHASES = (
+    "unfold",
+    "declarations",
+    "call graph",
+    "fixity",
+    "semifixity",
+    "mode inference",
+    "calibration",
+    "goal search",
+    "clause order",
+    "specialize",
+)
+
+
+@dataclass
+class Span:
+    """One named phase: accumulated duration, entry count, metadata."""
+
+    name: str
+    seconds: float = 0.0
+    count: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def skipped(self) -> bool:
+        """True when the phase was materialised but never entered."""
+        return self.count == 0
+
+    def to_record(self) -> Dict[str, object]:
+        """The span as one JSONL-ready dict."""
+        record: Dict[str, object] = {
+            "type": "span",
+            "name": self.name,
+            "seconds": self.seconds,
+            "count": self.count,
+            "skipped": self.skipped,
+        }
+        if self.meta:
+            record["meta"] = dict(self.meta)
+        return record
+
+
+class SpanRecorder:
+    """Collects :class:`Span` objects, one per distinct name."""
+
+    def __init__(self) -> None:
+        self._spans: Dict[str, Span] = {}
+
+    def _get(self, name: str) -> Span:
+        span = self._spans.get(name)
+        if span is None:
+            span = Span(name)
+            self._spans[name] = span
+        return span
+
+    @contextmanager
+    def span(self, name: str, **meta: object) -> Iterator[Span]:
+        """Time one entry of phase ``name``; repeated entries accumulate."""
+        span = self._get(name)
+        span.meta.update(meta)
+        started = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.seconds += time.perf_counter() - started
+            span.count += 1
+
+    def mark_skipped(self, name: str, **meta: object) -> Span:
+        """Materialise a phase as present-but-skipped (no time charged)."""
+        span = self._get(name)
+        span.meta.update(meta)
+        return span
+
+    def ensure(self, names: Iterable[str] = PIPELINE_PHASES) -> None:
+        """Materialise every named phase not yet seen as skipped."""
+        for name in names:
+            self._get(name)
+
+    def get(self, name: str) -> Optional[Span]:
+        """The span of one phase, or None when never materialised."""
+        return self._spans.get(name)
+
+    def spans(self) -> List[Span]:
+        """All spans, in first-materialisation order."""
+        return list(self._spans.values())
+
+    def to_records(self) -> List[Dict[str, object]]:
+        """One JSONL-ready dict per span."""
+        return [span.to_record() for span in self.spans()]
+
+    def format(self) -> str:
+        """A small human-readable table (name, seconds, count)."""
+        lines = []
+        for span in self.spans():
+            state = "skipped" if span.skipped else f"{span.seconds * 1e3:9.3f} ms x{span.count}"
+            lines.append(f"  {span.name:<16} {state}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._spans)

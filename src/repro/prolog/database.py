@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..errors import PrologSyntaxError
+from ..observability.events import IndexEvent
 from .reader.parser import parse_terms
 from .terms import (
     Atom,
@@ -140,6 +141,8 @@ class Database:
         self._index: Dict[Indicator, Dict[Optional[Tuple], List[Clause]]] = {}
         self._index_position: Dict[Indicator, int] = {}
         self.directives: List[Term] = []
+        #: Optional event bus (index hit/miss telemetry); None = fast path.
+        self.events = None
         # Per-database operator table: ':- op/3' directives extend it,
         # so queries and re-emitted source parse/print consistently.
         from .reader.operators import standard_operators
@@ -218,6 +221,10 @@ class Database:
         if clauses is None:
             return []
         if not self.indexing or indicator[1] == 0:
+            if self.events is not None:
+                self.events.emit(
+                    IndexEvent(indicator, False, len(clauses), len(clauses))
+                )
             return clauses
         goal = deref(goal)
         assert isinstance(goal, Struct)
@@ -227,16 +234,25 @@ class Database:
         position = self._index_position[indicator]
         key = _first_arg_key(goal.args[position])
         if key is None:  # unbound call argument: every clause may match
+            if self.events is not None:
+                self.events.emit(
+                    IndexEvent(indicator, False, len(clauses), len(clauses))
+                )
             return clauses
         matched = buckets.get(key)
         unindexed = buckets.get(None)
         if matched is None:
-            return unindexed or []
-        if not unindexed:
-            return matched
-        # Merge variable-headed clauses back in source order.
-        merged = sorted(matched + unindexed, key=lambda c: c.index)
-        return merged
+            result: List[Clause] = unindexed or []
+        elif not unindexed:
+            result = matched
+        else:
+            # Merge variable-headed clauses back in source order.
+            result = sorted(matched + unindexed, key=lambda c: c.index)
+        if self.events is not None:
+            self.events.emit(
+                IndexEvent(indicator, True, len(result), len(clauses))
+            )
+        return result
 
     def _choose_index_position(
         self, indicator: Indicator, clauses: List[Clause]

@@ -21,8 +21,16 @@ from __future__ import annotations
 
 import sys
 from collections import deque
+from time import perf_counter
 from typing import Deque, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..observability.events import (
+    ChoicePointEvent,
+    EventBus,
+    PortEvent,
+    PredicateTimeEvent,
+    UnifyEvent,
+)
 from ..errors import (
     CallBudgetExceeded,
     DepthLimitExceeded,
@@ -148,6 +156,9 @@ class Engine:
         self.input_terms: Deque[Term] = deque()
         #: Optional four-port tracer callback (port, depth, goal).
         self.tracer = None
+        #: Optional event bus (see :mod:`repro.observability.events`);
+        #: None keeps the uninstrumented fast path.
+        self.events: Optional[EventBus] = None
         #: Bound for length/2 open enumeration.
         self.max_list_length = 10_000
         # The generator chain nests Python frames proportionally to the
@@ -223,16 +234,33 @@ class Engine:
             if not self.database.defines(indicator):
                 raise ExistenceError(indicator)
             iterator = self._solve_user(goal, indicator, depth)
-        if self.tracer is None:
+        tracer = self.tracer
+        bus = self.events
+        if tracer is None and bus is None:
             yield from iterator
             return
         # Byrd's four-port box around the goal.
-        self.tracer("call", depth, goal)
+        started = 0.0
+        if bus is not None:
+            bus.emit(PortEvent("call", indicator, depth, _runtime_mode(args)))
+            started = perf_counter()
+        if tracer is not None:
+            tracer("call", depth, goal)
         for _ in iterator:
-            self.tracer("exit", depth, goal)
+            if bus is not None:
+                bus.emit(PortEvent("exit", indicator, depth))
+            if tracer is not None:
+                tracer("exit", depth, goal)
             yield
-            self.tracer("redo", depth, goal)
-        self.tracer("fail", depth, goal)
+            if bus is not None:
+                bus.emit(PortEvent("redo", indicator, depth))
+            if tracer is not None:
+                tracer("redo", depth, goal)
+        if bus is not None:
+            bus.emit(PortEvent("fail", indicator, depth))
+            bus.emit(PredicateTimeEvent(indicator, perf_counter() - started))
+        if tracer is not None:
+            tracer("fail", depth, goal)
 
     def _charge_call(self, indicator: Indicator) -> None:
         self.metrics.record_call(indicator)
@@ -289,6 +317,9 @@ class Engine:
                 f"depth {self.max_depth} exceeded at {indicator[0]}/{indicator[1]}"
             )
         clauses = self.database.matching_clauses(goal)
+        bus = self.events
+        if bus is not None and len(clauses) > 1:
+            bus.emit(ChoicePointEvent(indicator, len(clauses), depth))
         frame = self.new_frame()
         first_attempt = True
         for clause in clauses:
@@ -299,9 +330,13 @@ class Engine:
             head, body = clause.rename()
             if unify(goal, head, self.trail, occurs_check=self.occurs_check):
                 self.metrics.record_unification(True)
+                if bus is not None:
+                    bus.emit(UnifyEvent(indicator, True))
                 yield from self.solve_goal(body, depth + 1, frame)
             else:
                 self.metrics.record_unification(False)
+                if bus is not None:
+                    bus.emit(UnifyEvent(indicator, False))
             self.trail.undo_to(mark)
             if frame.cut:
                 return
@@ -359,3 +394,21 @@ class Engine:
         before = self.metrics.snapshot()
         solutions = self.ask(query)
         return solutions, self.metrics.snapshot() - before
+
+
+def _runtime_mode(args: Tuple[Term, ...]) -> str:
+    """The runtime calling mode, rendered like ``(+, -)``.
+
+    ``+`` per nonvar argument, ``-`` per unbound one — the nonvar/var
+    approximation of the model's ground/free abstraction (a partially
+    instantiated structure counts as ``+``).
+    """
+    if not args:
+        return "()"
+    return (
+        "("
+        + ", ".join(
+            "-" if isinstance(deref(arg), Var) else "+" for arg in args
+        )
+        + ")"
+    )

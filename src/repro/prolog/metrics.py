@@ -79,6 +79,32 @@ class Metrics:
             calls_by_predicate={k: v for k, v in by_predicate.items() if v},
         )
 
+    def __add__(self, other: "Metrics") -> "Metrics":
+        by_predicate = dict(self.calls_by_predicate)
+        for key, value in other.calls_by_predicate.items():
+            by_predicate[key] = by_predicate.get(key, 0) + value
+        return Metrics(
+            calls=self.calls + other.calls,
+            unifications=self.unifications + other.unifications,
+            clause_entries=self.clause_entries + other.clause_entries,
+            backtracks=self.backtracks + other.backtracks,
+            calls_by_predicate={k: v for k, v in by_predicate.items() if v},
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable counters; per-predicate keys become
+        ``name/arity`` strings, sorted for deterministic output."""
+        return {
+            "calls": self.calls,
+            "unifications": self.unifications,
+            "clause_entries": self.clause_entries,
+            "backtracks": self.backtracks,
+            "calls_by_predicate": {
+                f"{name}/{arity}": count
+                for (name, arity), count in sorted(self.calls_by_predicate.items())
+            },
+        }
+
     def __str__(self) -> str:
         return (
             f"calls={self.calls} unifications={self.unifications} "

@@ -44,16 +44,22 @@ class TraceEvent:
 
 @dataclass
 class CollectingTracer:
-    """Collects up to ``limit`` events (then silently drops the rest)."""
+    """Collects up to ``limit`` events, then *counts* the overflow.
+
+    Truncation is explicit: ``truncated``/``dropped`` expose whether and
+    how much of the trace is missing, and :meth:`format` appends an
+    overflow line — so a trace-based test oracle can never mistake a
+    truncated trace for a complete one.
+    """
 
     limit: int = 10_000
     events: List[TraceEvent] = field(default_factory=list)
     #: Optional filter: only record goals of these predicate names.
     only_predicates: Optional[set] = None
+    #: Events that matched the filter but arrived past ``limit``.
+    dropped: int = 0
 
     def __call__(self, port: str, depth: int, goal: Term) -> None:
-        if len(self.events) >= self.limit:
-            return
         if self.only_predicates is not None:
             from .terms import functor_indicator
 
@@ -63,11 +69,23 @@ class CollectingTracer:
                 return
             if name not in self.only_predicates:
                 return
+        if len(self.events) >= self.limit:
+            self.dropped += 1
+            return
         self.events.append(TraceEvent(port, depth, term_to_string(goal)))
 
+    @property
+    def truncated(self) -> bool:
+        """Did any event overflow the limit?"""
+        return self.dropped > 0
+
     def format(self) -> str:
-        """The whole trace as indented lines."""
-        return "\n".join(event.format() for event in self.events)
+        """The whole trace as indented lines (overflow surfaced)."""
+        text = "\n".join(event.format() for event in self.events)
+        if self.truncated:
+            overflow = f"... {self.dropped} more event(s) dropped (limit {self.limit})"
+            text = f"{text}\n{overflow}" if text else overflow
+        return text
 
     def ports(self) -> List[str]:
         """Just the port sequence (handy for assertions)."""

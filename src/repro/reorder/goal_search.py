@@ -38,7 +38,13 @@ from ..markov.predicate_model import CostModel
 from ..analysis.modes import VarState
 from ..prolog.terms import Term
 
-__all__ = ["OrderResult", "find_best_order", "exhaustive_search", "astar_search"]
+__all__ = [
+    "OrderResult",
+    "SearchCounters",
+    "find_best_order",
+    "exhaustive_search",
+    "astar_search",
+]
 
 #: Block sizes up to this bound are permuted exhaustively by default
 #: (the paper: "An n-goal clause has n! permutations; for n > 3, trying
@@ -46,6 +52,55 @@ __all__ = ["OrderResult", "find_best_order", "exhaustive_search", "astar_search"
 DEFAULT_EXHAUSTIVE_LIMIT = 6
 
 Constraint = Tuple[int, int]
+
+
+@dataclass
+class SearchCounters:
+    """Search-internals telemetry, accumulated across blocks.
+
+    One instance rides along a whole :class:`~repro.reorder.system.Reorderer`
+    run (the observability layer exports it as a ``search`` record), so
+    the counters describe the pipeline's total search effort.
+    """
+
+    #: Blocks handed to :func:`find_best_order`.
+    blocks: int = 0
+    #: Blocks solved by each strategy.
+    exhaustive_blocks: int = 0
+    astar_blocks: int = 0
+    #: Exhaustive: constraint-respecting permutations fully evaluated,
+    #: and how many of those the legality filter rejected.
+    exhaustive_permutations: int = 0
+    exhaustive_illegal: int = 0
+    #: A*: child nodes generated, children pruned as mode-illegal,
+    #: and the largest open-list size seen.
+    astar_expanded: int = 0
+    astar_pruned: int = 0
+    astar_heap_peak: int = 0
+    #: A*: children whose f-value *decreased* relative to their parent —
+    #: each one is a violation of the admissibility argument (appending
+    #: a goal should never lower the prefix cost).
+    admissibility_violations: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        """All counters as a flat dict (JSONL-ready)."""
+        return {
+            "blocks": self.blocks,
+            "exhaustive_blocks": self.exhaustive_blocks,
+            "astar_blocks": self.astar_blocks,
+            "exhaustive_permutations": self.exhaustive_permutations,
+            "exhaustive_illegal": self.exhaustive_illegal,
+            "astar_expanded": self.astar_expanded,
+            "astar_pruned": self.astar_pruned,
+            "astar_heap_peak": self.astar_heap_peak,
+            "admissibility_violations": self.admissibility_violations,
+        }
+
+    def to_record(self) -> Dict[str, object]:
+        """The counters as one typed JSONL record."""
+        record: Dict[str, object] = {"type": "search"}
+        record.update(self.to_dict())
+        return record
 
 
 @dataclass
@@ -79,6 +134,7 @@ def exhaustive_search(
     model: CostModel,
     constraints: Set[Constraint],
     multi_solution: bool = True,
+    counters: Optional[SearchCounters] = None,
 ) -> Optional[OrderResult]:
     """Evaluate every legal permutation; None if none is legal."""
     best: Optional[OrderResult] = None
@@ -87,11 +143,15 @@ def exhaustive_search(
         if not _respects(permutation, constraints):
             continue
         explored += 1
+        if counters is not None:
+            counters.exhaustive_permutations += 1
         scratch = dict(states)
         evaluation = model.evaluate_goals(
             [goals[i] for i in permutation], scratch
         )
         if evaluation is None:
+            if counters is not None:
+                counters.exhaustive_illegal += 1
             continue
         cost = _order_cost(evaluation, multi_solution)
         if best is None or cost < _order_cost(best.evaluation, multi_solution):
@@ -113,6 +173,7 @@ def astar_search(
     model: CostModel,
     constraints: Set[Constraint],
     multi_solution: bool = True,
+    counters: Optional[SearchCounters] = None,
 ) -> Optional[OrderResult]:
     """Best-first search over ordered prefixes (Smith & Genesereth / A*)."""
     n = len(goals)
@@ -148,10 +209,16 @@ def astar_search(
             child_states = dict(node_states)
             stats = model.goal_stats(goals[candidate], child_states)
             if stats is None:
+                if counters is not None:
+                    counters.astar_pruned += 1
                 continue  # illegal in this position: prune
             child_stats = stats_list + [stats]
             child_eval = evaluate_sequence(child_stats)
             child_cost = _order_cost(child_eval, multi_solution)
+            if counters is not None:
+                counters.astar_expanded += 1
+                if child_cost < cost - 1e-9:
+                    counters.admissibility_violations += 1
             heapq.heappush(
                 heap,
                 (
@@ -162,6 +229,8 @@ def astar_search(
                     child_states,
                 ),
             )
+            if counters is not None and len(heap) > counters.astar_heap_peak:
+                counters.astar_heap_peak = len(heap)
     return None
 
 
@@ -172,11 +241,14 @@ def find_best_order(
     constraints: Optional[Set[Constraint]] = None,
     multi_solution: bool = True,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
+    counters: Optional[SearchCounters] = None,
 ) -> Optional[OrderResult]:
     """Best legal order of a block: exhaustive for small blocks, A* above
     the limit. None when no order is legal (caller falls back to the
     source order and reports)."""
     constraints = constraints or set()
+    if counters is not None:
+        counters.blocks += 1
     if len(goals) <= 1:
         scratch = dict(states)
         evaluation = model.evaluate_goals(list(goals), scratch)
@@ -190,5 +262,11 @@ def find_best_order(
             strategy="fixed",
         )
     if len(goals) <= exhaustive_limit:
-        return exhaustive_search(goals, states, model, constraints, multi_solution)
-    return astar_search(goals, states, model, constraints, multi_solution)
+        if counters is not None:
+            counters.exhaustive_blocks += 1
+        return exhaustive_search(
+            goals, states, model, constraints, multi_solution, counters
+        )
+    if counters is not None:
+        counters.astar_blocks += 1
+    return astar_search(goals, states, model, constraints, multi_solution, counters)

@@ -45,6 +45,7 @@ from ..analysis.semifixity import SemifixityAnalysis
 from ..markov.clause_model import SequenceEvaluation
 from ..markov.goal_stats import GoalStats
 from ..markov.predicate_model import CostModel, head_match_probability
+from ..observability.spans import SpanRecorder
 from ..prolog.database import Clause, Database, body_goals, goals_to_body
 from ..prolog.engine import Engine
 from ..prolog.terms import (
@@ -57,7 +58,7 @@ from ..prolog.terms import (
 )
 from ..prolog.writer import clause_to_string, program_to_string
 from .clause_order import ClauseRanking, order_clauses
-from .goal_search import DEFAULT_EXHAUSTIVE_LIMIT, find_best_order
+from .goal_search import DEFAULT_EXHAUSTIVE_LIMIT, SearchCounters, find_best_order
 from .restrictions import order_constraints, partition_body
 from .specialize import build_dispatcher, rename_goal, specialized_name
 
@@ -142,6 +143,29 @@ class ReorderReport:
             lines.append(f"warning: {warning}")
         return "\n".join(lines)
 
+    def to_dict(self) -> Dict[str, object]:
+        """The report as JSON-serializable data (for the JSONL export)."""
+        decisions = [
+            {
+                "predicate": indicator_str(indicator),
+                "mode": mode_str(mode),
+                "note": note,
+            }
+            for (indicator, mode), notes in self.decisions.items()
+            for note in notes
+        ]
+        return {
+            "decisions": decisions,
+            "warnings": list(self.warnings),
+            "fixed": sorted(indicator_str(i) for i in self.fixed_predicates),
+            "recursive": sorted(
+                indicator_str(i) for i in self.recursive_predicates
+            ),
+            "semifixed": sorted(
+                indicator_str(i) for i in self.semifixed_predicates
+            ),
+        }
+
 
 class ReorderedProgram:
     """The output of the reorderer: a drop-in replacement program."""
@@ -186,24 +210,36 @@ class Reorderer:
         database: Database,
         options: Optional[ReorderOptions] = None,
         declarations: Optional[Declarations] = None,
+        spans: Optional[SpanRecorder] = None,
     ):
         self.options = options or ReorderOptions()
+        #: Pipeline-phase wall-clock telemetry (shared when passed in).
+        self.spans = spans if spans is not None else SpanRecorder()
+        #: Search-internals telemetry, accumulated across all blocks.
+        self.search_counters = SearchCounters()
         if self.options.unfold_rounds > 0:
             from .unfold import UnfoldOptions, unfold_program
 
-            database, unfold_report = unfold_program(
-                database, UnfoldOptions(rounds=self.options.unfold_rounds)
-            )
+            with self.spans.span("unfold", rounds=self.options.unfold_rounds):
+                database, unfold_report = unfold_program(
+                    database, UnfoldOptions(rounds=self.options.unfold_rounds)
+                )
             self.unfold_report = unfold_report
         else:
+            self.spans.mark_skipped("unfold")
             self.unfold_report = None
         self.database = database
-        self.declarations = declarations or Declarations.from_database(database)
-        self.callgraph = CallGraph(database)
-        self.fixity = FixityAnalysis(database, self.callgraph, self.declarations)
-        self.semifixity = SemifixityAnalysis(database, self.callgraph, self.declarations)
-        self.modes = ModeInference(database, self.declarations, self.callgraph)
-        self.domains = DomainAnalysis(database, self.declarations)
+        with self.spans.span("declarations"):
+            self.declarations = declarations or Declarations.from_database(database)
+        with self.spans.span("call graph"):
+            self.callgraph = CallGraph(database)
+        with self.spans.span("fixity"):
+            self.fixity = FixityAnalysis(database, self.callgraph, self.declarations)
+        with self.spans.span("semifixity"):
+            self.semifixity = SemifixityAnalysis(database, self.callgraph, self.declarations)
+        with self.spans.span("mode inference"):
+            self.modes = ModeInference(database, self.declarations, self.callgraph)
+            self.domains = DomainAnalysis(database, self.declarations)
         self.model = CostModel(database, self.declarations, self.modes, self.domains)
         self.report = ReorderReport()
         #: (indicator, mode) → final specialised name (after dedup).
@@ -375,9 +411,11 @@ class Reorderer:
         evaluations: List[Tuple[float, Optional[SequenceEvaluation]]] = []
         for clause in clauses:
             new_goals, evaluation = self._reorder_clause_goals(indicator, clause, mode)
-            renamed_goals = (
-                self._rename_goals(clause, new_goals, mode) if rename else new_goals
-            )
+            if rename:
+                with self.spans.span("specialize"):
+                    renamed_goals = self._rename_goals(clause, new_goals, mode)
+            else:
+                renamed_goals = new_goals
             head = rename_goal(clause.head, name) if rename else clause.head
             new_clause = Clause(head, goals_to_body(renamed_goals))
             match = head_match_probability(clause, mode, self.domains)
@@ -392,7 +430,8 @@ class Reorderer:
             rankings.append(ClauseRanking(clause=new_clause, stats=stats, p=p, c=c))
 
         if self.options.reorder_clauses and len(rankings) > 1:
-            ordered = order_clauses(rankings, self.fixity)
+            with self.spans.span("clause order"):
+                ordered = order_clauses(rankings, self.fixity)
             if [r.clause for r in ordered] != [r.clause for r in rankings]:
                 self.report.note(
                     indicator, mode,
@@ -504,14 +543,16 @@ class Reorderer:
                 new_goals.extend(block.goals)
                 continue
             constraints = order_constraints(block.goals, self.semifixity, states)
-            result = find_best_order(
-                block.goals,
-                states,
-                self.model,
-                constraints,
-                multi_solution=multi,
-                exhaustive_limit=self.options.exhaustive_limit,
-            )
+            with self.spans.span("goal search"):
+                result = find_best_order(
+                    block.goals,
+                    states,
+                    self.model,
+                    constraints,
+                    multi_solution=multi,
+                    exhaustive_limit=self.options.exhaustive_limit,
+                    counters=self.search_counters,
+                )
             if result is None:
                 self.report.note(
                     indicator, mode,
@@ -800,7 +841,8 @@ class Reorderer:
                 for (ind, mode), name in self._version_names.items()
                 if ind == indicator
             }
-            output.add_clause(build_dispatcher(indicator, mode_map))
+            with self.spans.span("specialize"):
+                output.add_clause(build_dispatcher(indicator, mode_map))
         seen_versions: Set[Indicator] = set()
         for version in versions.values():
             if version.version_indicator in seen_versions:

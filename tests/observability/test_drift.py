@@ -1,0 +1,135 @@
+"""Tests for the calibration-drift reporter."""
+
+import json
+
+from repro.observability import attach
+from repro.observability.drift import (
+    DriftOptions,
+    DriftReporter,
+    collect_observations,
+)
+from repro.prolog import Database, Engine
+
+
+def replayed_bus(source, query):
+    engine = Engine.from_source(source)
+    bus = attach(engine)
+    engine.ask(query)
+    return bus
+
+
+class TestCollectObservations:
+    def test_facts_counted_once_with_all_solutions(self):
+        bus = replayed_bus("p(1). p(2).", "p(X)")
+        observations = collect_observations(bus)
+        observation = observations[(("p", 1), "(-)")]
+        assert observation.invocations == 1
+        assert observation.solutions == 2
+        assert observation.successes == 1
+        # Cost 1: only the p/1 call itself, no subgoals.
+        assert observation.total_cost == 1
+        assert observation.mean_cost == 1.0
+        assert observation.success_rate == 1.0
+
+    def test_subgoal_calls_charged_to_parent_box(self):
+        bus = replayed_bus(
+            "p(1). p(2). q(2). r(X) :- p(X), q(X).", "r(X)"
+        )
+        observations = collect_observations(bus)
+        r = observations[(("r", 1), "(-)")]
+        assert r.invocations == 1
+        assert r.solutions == 1  # only X = 2 survives q/1
+        # r's box contains its own call, the p/1 call and two q/1 calls.
+        assert r.total_cost == 4
+
+    def test_failed_call_has_zero_success_rate(self):
+        bus = replayed_bus("p(1).", "p(2)")
+        observation = collect_observations(bus)[(("p", 1), "(+)")]
+        assert observation.invocations == 1
+        assert observation.successes == 0
+        assert observation.solutions == 0
+        assert observation.success_rate == 0.0
+
+    def test_modes_keyed_separately(self):
+        engine = Engine.from_source("p(1). p(2).")
+        bus = attach(engine)
+        engine.ask("p(X)")
+        engine.ask("p(1)")
+        observations = collect_observations(bus)
+        assert (("p", 1), "(-)") in observations
+        assert (("p", 1), "(+)") in observations
+
+    def test_non_port_events_ignored(self):
+        bus = replayed_bus("p(1).", "p(1)")
+        with_all = collect_observations(bus)
+        ports_only = collect_observations(bus.by_kind("port"))
+        assert with_all.keys() == ports_only.keys()
+
+
+class TestDriftReporter:
+    def test_accurate_model_not_flagged(self):
+        database = Database.from_source("p(1). p(2). p(3).")
+        reporter = DriftReporter(database)
+        records = reporter.report(query="p(X)")
+        assert len(records) == 1
+        record = records[0]
+        assert record.indicator == ("p", 1)
+        assert not record.flagged
+        assert record.cost_ratio is not None
+
+    def test_cost_declaration_far_from_reality_is_flagged(self):
+        # The model is told p/1 costs 500 calls; measured cost is 1.
+        database = Database.from_source(
+            ":- cost(p/1, [-], 500, 1.0, 2).\np(1). p(2)."
+        )
+        reporter = DriftReporter(database, DriftOptions(cost_factor=3.0))
+        records = reporter.report(query="p(X)")
+        assert len(records) == 1
+        record = records[0]
+        assert record.flagged
+        assert any("overestimated" in reason for reason in record.reasons)
+        assert record.cost_ratio < 1.0 / 3.0
+
+    def test_flagged_records_sort_first(self):
+        database = Database.from_source(
+            ":- cost(p/1, [-], 500, 1.0, 2).\n"
+            "p(1). p(2).\n"
+            "q(a). q(b).\n"
+        )
+        engine = Engine(database)
+        bus = attach(engine)
+        engine.ask("p(X)")
+        engine.ask("q(X)")
+        database.events = None
+        records = DriftReporter(database).report(bus=bus)
+        assert [r.indicator for r in records] == [("p", 1), ("q", 1)]
+        assert records[0].flagged and not records[1].flagged
+
+    def test_builtins_excluded(self):
+        database = Database.from_source("p(X) :- X = 1.")
+        records = DriftReporter(database).report(query="p(X)")
+        assert all(r.indicator == ("p", 1) for r in records)
+
+    def test_report_requires_query_or_bus(self):
+        reporter = DriftReporter(Database.from_source("p(1)."))
+        try:
+            reporter.report()
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_record_serialises_to_json(self):
+        reporter = DriftReporter(Database.from_source("p(1). p(2)."))
+        for record in reporter.report(query="p(X)"):
+            decoded = json.loads(json.dumps(record.to_record()))
+            assert decoded["type"] == "drift"
+            assert decoded["predicate"] == "p/1"
+            assert {"observed", "predicted", "flagged"} <= set(decoded)
+
+    def test_format_mentions_drift_when_flagged(self):
+        database = Database.from_source(
+            ":- cost(p/1, [-], 500, 1.0, 2).\np(1). p(2)."
+        )
+        records = DriftReporter(database).report(query="p(X)")
+        assert "DRIFT" in records[0].format()

@@ -1,0 +1,173 @@
+"""Tests for the typed event bus and its engine/database emitters."""
+
+import json
+
+from repro.observability import EventBus, PortEvent, attach, detach
+from repro.prolog import Database, Engine
+
+SOURCE = """
+p(1). p(2).
+q(2).
+r(X) :- p(X), q(X).
+"""
+
+
+def instrumented(source=SOURCE, **engine_kwargs):
+    engine = Engine.from_source(source, **engine_kwargs)
+    bus = attach(engine)
+    return engine, bus
+
+
+class TestPortEvents:
+    def test_known_query_port_sequence(self):
+        engine, bus = instrumented("f(a).")
+        engine.ask("f(a)")
+        ports = [e.port for e in bus.by_kind("port")]
+        assert ports == ["call", "exit", "redo", "fail"]
+
+    def test_call_event_fields(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        call = bus.by_kind("port")[0]
+        assert call.port == "call"
+        assert call.indicator == ("r", 1)
+        assert call.depth == 0
+        assert call.mode == "(-)"
+
+    def test_mode_rendered_per_argument(self):
+        engine, bus = instrumented("f(a, b).")
+        engine.ask("f(a, Y)")
+        call = bus.by_kind("port")[0]
+        assert call.mode == "(+, -)"
+
+    def test_events_ordered_and_nested(self):
+        engine, bus = instrumented()
+        engine.ask("r(2)")
+        ports = [
+            (e.indicator[0], e.port) for e in bus.by_kind("port")
+        ]
+        # r's box opens first and closes last.
+        assert ports[0] == ("r", "call")
+        assert ports[-1] == ("r", "fail")
+        # p is called (depth 1) inside r's box.
+        assert ("p", "call") in ports
+        p_call = next(e for e in bus.by_kind("port") if e.indicator == ("p", 1))
+        assert p_call.depth == 1
+
+    def test_timestamps_monotone(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        stamps = [e.ts for e in bus]
+        assert stamps == sorted(stamps)
+
+
+class TestOtherEvents:
+    def test_choicepoint_records_alternatives(self):
+        engine, bus = instrumented()
+        engine.ask("p(X)")
+        points = bus.by_kind("choicepoint")
+        assert points and points[0].indicator == ("p", 1)
+        assert points[0].alternatives == 2
+
+    def test_unify_success_and_failure(self):
+        # Indexing off so the failing head is actually attempted.
+        engine = Engine(Database.from_source(SOURCE, indexing=False))
+        bus = attach(engine)
+        engine.ask("q(1)")  # q(2) stored: one failing attempt
+        unify = bus.by_kind("unify")
+        assert [e.succeeded for e in unify] == [False]
+
+    def test_index_hit_narrows(self):
+        engine, bus = instrumented()
+        engine.ask("p(1)")
+        index = [e for e in bus.by_kind("index") if e.indicator == ("p", 1)]
+        assert index and index[0].hit
+        assert index[0].candidates == 1 and index[0].total == 2
+
+    def test_index_miss_on_unbound_argument(self):
+        engine, bus = instrumented()
+        engine.ask("p(X)")
+        index = [e for e in bus.by_kind("index") if e.indicator == ("p", 1)]
+        assert index and not index[0].hit
+        assert index[0].candidates == index[0].total == 2
+
+    def test_wall_time_per_box(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        wall = bus.by_kind("wall")
+        assert any(e.indicator == ("r", 1) for e in wall)
+        assert all(e.seconds >= 0.0 for e in wall)
+        assert bus.predicate_wall_seconds()[("r", 1)] > 0.0
+
+
+class TestDisabledFastPath:
+    def test_no_bus_records_nothing(self):
+        engine = Engine.from_source(SOURCE)
+        assert engine.events is None and engine.database.events is None
+        engine.ask("r(X)")
+        # Attaching afterwards shows an empty bus: nothing was buffered.
+        bus = attach(engine)
+        assert len(bus) == 0
+
+    def test_call_counts_unchanged_by_instrumentation(self):
+        plain = Engine.from_source(SOURCE)
+        _, plain_metrics = plain.run("r(X)")
+        engine, bus = instrumented()
+        _, instrumented_metrics = engine.run("r(X)")
+        assert plain_metrics.calls == instrumented_metrics.calls
+        assert plain_metrics.unifications == instrumented_metrics.unifications
+        assert plain_metrics.backtracks == instrumented_metrics.backtracks
+        assert len(bus) > 0
+
+    def test_detach_restores_fast_path(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        recorded = len(bus)
+        assert detach(engine) is bus
+        assert engine.events is None and engine.database.events is None
+        engine.ask("r(X)")
+        assert len(bus) == recorded
+
+
+class TestBus:
+    def test_limit_counts_drops(self):
+        engine = Engine.from_source(SOURCE)
+        bus = attach(engine, EventBus(limit=5))
+        engine.ask("r(X)")
+        assert len(bus) == 5
+        assert bus.truncated and bus.dropped > 0
+
+    def test_counts_by_kind(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        counts = bus.counts()
+        assert counts["port.call"] == counts["port.fail"]
+        assert counts["port"] == sum(
+            counts[f"port.{p}"] for p in ("call", "exit", "redo", "fail")
+        )
+
+    def test_clear(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        bus.clear()
+        assert len(bus) == 0 and not bus.truncated
+
+
+class TestSerialization:
+    def test_event_records_round_trip_json(self):
+        engine, bus = instrumented()
+        engine.ask("r(X)")
+        for event in bus:
+            record = event.to_record()
+            decoded = json.loads(json.dumps(record))
+            assert decoded["type"] == "event"
+            assert decoded["kind"] == event.kind
+            assert "/" in decoded["predicate"]
+
+    def test_port_record_fields(self):
+        event = PortEvent("call", ("aunt", 2), 3, "(+, -)")
+        record = event.to_record()
+        assert record["predicate"] == "aunt/2"
+        assert record["port"] == "call"
+        assert record["depth"] == 3
+        assert record["mode"] == "(+, -)"

@@ -1,0 +1,124 @@
+"""End-to-end tests for the ``profile`` command and the JSONL export
+paths of ``run`` and ``compare``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.observability import PIPELINE_PHASES
+
+PROGRAM = """
+:- entry(grandmother/2).
+wife(john, jane). wife(tom, pat).
+mother(john, joan). mother(joan, pat). mother(ann, joan).
+girl(jan).
+female(W) :- girl(W).
+female(W) :- wife(_, W).
+grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+parent(C, P) :- mother(C, P).
+parent(C, P) :- mother(C, M), wife(P, M).
+"""
+
+QUERY = "grandmother(G, pat)"
+
+
+@pytest.fixture()
+def program_file(tmp_path):
+    path = tmp_path / "family.pl"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def load_jsonl(path):
+    """Every line must round-trip through ``json.loads``."""
+    records = []
+    with open(path) as handle:
+        for line in handle:
+            assert line.endswith("\n")
+            records.append(json.loads(line))
+    return records
+
+
+class TestProfileCommand:
+    def test_jsonl_round_trips(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        assert main(["profile", program_file, QUERY, "--json", out]) == 0
+        records = load_jsonl(out)
+        assert all("type" in record for record in records)
+
+    def test_record_inventory(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        main(["profile", program_file, QUERY, "--json", out])
+        records = load_jsonl(out)
+        types = {}
+        for record in records:
+            types[record["type"]] = types.get(record["type"], 0) + 1
+        assert types["profile"] == 1  # the header, first
+        assert records[0]["type"] == "profile"
+        assert types["span"] == len(PIPELINE_PHASES)
+        assert types["search"] == 1
+        assert types["metrics"] == 1
+        assert types["solutions"] == 1
+        assert types.get("drift", 0) >= 1
+        assert types.get("event", 0) > 0
+
+    def test_all_ten_phases_present(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        main(["profile", program_file, QUERY, "--json", out])
+        names = [r["name"] for r in load_jsonl(out) if r["type"] == "span"]
+        assert sorted(names) == sorted(PIPELINE_PHASES)
+
+    def test_no_calibrate_marks_span_skipped(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        main(["profile", program_file, QUERY, "--json", out, "--no-calibrate"])
+        spans = {r["name"]: r for r in load_jsonl(out) if r["type"] == "span"}
+        assert spans["calibration"]["skipped"] is True
+
+    def test_event_records_carry_predicates(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        main(["profile", program_file, QUERY, "--json", out])
+        events = [r for r in load_jsonl(out) if r["type"] == "event"]
+        kinds = {r["kind"] for r in events}
+        assert "port" in kinds and "index" in kinds
+        assert all(
+            "/" in r["predicate"] for r in events if r["kind"] == "port"
+        )
+
+    def test_stderr_summary(self, program_file, capsys):
+        main(["profile", program_file, QUERY])
+        err = capsys.readouterr().err
+        assert "pipeline spans" in err
+        assert "drift" in err
+
+    def test_metrics_record_matches_run(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        main(["profile", program_file, QUERY, "--json", out])
+        records = load_jsonl(out)
+        metrics = next(r for r in records if r["type"] == "metrics")
+        solutions = next(r for r in records if r["type"] == "solutions")
+        assert metrics["calls"] > 0
+        assert solutions["count"] == 2  # john and ann
+
+
+class TestRunJson:
+    def test_run_exports_jsonl(self, program_file, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        assert main(["run", program_file, QUERY, "--json", out]) == 0
+        records = load_jsonl(out)
+        types = {r["type"] for r in records}
+        assert {"profile", "metrics", "solutions", "event"} <= types
+
+    def test_run_profile_flag_prints_summary(self, program_file, capsys):
+        main(["run", program_file, QUERY, "--profile"])
+        assert "events" in capsys.readouterr().err
+
+
+class TestCompareJson:
+    def test_compare_exports_both_runs(self, program_file, tmp_path):
+        out = str(tmp_path / "compare.jsonl")
+        assert main(["compare", program_file, QUERY, "--json", out]) == 0
+        records = load_jsonl(out)
+        runs = {r.get("run") for r in records if r["type"] == "metrics"}
+        assert runs == {"original", "reordered"}

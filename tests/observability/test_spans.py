@@ -1,0 +1,116 @@
+"""Tests for pipeline spans and search counters."""
+
+import json
+import time
+
+from repro.observability import PIPELINE_PHASES, Span, SpanRecorder
+from repro.prolog import Database
+from repro.reorder import Reorderer
+from repro.reorder.goal_search import SearchCounters
+
+PROGRAM = """
+:- mode(path(+, -)).
+edge(a, b). edge(b, c). edge(c, d).
+big(1). big(2). big(3).
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+probe(X, Y, Z) :- big(X), big(Y), big(Z), edge(a, X).
+"""
+
+
+class TestSpanRecorder:
+    def test_span_times_and_counts(self):
+        recorder = SpanRecorder()
+        with recorder.span("fixity"):
+            time.sleep(0.001)
+        span = recorder.get("fixity")
+        assert span is not None
+        assert span.count == 1 and span.seconds > 0.0
+        assert not span.skipped
+
+    def test_repeated_entries_accumulate(self):
+        recorder = SpanRecorder()
+        for _ in range(3):
+            with recorder.span("goal search"):
+                pass
+        span = recorder.get("goal search")
+        assert span.count == 3
+        assert len(recorder) == 1  # still one span, not three
+
+    def test_mark_skipped_is_zero_duration(self):
+        recorder = SpanRecorder()
+        recorder.mark_skipped("unfold")
+        span = recorder.get("unfold")
+        assert span.skipped and span.count == 0 and span.seconds == 0.0
+
+    def test_ensure_materialises_full_vocabulary(self):
+        recorder = SpanRecorder()
+        with recorder.span("declarations"):
+            pass
+        recorder.ensure()
+        names = {span.name for span in recorder.spans()}
+        assert names == set(PIPELINE_PHASES)
+        assert not recorder.get("declarations").skipped
+        assert recorder.get("calibration").skipped
+
+    def test_meta_merged_into_record(self):
+        recorder = SpanRecorder()
+        with recorder.span("unfold", rounds=2):
+            pass
+        record = recorder.get("unfold").to_record()
+        assert record["meta"] == {"rounds": 2}
+
+    def test_records_are_json_serialisable(self):
+        recorder = SpanRecorder()
+        recorder.ensure()
+        for record in recorder.to_records():
+            decoded = json.loads(json.dumps(record))
+            assert decoded["type"] == "span"
+            assert set(decoded) >= {"name", "seconds", "count", "skipped"}
+
+    def test_format_mentions_skipped(self):
+        recorder = SpanRecorder()
+        recorder.mark_skipped("calibration")
+        assert "skipped" in recorder.format()
+
+
+class TestReordererSpans:
+    def test_pipeline_phases_populated(self):
+        reorderer = Reorderer(Database.from_source(PROGRAM))
+        reorderer.reorder()
+        spans = reorderer.spans
+        for name in ("declarations", "call graph", "fixity", "semifixity",
+                     "mode inference", "goal search", "clause order"):
+            span = spans.get(name)
+            assert span is not None and span.count > 0, name
+        # No unfolding requested: materialised but skipped.
+        assert spans.get("unfold").skipped
+
+    def test_shared_recorder_is_reused(self):
+        recorder = SpanRecorder()
+        reorderer = Reorderer(Database.from_source(PROGRAM), spans=recorder)
+        assert reorderer.spans is recorder
+        assert recorder.get("fixity") is not None
+
+
+class TestSearchCounters:
+    def test_counters_populated_by_reorder(self):
+        reorderer = Reorderer(Database.from_source(PROGRAM))
+        reorderer.reorder()
+        counters = reorderer.search_counters
+        assert counters.blocks > 0
+        # probe/3 has a 4-goal mobile block: permuted exhaustively.
+        assert counters.exhaustive_blocks > 0
+        assert counters.exhaustive_permutations > 1
+
+    def test_to_record_shape(self):
+        counters = SearchCounters(blocks=2, exhaustive_blocks=1)
+        record = counters.to_record()
+        assert record["type"] == "search"
+        assert record["blocks"] == 2
+        assert json.loads(json.dumps(record)) == record
+
+    def test_admissibility_clean_by_default(self):
+        reorderer = Reorderer(Database.from_source(PROGRAM))
+        reorderer.reorder()
+        assert reorderer.search_counters.admissibility_violations == 0

@@ -1,0 +1,77 @@
+"""Tests for the Metrics counters (arithmetic and serialization)."""
+
+import json
+
+from repro.prolog import Engine
+from repro.prolog.metrics import Metrics
+
+
+def sample(calls, unifications=0, entries=0, backtracks=0, by=None):
+    return Metrics(
+        calls=calls,
+        unifications=unifications,
+        clause_entries=entries,
+        backtracks=backtracks,
+        calls_by_predicate=dict(by or {}),
+    )
+
+
+class TestArithmetic:
+    def test_add_sums_counters(self):
+        total = sample(3, 2, 1, 1, {("p", 1): 3}) + sample(
+            2, 1, 1, 0, {("p", 1): 1, ("q", 2): 1}
+        )
+        assert total.calls == 5
+        assert total.unifications == 3
+        assert total.clause_entries == 2
+        assert total.backtracks == 1
+        assert total.calls_by_predicate == {("p", 1): 4, ("q", 2): 1}
+
+    def test_add_drops_zero_entries(self):
+        total = sample(1, by={("p", 1): 1}) + sample(1, by={("p", 1): -1})
+        assert ("p", 1) not in total.calls_by_predicate
+
+    def test_add_inverts_sub(self):
+        a = sample(7, 5, 3, 2, {("p", 1): 7})
+        b = sample(3, 2, 1, 1, {("p", 1): 3})
+        assert (a - b) + b == a
+
+    def test_add_leaves_operands_unchanged(self):
+        a = sample(1, by={("p", 1): 1})
+        b = sample(2, by={("p", 1): 2})
+        a + b
+        assert a.calls == 1 and b.calls == 2
+        assert a.calls_by_predicate == {("p", 1): 1}
+
+    def test_summing_run_metrics(self):
+        engine = Engine.from_source("p(1). p(2).")
+        _, first = engine.run("p(X)")
+        _, second = engine.run("p(1)")
+        total = first + second
+        assert total.calls == first.calls + second.calls
+        assert total.calls_by_predicate[("p", 1)] == (
+            first.calls_by_predicate[("p", 1)]
+            + second.calls_by_predicate[("p", 1)]
+        )
+
+
+class TestToDict:
+    def test_keys_become_indicator_strings(self):
+        metrics = sample(2, by={("p", 1): 1, ("longer_name", 3): 1})
+        data = metrics.to_dict()
+        assert data["calls_by_predicate"] == {
+            "longer_name/3": 1,
+            "p/1": 1,
+        }
+
+    def test_sorted_deterministically(self):
+        metrics = sample(0, by={("z", 1): 1, ("a", 2): 1, ("a", 1): 1})
+        keys = list(metrics.to_dict()["calls_by_predicate"])
+        assert keys == ["a/1", "a/2", "z/1"]
+
+    def test_json_serialisable(self):
+        engine = Engine.from_source("p(1). p(2). q(X) :- p(X).")
+        _, metrics = engine.run("q(X)")
+        decoded = json.loads(json.dumps(metrics.to_dict()))
+        assert decoded["calls"] == metrics.calls
+        assert decoded["calls_by_predicate"]["p/1"] == 1

@@ -81,6 +81,46 @@ class TestCollectingTracer:
         assert "call  r(2)" in text
         assert "  call  p(2)" in text
 
+    def test_not_truncated_below_limit(self):
+        engine, tracer = traced_engine()
+        engine.ask("r(X)")
+        assert not tracer.truncated and tracer.dropped == 0
+        assert "dropped" not in tracer.format()
+
+    def test_truncation_counts_overflow(self):
+        engine, tracer = traced_engine(limit=3)
+        engine.ask("r(X)")
+        assert tracer.truncated
+        assert tracer.dropped > 0
+        assert len(tracer.events) == 3
+
+    def test_format_surfaces_overflow(self):
+        engine, tracer = traced_engine(limit=3)
+        engine.ask("r(X)")
+        text = tracer.format()
+        assert f"{tracer.dropped} more event(s) dropped" in text
+        assert "(limit 3)" in text
+
+    def test_filtered_events_not_counted_as_dropped(self):
+        # Events rejected by the predicate filter are not "dropped":
+        # only events that *matched* but overflowed the limit count.
+        engine, tracer = traced_engine(only_predicates={"q"}, limit=100)
+        engine.ask("r(X)")
+        assert tracer.dropped == 0 and not tracer.truncated
+
+    def test_filter_applies_before_limit(self):
+        engine, tracer = traced_engine(only_predicates={"q"}, limit=1)
+        engine.ask("r(X)")
+        assert len(tracer.events) == 1
+        assert tracer.events[0].goal_text.startswith("q(")
+        assert tracer.dropped > 0
+
+    def test_format_empty_truncated_trace(self):
+        engine, tracer = traced_engine(limit=0)
+        engine.ask("r(X)")
+        assert tracer.events == []
+        assert tracer.format().startswith("...")
+
 
 class TestTraceAsOrderOracle:
     def test_reordered_program_traces_new_order(self):

@@ -92,6 +92,34 @@ class TestCompareCommand:
         )
         assert code == 0
 
+    def test_zero_call_run_prints_na_ratio(self, program_file, capsys):
+        # 'true' is control, not a charged call: both runs make 0 calls,
+        # so the ratio is undefined rather than a ZeroDivisionError/inf.
+        assert main(["compare", program_file, "true"]) == 0
+        captured = capsys.readouterr()
+        assert "ratio    : n/a" in captured.out
+        assert "inf" not in captured.out
+        assert "ratio is undefined" in captured.err
+
+
+class TestCompareExitCode:
+    def test_matching_sets(self):
+        from repro.cli import compare_exit_code
+
+        assert compare_exit_code(3, 3, matches=True) == 0
+        assert compare_exit_code(0, 0, matches=True) == 0
+
+    def test_differing_sets(self):
+        from repro.cli import compare_exit_code
+
+        assert compare_exit_code(3, 3, matches=False) == 1
+
+    def test_asymmetric_emptiness_is_nonzero(self):
+        from repro.cli import compare_exit_code
+
+        assert compare_exit_code(2, 0, matches=False) == 1
+        assert compare_exit_code(0, 2, matches=False) == 1
+
 
 class TestExplainCommand:
     def test_shows_candidates(self, program_file, capsys):
