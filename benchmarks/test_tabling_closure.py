@@ -1,0 +1,85 @@
+"""Tabled vs untabled transitive closure on a long chain.
+
+The headline number for the tabling subsystem: on an n-edge chain the
+untabled right-recursive ``path/2`` pays Theta(n^2) resolution calls
+for a sink query, while the same program under ``:- table path/2``
+creates one variant table per chain node and pays O(n). The measured
+call counts (and the speedup ratio) are written to
+``benchmarks/results/tabling_closure.txt``.
+"""
+
+import pytest
+
+from conftest import save_table
+
+from repro.prolog import Engine
+
+CHAIN_EDGES = 200
+MIN_RATIO = 10.0
+
+
+def chain_source(n, tabled):
+    facts = "\n".join(f"edge(n{i}, n{i + 1})." for i in range(n))
+    source = (
+        facts + "\n"
+        "path(X, Y) :- edge(X, Y).\n"
+        "path(X, Y) :- edge(X, Z), path(Z, Y).\n"
+    )
+    if tabled:
+        source = ":- table path/2.\n" + source
+    return source
+
+
+@pytest.fixture(scope="module")
+def closure_runs():
+    query = f"path(X, n{CHAIN_EDGES})"
+    runs = {}
+    for label, tabled in (("untabled", False), ("tabled", True)):
+        engine = Engine.from_source(
+            chain_source(CHAIN_EDGES, tabled), max_depth=4_000
+        )
+        solutions, metrics = engine.run(query)
+        runs[label] = (solutions, metrics)
+    ratio = runs["untabled"][1].calls / runs["tabled"][1].calls
+    lines = [
+        f"Transitive closure, {CHAIN_EDGES}-edge chain, query {query}",
+        f"{'variant':<10} {'calls':>8} {'answers':>8} "
+        f"{'table hits':>10} {'table misses':>12}",
+    ]
+    for label in ("untabled", "tabled"):
+        solutions, metrics = runs[label]
+        lines.append(
+            f"{label:<10} {metrics.calls:>8} {len(solutions):>8} "
+            f"{metrics.table_hits:>10} {metrics.table_misses:>12}"
+        )
+    lines.append(f"speedup: {ratio:.1f}x fewer calls with tabling")
+    save_table("tabling_closure.txt", "\n".join(lines))
+    return runs
+
+
+class TestClosure:
+    def test_answer_sets_identical(self, closure_runs):
+        untabled = {str(s["X"]) for s in closure_runs["untabled"][0]}
+        tabled = {str(s["X"]) for s in closure_runs["tabled"][0]}
+        assert tabled == untabled
+        assert len(tabled) == CHAIN_EDGES
+
+    def test_speedup_at_least_ten_fold(self, closure_runs):
+        untabled_calls = closure_runs["untabled"][1].calls
+        tabled_calls = closure_runs["tabled"][1].calls
+        assert untabled_calls >= MIN_RATIO * tabled_calls
+
+    def test_tabled_run_is_linear_in_chain_length(self, closure_runs):
+        tabled_calls = closure_runs["tabled"][1].calls
+        assert tabled_calls <= 10 * CHAIN_EDGES
+
+
+class TestBenchmarks:
+    def test_bench_tabled_closure(self, benchmark):
+        source = chain_source(CHAIN_EDGES, tabled=True)
+        query = f"path(X, n{CHAIN_EDGES})"
+
+        def run():
+            return Engine.from_source(source, max_depth=4_000).ask(query)
+
+        assert len(benchmark(run)) == CHAIN_EDGES

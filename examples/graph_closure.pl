@@ -1,0 +1,35 @@
+% Transitive closure over a small directed graph, tabled.
+%
+% The left-recursive formulation below loops forever under plain SLD
+% resolution; under ":- table path/2." it terminates with the complete
+% answer set (see docs/TABLING.md). Try:
+%
+%   PYTHONPATH=src python -m repro run examples/graph_closure.pl 'path(a, X)'
+%   PYTHONPATH=src python -m repro compare examples/graph_closure.pl 'path(X, Y)'
+%   PYTHONPATH=src python -m repro profile examples/graph_closure.pl 'path(X, Y)' --json -
+%
+% The graph: two diamonds sharing a spine, plus a cycle f -> g -> f
+% (cycles are exactly what untabled closure cannot survive).
+
+:- table path/2.
+:- entry(path/2).
+
+edge(a, b).
+edge(a, c).
+edge(b, d).
+edge(c, d).
+edge(d, e).
+edge(e, f).
+edge(f, g).
+edge(g, f).
+
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- edge(X, Y).
+
+% Stratified negation over the completed table is fine:
+node(a). node(b). node(c). node(d).
+node(e). node(f). node(g). node(h).
+unreachable_from(Source, Node) :-
+    node(Node),
+    Node \= Source,
+    \+ path(Source, Node).

@@ -69,6 +69,9 @@ class EmpiricalCalibrator:
         )
         #: (indicator, mode) pairs whose sample runs errored/diverged.
         self.failures: List[Tuple[Indicator, Mode]] = []
+        # One recursion-limit check up front; the (many, short-lived)
+        # per-sample engines then skip it entirely.
+        Engine.ensure_recursion_capacity(self.options.max_depth)
 
     def _collect_constants(self) -> List[str]:
         """All atomic constants (atoms and numbers) appearing in fact
@@ -135,6 +138,7 @@ class EmpiricalCalibrator:
                 self.database,
                 max_depth=self.options.max_depth,
                 call_budget=self.options.call_budget,
+                adjust_recursion_limit=False,
             )
             try:
                 solutions, metrics = engine.run(query)

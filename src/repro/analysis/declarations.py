@@ -93,6 +93,9 @@ class Declarations:
         self.costs: Dict[Tuple[Indicator, Mode], CostDeclaration] = {}
         self.match_probs: Dict[Indicator, float] = {}
         self.domain_sizes: Dict[Tuple[Indicator, int], int] = {}
+        #: Predicates declared ``:- table name/arity`` (the engine keeps
+        #: its own copy on the Database; this one feeds the cost model).
+        self.tabled: Set[Indicator] = set()
         #: Directives we did not understand (reported, not fatal).
         self.unknown: List[Term] = []
 
@@ -122,6 +125,11 @@ class Declarations:
             ("cost", 5): self._on_cost,
             ("match_prob", 2): self._on_match_prob,
             ("domain_size", 3): self._on_domain_size,
+            ("table", 1): self._on_table,
+            ("op", 3): self._on_noop,
+            ("dynamic", 1): self._on_noop,
+            ("discontiguous", 1): self._on_noop,
+            ("multifile", 1): self._on_noop,
         }.get(indicator)
         if handler is None:
             self.unknown.append(directive)
@@ -162,6 +170,28 @@ class Declarations:
 
     def _on_fixed(self, args) -> None:
         self.fixed.add(parse_indicator(args[0]))
+
+    def _on_table(self, args) -> None:
+        stack = [args[0]]
+        while stack:
+            spec = deref(stack.pop())
+            if (
+                isinstance(spec, Struct)
+                and spec.name in (",", ".")
+                and spec.arity == 2
+            ):
+                stack.append(spec.args[1])
+                stack.append(spec.args[0])
+                continue
+            if isinstance(spec, Atom) and spec.name == "[]":
+                continue
+            self.tabled.add(parse_indicator(spec))
+
+    def _on_noop(self, args) -> None:
+        # Understood but irrelevant to the cost model (op/3 is applied
+        # by the reader; dynamic/discontiguous/multifile are accepted
+        # for compatibility).
+        pass
 
     def _on_cost(self, args) -> None:
         indicator = parse_indicator(args[0])

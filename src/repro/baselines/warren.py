@@ -153,4 +153,5 @@ class WarrenReorderer:
                     goals = self.order_goals(goals, head_vars)
                 output.add_clause(Clause(clause.head, goals_to_body(goals)))
         output.directives = list(self.database.directives)
+        output.tabled = set(self.database.tabled)
         return output

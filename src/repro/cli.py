@@ -36,6 +36,7 @@ from .analysis import (
     mode_str,
     recursive_predicates,
 )
+from .errors import ReproError
 from .prolog import Database, Engine, indicator_str, term_to_string
 from .reorder import ReorderOptions, Reorderer
 
@@ -44,7 +45,10 @@ __all__ = ["main", "build_parser"]
 
 def _load(path: str, indexing: bool = True) -> Database:
     with open(path) as handle:
-        return Database.from_source(handle.read(), indexing=indexing)
+        database = Database.from_source(handle.read(), indexing=indexing)
+    for warning in database.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    return database
 
 
 def _options_from_args(args: argparse.Namespace) -> ReorderOptions:
@@ -55,6 +59,7 @@ def _options_from_args(args: argparse.Namespace) -> ReorderOptions:
         runtime_tests=args.runtime_tests,
         unfold_rounds=args.unfold,
         exhaustive_limit=args.exhaustive_limit,
+        table_all=getattr(args, "table_all", False),
     )
 
 
@@ -63,6 +68,12 @@ def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
                         help="print a telemetry summary (events, spans, wall time)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="write telemetry as JSONL to PATH ('-' = stdout)")
+
+
+def _add_table_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--table-all", action="store_true",
+                        help="table every user predicate (variant memoization; "
+                             "see docs/TABLING.md)")
 
 
 def _add_reorder_flags(parser: argparse.ArgumentParser) -> None:
@@ -161,6 +172,14 @@ def _print_profile_summary(bus, metrics) -> None:
             f"{narrowed} narrowed",
             file=sys.stderr,
         )
+    if metrics.table_hits or metrics.table_misses:
+        print(
+            f"% tables  : {metrics.table_hits} hits, "
+            f"{metrics.table_misses} misses, "
+            f"{metrics.table_answers} answers, "
+            f"{metrics.tables_completed} completed",
+            file=sys.stderr,
+        )
     wall = bus.predicate_wall_seconds()
     by_calls = sorted(
         metrics.calls_by_predicate.items(), key=lambda item: -item[1]
@@ -178,7 +197,7 @@ def _print_profile_summary(bus, metrics) -> None:
 def command_run(args: argparse.Namespace) -> int:
     """``run FILE QUERY``: execute a query, printing answers + calls."""
     database = _load(args.file)
-    engine = Engine(database)
+    engine = Engine(database, table_all=args.table_all)
     bus = None
     if args.profile or args.json:
         from .observability import attach
@@ -194,6 +213,11 @@ def command_run(args: argparse.Namespace) -> int:
     if not solutions:
         print("no")
     print(f"% {len(solutions)} solution(s), {metrics.calls} calls")
+    if metrics.table_hits or metrics.table_misses:
+        print(
+            f"% tables: {metrics.table_hits} hits, {metrics.table_misses} "
+            f"misses, {metrics.table_answers} answers"
+        )
     if engine.output_text():
         print(f"% output: {engine.output_text()!r}")
     if bus is not None and args.profile:
@@ -236,15 +260,15 @@ def command_compare(args: argparse.Namespace) -> int:
         from .baselines.warren import WarrenReorderer
 
         reordered_database = WarrenReorderer(database).reorder_program()
-        new_engine = Engine(reordered_database)
+        new_engine = Engine(reordered_database, table_all=args.table_all)
     else:
         reorderer = Reorderer(database, _options_from_args(args))
         program = reorderer.reorder()
-        new_engine = program.engine()
+        new_engine = program.engine(table_all=args.table_all)
         report, spans, search = (
             program.report, reorderer.spans, reorderer.search_counters
         )
-    original_engine = Engine(database)
+    original_engine = Engine(database, table_all=args.table_all)
     original_bus = new_bus = None
     if args.profile or args.json:
         from .observability import attach
@@ -264,6 +288,15 @@ def command_compare(args: argparse.Namespace) -> int:
         print("ratio    : n/a")
         print("warning: reordered run made 0 calls; ratio is undefined",
               file=sys.stderr)
+    if (
+        original.table_hits or original.table_misses
+        or new.table_hits or new.table_misses
+    ):
+        print(
+            f"tables   : original {original.table_hits} hits/"
+            f"{original.table_misses} misses, "
+            f"reordered {new.table_hits} hits/{new.table_misses} misses"
+        )
     if (len(original_solutions) == 0) != (len(new_solutions) == 0):
         print(
             "warning: one run returned solutions and the other none — "
@@ -349,7 +382,7 @@ def command_profile(args: argparse.Namespace) -> int:
     spans.ensure(PIPELINE_PHASES)
     # 3. The instrumented run itself (on the original program: that is
     #    what the model's predictions describe).
-    engine = Engine(database)
+    engine = Engine(database, table_all=args.table_all)
     bus = attach(engine)
     try:
         solutions, metrics = engine.run(args.query)
@@ -453,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the decision report to stderr")
     _add_reorder_flags(reorder)
     _add_profile_flags(reorder)
+    _add_table_flag(reorder)
     reorder.set_defaults(handler=command_reorder)
 
     analyze = commands.add_parser("analyze", help="show the static analyses")
@@ -463,6 +497,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("file")
     run.add_argument("query")
     _add_profile_flags(run)
+    _add_table_flag(run)
     run.set_defaults(handler=command_run)
 
     compare = commands.add_parser(
@@ -475,6 +510,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reordering method (default: the Markov system)")
     _add_reorder_flags(compare)
     _add_profile_flags(compare)
+    _add_table_flag(compare)
     compare.set_defaults(handler=command_compare)
 
     profile = commands.add_parser(
@@ -494,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--calibration-samples", type=int, default=8,
                          help="sample queries per (predicate, mode) (default 8)")
     _add_reorder_flags(profile)
+    _add_table_flag(profile)
     profile.set_defaults(handler=command_profile)
 
     verify = commands.add_parser(
@@ -521,10 +558,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Typed :class:`~repro.errors.ReproError` failures (parse errors,
+    depth-limit blowups, tabling stratification violations...) become a
+    one-line ``error: ...`` message and exit code 2 — no traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

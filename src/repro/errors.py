@@ -20,6 +20,8 @@ __all__ = [
     "ArithmeticErrorProlog",
     "DepthLimitExceeded",
     "CallBudgetExceeded",
+    "TablingError",
+    "IncompleteTableError",
     "AnalysisError",
     "DeclarationError",
     "ReorderingError",
@@ -103,6 +105,28 @@ class DepthLimitExceeded(PrologError):
 
 class CallBudgetExceeded(PrologError):
     """The engine's call budget (max predicate calls per query) ran out."""
+
+
+class TablingError(PrologError):
+    """Base class for errors raised by the tabling subsystem."""
+
+
+class IncompleteTableError(TablingError):
+    """Negation as failure consumed a table that is not yet complete.
+
+    Tabled negation is only sound for stratified programs: the negated
+    subgoal's table must reach its fixpoint before ``\\+`` can decide
+    anything. Crossing a negation boundary into an in-flight evaluation
+    would read a partial answer set, so the engine raises instead.
+    """
+
+    def __init__(self, indicator):
+        name, arity = indicator
+        super().__init__(
+            f"tabled negation on incomplete table {name}/{arity} "
+            f"(program is not stratified through this cycle)"
+        )
+        self.indicator = indicator
 
 
 class AnalysisError(ReproError):

@@ -99,14 +99,26 @@ class CostModel:
         declarations: Optional[Declarations] = None,
         mode_inference: Optional[ModeInference] = None,
         domains: Optional[DomainAnalysis] = None,
+        table_all: bool = False,
     ):
         self.database = database
         self.declarations = declarations or Declarations()
         self.modes = mode_inference or ModeInference(database, self.declarations)
         self.domains = domains or DomainAnalysis(database, self.declarations)
+        #: Treat every user predicate as tabled (engine ``--table-all``).
+        self.table_all = table_all
         self._memo: Dict[Tuple[Indicator, Mode], Optional[GoalStats]] = {}
         self._in_progress: Set[Tuple[Indicator, Mode]] = set()
         self.warnings: List[str] = []
+
+    def is_tabled(self, indicator: Indicator) -> bool:
+        """Will the engine serve this predicate from a variant table?"""
+        if self.table_all and self.database.defines(indicator):
+            return True
+        return (
+            indicator in self.database.tabled
+            or indicator in self.declarations.tabled
+        )
 
     # -- predicate-level stats ------------------------------------------------
 
@@ -137,6 +149,7 @@ class CostModel:
                 solutions=declared.expected_solutions,
                 prob=declared.prob,
             )
+            stats = self._amortize_if_tabled(indicator, stats)
             self._memo[key] = stats
             return stats
 
@@ -168,6 +181,13 @@ class CostModel:
             return None
 
         if key in self._in_progress:
+            if self.is_tabled(indicator):
+                # A recursive occurrence of a tabled predicate is a
+                # back edge that consumes stored answers, not a fresh
+                # derivation: cheap, no declaration needed.
+                from ..prolog.tabling.cost import TABLED_RECURSIVE_STATS
+
+                return TABLED_RECURSIVE_STATS
             # Recursive call without a declaration: conservative estimate.
             self.warnings.append(
                 f"no cost declaration for recursive "
@@ -181,8 +201,19 @@ class CostModel:
             stats = self._combine_clauses(indicator, mode)
         finally:
             self._in_progress.discard(key)
+        stats = self._amortize_if_tabled(indicator, stats)
         self._memo[key] = stats
         return stats
+
+    def _amortize_if_tabled(
+        self, indicator: Indicator, stats: Optional[GoalStats]
+    ) -> Optional[GoalStats]:
+        """Mix first-call and table-re-call cost for tabled predicates."""
+        if stats is None or not self.is_tabled(indicator):
+            return stats
+        from ..prolog.tabling.cost import tabled_stats
+
+        return tabled_stats(stats)
 
     def _combine_clauses(
         self, indicator: Indicator, mode: Mode

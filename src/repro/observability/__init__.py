@@ -26,6 +26,7 @@ from .events import (
     IndexEvent,
     PortEvent,
     PredicateTimeEvent,
+    TableEvent,
     UnifyEvent,
     attach,
     detach,
@@ -50,6 +51,7 @@ __all__ = [
     "ChoicePointEvent",
     "UnifyEvent",
     "PredicateTimeEvent",
+    "TableEvent",
     "attach",
     "detach",
     "PIPELINE_PHASES",

@@ -36,6 +36,7 @@ __all__ = [
     "ChoicePointEvent",
     "UnifyEvent",
     "PredicateTimeEvent",
+    "TableEvent",
     "EventBus",
     "attach",
     "detach",
@@ -137,6 +138,23 @@ class PredicateTimeEvent(Event):
     seconds: float
 
 
+@dataclass
+class TableEvent(Event):
+    """One tabling-subsystem action on a call-variant table.
+
+    ``action`` is one of ``hit`` (call found an existing table),
+    ``miss`` (a new table was created), ``answer_added`` (the producer
+    stored a new answer), or ``complete`` (the table reached its
+    fixpoint). ``answers`` is the table's answer count at that moment.
+    """
+
+    kind = "table"
+
+    action: str
+    indicator: Indicator
+    answers: int
+
+
 class EventBus:
     """Collects typed events up to ``limit``; counts overflow after."""
 
@@ -170,6 +188,9 @@ class EventBus:
             tally[event.kind] = tally.get(event.kind, 0) + 1
             if isinstance(event, PortEvent):
                 key = f"port.{event.port}"
+                tally[key] = tally.get(key, 0) + 1
+            elif isinstance(event, TableEvent):
+                key = f"table.{event.action}"
                 tally[key] = tally.get(key, 0) + 1
         return tally
 

@@ -99,6 +99,7 @@ def report_records(report) -> List[Record]:
             "fixed": payload["fixed"],
             "recursive": payload["recursive"],
             "semifixed": payload["semifixed"],
+            "tabled": payload.get("tabled", []),
         }
     )
     return records

@@ -54,9 +54,15 @@ def _negation(engine, args, depth) -> Iterator[None]:
     goal = _resolve_goal(args[0])
     mark = engine.trail.mark()
     succeeded = False
-    for _ in engine.solve_goal(goal, depth, engine.new_frame()):
-        succeeded = True
-        break
+    # Track negation nesting so the tabling subsystem can reject
+    # negation that reaches into an incomplete table (stratification).
+    engine._negation_depth += 1
+    try:
+        for _ in engine.solve_goal(goal, depth, engine.new_frame()):
+            succeeded = True
+            break
+    finally:
+        engine._negation_depth -= 1
     engine.trail.undo_to(mark)
     if not succeeded:
         yield
@@ -90,14 +96,20 @@ def _forall(engine, args, depth, frame) -> Iterator[None]:
     action = _resolve_goal(args[1])
     mark = engine.trail.mark()
     holds = True
-    for _ in engine.solve_goal(condition, depth, engine.new_frame()):
-        satisfied = False
-        for _ in engine.solve_goal(action, depth, engine.new_frame()):
-            satisfied = True
-            break
-        if not satisfied:
-            holds = False
-            break
+    # forall(C, A) is \+ (C, \+ A): a negation context for tabling's
+    # stratification check, like _negation above.
+    engine._negation_depth += 1
+    try:
+        for _ in engine.solve_goal(condition, depth, engine.new_frame()):
+            satisfied = False
+            for _ in engine.solve_goal(action, depth, engine.new_frame()):
+                satisfied = True
+                break
+            if not satisfied:
+                holds = False
+                break
+    finally:
+        engine._negation_depth -= 1
     engine.trail.undo_to(mark)
     if holds:
         yield

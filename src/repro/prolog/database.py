@@ -30,9 +30,37 @@ from .terms import (
     rename_term,
 )
 
-__all__ = ["Clause", "Database", "split_clause", "body_goals", "goals_to_body"]
+__all__ = [
+    "Clause",
+    "Database",
+    "KNOWN_DIRECTIVES",
+    "split_clause",
+    "body_goals",
+    "goals_to_body",
+]
 
 Indicator = Tuple[str, int]
+
+#: Directive functors the toolchain understands (database- or
+#: analysis-level). Anything else is routed through ``warnings`` with a
+#: did-you-mean hint instead of being collected silently.
+KNOWN_DIRECTIVES = frozenset(
+    [
+        "entry",
+        "legal_mode",
+        "mode",
+        "recursive",
+        "fixed",
+        "cost",
+        "match_prob",
+        "domain_size",
+        "table",
+        "op",
+        "dynamic",
+        "discontiguous",
+        "multifile",
+    ]
+)
 
 
 @dataclass
@@ -102,6 +130,18 @@ def goals_to_body(goals: Iterable[Term]) -> Term:
     return body
 
 
+def _unknown_directive_warning(name: str) -> str:
+    """One warning line for an unrecognized directive functor, with a
+    did-you-mean hint when a known directive is a close misspelling."""
+    import difflib
+
+    message = f"unknown directive: {name}"
+    close = difflib.get_close_matches(name, KNOWN_DIRECTIVES, n=1, cutoff=0.6)
+    if close:
+        message += f" (did you mean '{close[0]}'?)"
+    return message
+
+
 def _first_arg_key(term: Term) -> Optional[Tuple]:
     """Index key of a call/head first argument; None when unindexable (var)."""
     term = deref(term)
@@ -141,6 +181,14 @@ class Database:
         self._index: Dict[Indicator, Dict[Optional[Tuple], List[Clause]]] = {}
         self._index_position: Dict[Indicator, int] = {}
         self.directives: List[Term] = []
+        #: Predicates declared ``:- table name/arity`` (see
+        #: :mod:`repro.prolog.tabling`).
+        self.tabled: set = set()
+        #: Human-readable notes about directives we could not interpret.
+        self.warnings: List[str] = []
+        #: Bumped on every clause mutation; lets caches (e.g. the
+        #: engine's table store) notice the program changed.
+        self.generation = 0
         #: Optional event bus (index hit/miss telemetry); None = fast path.
         self.events = None
         # Per-database operator table: ':- op/3' directives extend it,
@@ -166,10 +214,26 @@ class Database:
             self.add_term(term)
 
     def add_term(self, term: Term) -> None:
-        """Add one parsed clause or directive term."""
+        """Add one parsed clause or directive term.
+
+        Directives are collected for the analysis layer; ``table``
+        directives additionally populate :attr:`tabled`, and directives
+        whose functor is not in :data:`KNOWN_DIRECTIVES` produce a
+        warning (with a did-you-mean hint for close misspellings).
+        """
         term = deref(term)
         if isinstance(term, Struct) and term.name == ":-" and term.arity == 1:
-            self.directives.append(term.args[0])
+            directive = deref(term.args[0])
+            self.directives.append(directive)
+            name = (
+                directive.name
+                if isinstance(directive, (Atom, Struct))
+                else None
+            )
+            if name == "table":
+                self._register_table_directive(directive)
+            elif name is not None and name not in KNOWN_DIRECTIVES:
+                self.warnings.append(_unknown_directive_warning(name))
             return
         head, body = split_clause(term)
         head = deref(head)
@@ -177,11 +241,42 @@ class Database:
             raise PrologSyntaxError(f"invalid clause head: {head!r}")
         self.add_clause(Clause(head, body))
 
+    def _register_table_directive(self, directive: Term) -> None:
+        """Record the predicates named by one ``table`` directive.
+
+        Accepts ``name/arity``, comma-conjunctions, and list syntax;
+        malformed specifications warn instead of failing the consult.
+        """
+        if not isinstance(directive, Struct) or directive.arity != 1:
+            self.warnings.append(
+                "table directive expects a name/arity argument"
+            )
+            return
+        stack = [directive.args[0]]
+        while stack:
+            spec = deref(stack.pop())
+            if isinstance(spec, Struct) and spec.name in (",", ".") and spec.arity == 2:
+                stack.append(spec.args[1])
+                stack.append(spec.args[0])
+                continue
+            if isinstance(spec, Atom) and spec.name == "[]":
+                continue
+            if isinstance(spec, Struct) and spec.name == "/" and spec.arity == 2:
+                name = deref(spec.args[0])
+                arity = deref(spec.args[1])
+                if isinstance(name, Atom) and isinstance(arity, int) and arity >= 0:
+                    self.tabled.add((name.name, arity))
+                    continue
+            self.warnings.append(
+                f"table directive: expected name/arity, got {spec!r}"
+            )
+
     def add_clause(self, clause: Clause) -> None:
         """Append a clause to its predicate (source order preserved)."""
         clauses = self._predicates.setdefault(clause.indicator, [])
         clause.index = len(clauses)
         clauses.append(clause)
+        self.generation += 1
         self._index.pop(clause.indicator, None)  # invalidate
         self._index_position.pop(clause.indicator, None)
 
@@ -191,12 +286,14 @@ class Database:
         for position, clause in enumerate(clauses):
             renumbered.append(Clause(clause.head, clause.body, position))
         self._predicates[indicator] = renumbered
+        self.generation += 1
         self._index.pop(indicator, None)
         self._index_position.pop(indicator, None)
 
     def remove_predicate(self, indicator: Indicator) -> None:
         """Delete a predicate and its index entries."""
         self._predicates.pop(indicator, None)
+        self.generation += 1
         self._index.pop(indicator, None)
         self._index_position.pop(indicator, None)
 
@@ -305,6 +402,8 @@ class Database:
         for indicator, clauses in self._predicates.items():
             other._predicates[indicator] = list(clauses)
         other.directives = list(self.directives)
+        other.tabled = set(self.tabled)
+        other.warnings = list(self.warnings)
         other.operators = self.operators
         return other
 

@@ -41,6 +41,7 @@ from ..errors import (
 from .builtins import BUILTINS, lookup
 from .database import Database
 from .metrics import Metrics
+from .tabling import TableStore, solve_tabled
 from .reader.parser import parse_term
 from .terms import (
     Atom,
@@ -128,11 +129,43 @@ class Solution:
         )
 
 
+#: Highest recursion limit any engine has requested so far; lets
+#: :meth:`Engine.ensure_recursion_capacity` skip the ``sys`` calls when
+#: an equal or deeper engine already raised the limit.
+_recursion_highwater = 0
+
+
 class Engine:
     """Executes queries against a :class:`~repro.prolog.database.Database`."""
 
     #: Python stack frames consumed per Prolog call level (with margin).
     _FRAMES_PER_LEVEL = 12
+
+    #: Upper bound on the interpreter recursion limit this library will
+    #: ever set. Beyond this the C stack overflows before Python's
+    #: bookkeeping helps; deeper programs should raise ``max_depth``
+    #: expectations instead (the engine reports DepthLimitExceeded).
+    RECURSION_LIMIT_CAP = 30_000
+
+    @classmethod
+    def ensure_recursion_capacity(cls, max_depth: int) -> None:
+        """Raise the interpreter recursion limit once for ``max_depth``.
+
+        The generator chain nests Python frames proportionally to the
+        Prolog depth. The computed need is clamped to
+        :data:`RECURSION_LIMIT_CAP`, the limit is never lowered, and a
+        module-level high-water mark makes repeat calls (one engine per
+        calibration sample, say) free.
+        """
+        global _recursion_highwater
+        needed = min(
+            2_000 + cls._FRAMES_PER_LEVEL * max_depth, cls.RECURSION_LIMIT_CAP
+        )
+        if needed <= _recursion_highwater:
+            return
+        _recursion_highwater = needed
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
 
     def __init__(
         self,
@@ -141,6 +174,8 @@ class Engine:
         call_budget: Optional[int] = None,
         occurs_check: bool = False,
         echo: bool = False,
+        table_all: bool = False,
+        adjust_recursion_limit: bool = True,
     ):
         self.database = database
         self.trail = Trail()
@@ -161,11 +196,20 @@ class Engine:
         self.events: Optional[EventBus] = None
         #: Bound for length/2 open enumeration.
         self.max_list_length = 10_000
-        # The generator chain nests Python frames proportionally to the
-        # Prolog depth; make sure the interpreter allows it.
-        needed = 2_000 + self._FRAMES_PER_LEVEL * max_depth
-        if sys.getrecursionlimit() < needed:
-            sys.setrecursionlimit(needed)
+        #: Table every user predicate, not just ``:- table`` ones.
+        self.table_all = table_all
+        #: Variant tables memoized by this engine (see tabling docs).
+        self.tables = TableStore()
+        #: The in-flight tabling fixpoint, if any.
+        self._table_evaluation = None
+        #: Stack of tables currently running a production pass.
+        self._table_producing: List = []
+        #: Nesting depth of negation-as-failure (stratification check).
+        self._negation_depth = 0
+        if adjust_recursion_limit:
+            # Short-lived engines (calibration samples) pass False and
+            # rely on one up-front ensure_recursion_capacity call.
+            self.ensure_recursion_capacity(max_depth)
 
     # -- construction helpers ---------------------------------------------
 
@@ -233,7 +277,10 @@ class Engine:
         else:
             if not self.database.defines(indicator):
                 raise ExistenceError(indicator)
-            iterator = self._solve_user(goal, indicator, depth)
+            if self.table_all or indicator in self.database.tabled:
+                iterator = solve_tabled(self, goal, indicator, depth)
+            else:
+                iterator = self._solve_user(goal, indicator, depth)
         tracer = self.tracer
         bus = self.events
         if tracer is None and bus is None:

@@ -31,6 +31,14 @@ class Metrics:
     backtracks: int = 0
     #: Calls per predicate indicator.
     calls_by_predicate: Dict[Indicator, int] = field(default_factory=dict)
+    #: Tabled calls answered from an existing variant table.
+    table_hits: int = 0
+    #: Tabled calls that created a new variant table.
+    table_misses: int = 0
+    #: Distinct answers stored into tables.
+    table_answers: int = 0
+    #: Variant tables that reached their fixpoint.
+    tables_completed: int = 0
 
     def record_call(self, indicator: Indicator) -> None:
         """Charge one predicate call."""
@@ -49,6 +57,22 @@ class Metrics:
         """Charge one clause retry."""
         self.backtracks += 1
 
+    def record_table_hit(self) -> None:
+        """Charge one tabled call served from an existing table."""
+        self.table_hits += 1
+
+    def record_table_miss(self) -> None:
+        """Charge one tabled call that opened a new table."""
+        self.table_misses += 1
+
+    def record_table_answer(self) -> None:
+        """Charge one distinct answer stored into a table."""
+        self.table_answers += 1
+
+    def record_table_complete(self) -> None:
+        """Charge one table reaching its fixpoint."""
+        self.tables_completed += 1
+
     def reset(self) -> None:
         """Zero all counters in place."""
         self.calls = 0
@@ -56,6 +80,10 @@ class Metrics:
         self.clause_entries = 0
         self.backtracks = 0
         self.calls_by_predicate.clear()
+        self.table_hits = 0
+        self.table_misses = 0
+        self.table_answers = 0
+        self.tables_completed = 0
 
     def snapshot(self) -> "Metrics":
         """An independent copy of the current counters."""
@@ -65,6 +93,10 @@ class Metrics:
             clause_entries=self.clause_entries,
             backtracks=self.backtracks,
             calls_by_predicate=dict(self.calls_by_predicate),
+            table_hits=self.table_hits,
+            table_misses=self.table_misses,
+            table_answers=self.table_answers,
+            tables_completed=self.tables_completed,
         )
 
     def __sub__(self, other: "Metrics") -> "Metrics":
@@ -77,6 +109,10 @@ class Metrics:
             clause_entries=self.clause_entries - other.clause_entries,
             backtracks=self.backtracks - other.backtracks,
             calls_by_predicate={k: v for k, v in by_predicate.items() if v},
+            table_hits=self.table_hits - other.table_hits,
+            table_misses=self.table_misses - other.table_misses,
+            table_answers=self.table_answers - other.table_answers,
+            tables_completed=self.tables_completed - other.tables_completed,
         )
 
     def __add__(self, other: "Metrics") -> "Metrics":
@@ -89,6 +125,10 @@ class Metrics:
             clause_entries=self.clause_entries + other.clause_entries,
             backtracks=self.backtracks + other.backtracks,
             calls_by_predicate={k: v for k, v in by_predicate.items() if v},
+            table_hits=self.table_hits + other.table_hits,
+            table_misses=self.table_misses + other.table_misses,
+            table_answers=self.table_answers + other.table_answers,
+            tables_completed=self.tables_completed + other.tables_completed,
         )
 
     def to_dict(self) -> Dict[str, object]:
@@ -99,6 +139,10 @@ class Metrics:
             "unifications": self.unifications,
             "clause_entries": self.clause_entries,
             "backtracks": self.backtracks,
+            "table_hits": self.table_hits,
+            "table_misses": self.table_misses,
+            "table_answers": self.table_answers,
+            "tables_completed": self.tables_completed,
             "calls_by_predicate": {
                 f"{name}/{arity}": count
                 for (name, arity), count in sorted(self.calls_by_predicate.items())
@@ -109,4 +153,11 @@ class Metrics:
         return (
             f"calls={self.calls} unifications={self.unifications} "
             f"entries={self.clause_entries} backtracks={self.backtracks}"
+            + (
+                f" table_hits={self.table_hits} table_misses={self.table_misses}"
+                f" table_answers={self.table_answers}"
+                f" tables_completed={self.tables_completed}"
+                if self.table_hits or self.table_misses
+                else ""
+            )
         )

@@ -97,6 +97,10 @@ def standard_operators() -> OperatorTable:
         (1200, "xfx", "-->"),
         (1200, "fx", ":-"),
         (1200, "fx", "?-"),
+        (1150, "fx", "table"),
+        (1150, "fx", "dynamic"),
+        (1150, "fx", "discontiguous"),
+        (1150, "fx", "multifile"),
         (1100, "xfy", ";"),
         (1050, "xfy", "->"),
         (1000, "xfy", ","),

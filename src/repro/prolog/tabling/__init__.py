@@ -1,0 +1,56 @@
+"""Variant-based answer tabling for the Prolog engine.
+
+Tabling memoizes the answers of designated predicates per *call
+variant* (the call up to renaming of unbound variables), which
+
+* makes left-recursive formulations terminate — ``path(X,Y) :-
+  path(X,Z), edge(Z,Y).`` under ``:- table path/2`` computes a least
+  fixpoint instead of looping;
+* collapses the repeated subgoal derivations that dominate the paper's
+  motivating workloads (ancestry, graph closure) — on a chain graph,
+  transitive closure drops from Θ(n²) resolution calls to O(n).
+
+Layout:
+
+* :mod:`.variant` — canonical, hashable call-variant keys;
+* :mod:`.store`   — :class:`Table` / :class:`TableStore` /
+  :class:`Evaluation`: answers plus producer/consumer bookkeeping;
+* :mod:`.resolve` — :func:`solve_tabled`, the worklist fixpoint the
+  engine dispatches tabled predicates to;
+* :mod:`.cost`    — amortized :class:`~repro.markov.goal_stats.GoalStats`
+  for the reorderer's cost model.
+
+Predicates are declared tabled with ``:- table name/arity.`` (also the
+conjunction and list forms), or wholesale with the engine's
+``table_all`` switch (CLI ``--table-all``). Restrictions and semantics
+are documented in docs/TABLING.md.
+"""
+
+from .resolve import solve_tabled
+from .store import Evaluation, Table, TableStore
+from .variant import variant_key
+
+#: Names served lazily from :mod:`.cost` (PEP 562): that module sits on
+#: the Markov layer, which transitively imports the engine — importing
+#: it here eagerly would close a cycle through ``repro.prolog.engine``.
+_COST_EXPORTS = ("DEFAULT_RECALL_WEIGHT", "TABLED_RECURSIVE_STATS", "tabled_stats")
+
+
+def __getattr__(name: str):
+    """Resolve the cost-model exports on first access."""
+    if name in _COST_EXPORTS:
+        from . import cost
+
+        return getattr(cost, name)
+    raise AttributeError(name)
+
+__all__ = [
+    "DEFAULT_RECALL_WEIGHT",
+    "TABLED_RECURSIVE_STATS",
+    "Evaluation",
+    "Table",
+    "TableStore",
+    "solve_tabled",
+    "tabled_stats",
+    "variant_key",
+]

@@ -1,0 +1,46 @@
+"""Canonical call-variant keys for the table store.
+
+Two calls are *variants* when they are identical up to a consistent
+renaming of unbound variables — ``path(X, a)`` and ``path(Y, a)`` name
+the same table, while ``path(a, X)`` names a different one. The key is
+a nested tuple mirroring the term structure with every distinct unbound
+variable replaced by its first-occurrence index (left-to-right), so it
+is hashable, order-insensitive to variable identity, and stable across
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..terms import Atom, Struct, Term, Var, deref, is_number
+
+__all__ = ["variant_key"]
+
+
+def variant_key(term: Term) -> Tuple:
+    """The canonical, hashable variant key of a (dereferenced) term.
+
+    Unbound variables are numbered by first occurrence, so any two
+    variants of the same call map to the same key.
+    """
+    numbering: Dict[int, int] = {}
+
+    def canonical(item: Term) -> Tuple:
+        item = deref(item)
+        if isinstance(item, Var):
+            return ("v", numbering.setdefault(id(item), len(numbering)))
+        if is_number(item):
+            # Distinguish 1 from 1.0 the way term ordering does.
+            return ("n", float(item), 0 if isinstance(item, float) else 1)
+        if isinstance(item, Atom):
+            return ("a", item.name)
+        assert isinstance(item, Struct)
+        return (
+            "s",
+            item.name,
+            item.arity,
+            tuple(canonical(argument) for argument in item.args),
+        )
+
+    return canonical(term)

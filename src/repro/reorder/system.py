@@ -97,6 +97,11 @@ class ReorderOptions:
     #: the program before analysis, to "increase the possibilities for
     #: reordering". 0 disables.
     unfold_rounds: int = 0
+    #: Cost-model assumption that *every* user predicate runs tabled
+    #: (the engine's ``table_all`` switch / CLI ``--table-all``):
+    #: recursive calls become cheap answer streams and per-predicate
+    #: costs amortize, so the chosen goal orders can differ.
+    table_all: bool = False
 
 
 @dataclass
@@ -127,6 +132,7 @@ class ReorderReport:
     fixed_predicates: Set[Indicator] = field(default_factory=set)
     recursive_predicates: Set[Indicator] = field(default_factory=set)
     semifixed_predicates: Set[Indicator] = field(default_factory=set)
+    tabled_predicates: Set[Indicator] = field(default_factory=set)
 
     def note(self, indicator: Indicator, mode: Mode, line: str) -> None:
         """Record one human-readable decision line."""
@@ -164,6 +170,9 @@ class ReorderReport:
             "semifixed": sorted(
                 indicator_str(i) for i in self.semifixed_predicates
             ),
+            "tabled": sorted(
+                indicator_str(i) for i in self.tabled_predicates
+            ),
         }
 
 
@@ -198,8 +207,18 @@ class ReorderedProgram:
         return Engine(self.database, **kwargs)
 
     def source(self) -> str:
-        """The reordered program as Prolog source text."""
-        return program_to_string(self.database.to_terms(), self.database.operators)
+        """The reordered program as Prolog source text.
+
+        ``:- table`` directives are re-emitted first (under the
+        specialised version names), so consulting the printed program
+        reproduces the tabling behaviour of the in-memory one.
+        """
+        directives = "".join(
+            f":- table {name}/{arity}.\n"
+            for name, arity in sorted(self.database.tabled)
+        )
+        body = program_to_string(self.database.to_terms(), self.database.operators)
+        return directives + body
 
 
 class Reorderer:
@@ -240,7 +259,10 @@ class Reorderer:
         with self.spans.span("mode inference"):
             self.modes = ModeInference(database, self.declarations, self.callgraph)
             self.domains = DomainAnalysis(database, self.declarations)
-        self.model = CostModel(database, self.declarations, self.modes, self.domains)
+        self.model = CostModel(
+            database, self.declarations, self.modes, self.domains,
+            table_all=self.options.table_all,
+        )
         self.report = ReorderReport()
         #: (indicator, mode) → final specialised name (after dedup).
         self._version_names: Dict[Tuple[Indicator, Mode], str] = {}
@@ -273,6 +295,11 @@ class Reorderer:
             indicator
             for indicator in self.database.predicates()
             if self.semifixity.is_semifixed(indicator)
+        }
+        self.report.tabled_predicates = {
+            indicator
+            for indicator in self.database.predicates()
+            if self.model.is_tabled(indicator)
         }
 
     def _processing_order(self) -> List[Indicator]:
@@ -444,6 +471,12 @@ class Reorderer:
         # Propagate the reordered version's statistics upward so callers
         # are ordered against the costs they will actually see.
         estimate = self._combined_stats(evaluations)
+        if estimate is not None and self.model.is_tabled(indicator):
+            # Callers of a tabled predicate mostly pay the amortized
+            # re-call cost, not the first derivation.
+            from ..prolog.tabling.cost import tabled_stats
+
+            estimate = tabled_stats(estimate)
         if estimate is not None:
             self.model.override_stats(indicator, mode, estimate)
             if (
@@ -850,6 +883,10 @@ class Reorderer:
             seen_versions.add(version.version_indicator)
             for clause in version.clauses:
                 output.add_clause(Clause(clause.head, clause.body))
+            # A tabled predicate stays tabled under its specialised
+            # names, so the emitted program memoizes the same calls.
+            if version.indicator in self.database.tabled:
+                output.tabled.add(version.version_indicator)
         return output
 
 

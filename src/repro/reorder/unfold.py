@@ -144,6 +144,8 @@ def unfold_program(
         changed = False
         next_database = Database(indexing=current.indexing)
         next_database.directives = list(current.directives)
+        next_database.tabled = set(current.tabled)
+        next_database.warnings = list(current.warnings)
         for indicator in current.predicates():
             clauses = current.clauses(indicator)
             new_clauses: List[Clause] = []

@@ -1,0 +1,61 @@
+"""Unknown- and malformed-directive handling: the database warnings
+channel, did-you-mean suggestions, and CLI surfacing."""
+
+import pytest
+
+from repro.cli import main
+from repro.prolog import Database
+
+
+class TestWarningsChannel:
+    def test_unknown_directive_warns(self):
+        database = Database.from_source(":- tabel(foo/2).\nfoo(a, b).")
+        assert len(database.warnings) == 1
+        assert "unknown directive: tabel" in database.warnings[0]
+
+    def test_did_you_mean_suggestion(self):
+        database = Database.from_source(":- tabel(foo/2).\nfoo(a, b).")
+        assert "did you mean 'table'?" in database.warnings[0]
+
+    def test_no_suggestion_for_gibberish(self):
+        database = Database.from_source(":- zzqqxx(foo).\nfoo(a).")
+        assert len(database.warnings) == 1
+        assert "did you mean" not in database.warnings[0]
+
+    def test_known_directives_do_not_warn(self):
+        database = Database.from_source(
+            ":- table p/1.\n"
+            ":- dynamic q/1.\n"
+            ":- entry(p/1).\n"
+            "p(X) :- q(X).\nq(a).\n"
+        )
+        assert database.warnings == []
+
+    def test_malformed_table_directive_warns(self):
+        database = Database.from_source(":- table foo.\nfoo(a).")
+        assert len(database.warnings) == 1
+        assert "table" in database.warnings[0]
+        assert ("foo", 0) not in database.tabled
+
+    def test_warnings_survive_copy(self):
+        database = Database.from_source(":- tabel(foo/2).\nfoo(a, b).")
+        assert database.copy().warnings == database.warnings
+
+
+class TestCLISurfacing:
+    @pytest.fixture()
+    def misspelled_file(self, tmp_path):
+        path = tmp_path / "misspelled.pl"
+        path.write_text(":- tabel(path/2).\npath(a, b).\n")
+        return str(path)
+
+    def test_run_prints_warning_to_stderr(self, misspelled_file, capsys):
+        assert main(["run", misspelled_file, "path(X, Y)"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: unknown directive: tabel" in captured.err
+        assert "did you mean 'table'?" in captured.err
+        assert "warning" not in captured.out
+
+    def test_analyze_prints_warning(self, misspelled_file, capsys):
+        main(["analyze", misspelled_file])
+        assert "unknown directive: tabel" in capsys.readouterr().err

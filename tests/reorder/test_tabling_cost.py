@@ -1,0 +1,132 @@
+"""Tabling integration with the cost model and the reorderer: amortized
+call costs, report surfacing, and directive round-tripping."""
+
+import pytest
+
+from repro.analysis.declarations import Declarations
+from repro.analysis.modes import parse_mode_string
+from repro.markov.goal_stats import GoalStats
+from repro.markov.predicate_model import CostModel
+from repro.prolog import Database
+from repro.prolog.tabling import (
+    DEFAULT_RECALL_WEIGHT,
+    TABLED_RECURSIVE_STATS,
+    tabled_stats,
+)
+from repro.reorder import ReorderOptions, Reorderer
+
+
+def model_for(source, **kwargs):
+    database = Database.from_source(source)
+    return CostModel(
+        database, Declarations.from_database(database), **kwargs
+    )
+
+
+CLOSURE = """
+:- table path/2.
+:- legal_mode(path(+, -)).
+edge(a, b). edge(b, c). edge(c, d).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+"""
+
+
+class TestTabledStats:
+    def test_weight_zero_is_first_call(self):
+        first = GoalStats(cost=40.0, solutions=3.0, prob=0.9)
+        assert tabled_stats(first, recall_weight=0.0).cost == 40.0
+
+    def test_weight_one_is_pure_recall(self):
+        first = GoalStats(cost=40.0, solutions=3.0, prob=0.9)
+        assert tabled_stats(first, recall_weight=1.0).cost == pytest.approx(
+            1.0 + 3.0
+        )
+
+    def test_default_weight_mixes(self):
+        first = GoalStats(cost=40.0, solutions=3.0, prob=0.9)
+        mixed = tabled_stats(first)
+        expected = (
+            (1 - DEFAULT_RECALL_WEIGHT) * 40.0
+            + DEFAULT_RECALL_WEIGHT * 4.0
+        )
+        assert mixed.cost == pytest.approx(expected)
+        assert mixed.solutions == 3.0 and mixed.prob == 0.9
+
+    def test_cost_never_below_one(self):
+        first = GoalStats(cost=1.0, solutions=0.0, prob=0.1)
+        assert tabled_stats(first).cost >= 1.0
+
+    def test_weight_out_of_range_rejected(self):
+        first = GoalStats(cost=2.0, solutions=1.0, prob=0.5)
+        with pytest.raises(ValueError):
+            tabled_stats(first, recall_weight=-0.1)
+        with pytest.raises(ValueError):
+            tabled_stats(first, recall_weight=1.5)
+
+
+class TestCostModelIntegration:
+    def test_is_tabled_via_directive(self):
+        model = model_for(CLOSURE)
+        assert model.is_tabled(("path", 2))
+        assert not model.is_tabled(("edge", 2))
+
+    def test_is_tabled_via_table_all(self):
+        model = model_for(
+            CLOSURE.replace(":- table path/2.\n", ""), table_all=True
+        )
+        assert model.is_tabled(("path", 2))
+        assert not model.is_tabled(("undefined", 7))
+
+    def test_tabled_call_is_cheaper(self):
+        tabled = model_for(CLOSURE)
+        untabled = model_for(CLOSURE.replace(":- table path/2.\n", ""))
+        mode = parse_mode_string("+-")
+        tabled_cost = tabled.predicate_stats(("path", 2), mode).cost
+        untabled_cost = untabled.predicate_stats(("path", 2), mode).cost
+        assert tabled_cost < untabled_cost
+
+    def test_tabled_recursion_needs_no_declaration(self):
+        model = model_for(CLOSURE)
+        model.predicate_stats(("path", 2), parse_mode_string("+-"))
+        assert not any("recursive" in w for w in model.warnings)
+
+    def test_untabled_recursion_still_warns(self):
+        model = model_for(CLOSURE.replace(":- table path/2.\n", ""))
+        model.predicate_stats(("path", 2), parse_mode_string("+-"))
+        assert any("recursive" in w for w in model.warnings)
+
+    def test_tabled_recursive_stats_shape(self):
+        assert TABLED_RECURSIVE_STATS.cost == 2.0
+        assert TABLED_RECURSIVE_STATS.solutions == 1.0
+
+
+class TestReordererIntegration:
+    def test_report_lists_tabled_predicates(self):
+        reorderer = Reorderer(Database.from_source(CLOSURE))
+        program = reorderer.reorder()
+        assert program.report.to_dict()["tabled"] == ["path/2"]
+
+    def test_table_all_option_reaches_the_model(self):
+        reorderer = Reorderer(
+            Database.from_source(CLOSURE.replace(":- table path/2.\n", "")),
+            ReorderOptions(table_all=True),
+        )
+        reorderer.reorder()
+        assert reorderer.model.table_all
+        assert "path/2" in reorderer.report.to_dict()["tabled"]
+
+    def test_source_round_trips_the_directive(self):
+        program = Reorderer(Database.from_source(CLOSURE)).reorder()
+        source = program.source()
+        assert ":- table" in source
+        database = Database.from_source(source)
+        assert database.tabled, "reordered program lost its tabled set"
+
+    def test_reordered_program_still_correct_under_tabling(self):
+        program = Reorderer(Database.from_source(CLOSURE)).reorder()
+        engine = program.engine()
+        answers = {
+            (str(s["X"]), str(s["Y"])) for s in engine.ask("path(X, Y)")
+        }
+        assert ("a", "d") in answers and len(answers) == 6
