@@ -1,0 +1,264 @@
+"""Machine-readable engine benchmark: ops/sec + metrics counters.
+
+Not a paper artefact: this is the perf-regression harness guarding the
+clause-resolution hot path (the clause *tries* the paper's cost model
+charges). Each workload pre-parses its query once, captures the
+engine's deterministic metrics counters for a single execution, then
+times repeated executions (parse excluded) to get a throughput figure.
+
+Usage::
+
+    # Refresh the committed baseline after an intentional perf change:
+    PYTHONPATH=src python benchmarks/engine_bench.py --output BENCH_engine.json
+
+    # CI smoke gate — fail on >2x throughput regression or any drift in
+    # the deterministic counters:
+    PYTHONPATH=src python benchmarks/engine_bench.py \
+        --check BENCH_engine.json --tolerance 2.0
+
+Workloads (all run on the default compiled engine):
+
+``indexed_point_lookup``
+    One fact out of 5000 via first-argument indexing — the best case.
+``unindexed_point_lookup``
+    The same lookup with indexing disabled: a full 5000-clause scan,
+    i.e. the raw clause-try rate. Compiled fingerprints fast-reject
+    4999 of the tries.
+``deep_conjunction``
+    A 24-goal flat conjunction of fact lookups — exercises the
+    flattened goal-list loop that replaced the nested generator ladder.
+``arith_chain``
+    A 24-goal ``is/2`` chain — deep conjunction dominated by builtin
+    dispatch rather than clause resolution.
+``unindexed_join``
+    A two-literal join over unindexed facts — clause tries plus real
+    backtracking.
+
+The JSON schema (``repro-engine-bench/1``) stores, per workload, the
+measured ``ops_per_sec``, the number of solutions, and the engine
+metrics charged by one execution. Counters are deterministic, so
+``--check`` compares them exactly; throughput is machine-dependent, so
+it is compared as a ratio against ``--tolerance``.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.prolog import Engine, parse_term
+
+SCHEMA = "repro-engine-bench/1"
+
+#: Metrics counters stored per workload (the deterministic subset that
+#: the seed engine and the compiled engine must agree on, plus the two
+#: compiled-path counters themselves).
+COUNTER_KEYS = (
+    "calls",
+    "unifications",
+    "clause_entries",
+    "backtracks",
+    "skeleton_instantiations",
+    "head_fast_rejects",
+)
+
+FACT_COUNT = 5_000
+CHAIN_LENGTH = 24
+JOIN_FACTS = 500
+
+
+def _facts_engine(indexing):
+    source = "\n".join(f"rec({i}, v{i % 97})." for i in range(FACT_COUNT))
+    engine = Engine.from_source(source)
+    engine.database.indexing = indexing
+    return engine
+
+
+def workload_indexed_point_lookup():
+    return _facts_engine(True), parse_term("rec(2500, V)"), 1
+
+
+def workload_unindexed_point_lookup():
+    return _facts_engine(False), parse_term("rec(2500, V)"), 1
+
+
+def workload_deep_conjunction():
+    facts = "\n".join(f"step{i}(a, b)." for i in range(CHAIN_LENGTH))
+    body = ", ".join(f"step{i}(a, B{i})" for i in range(CHAIN_LENGTH))
+    return (
+        Engine.from_source(f"{facts}\nchain :- {body}."),
+        parse_term("chain"),
+        1,
+    )
+
+
+def workload_arith_chain():
+    body = ", ".join(f"X{i} is {i} + 1" for i in range(CHAIN_LENGTH))
+    return (
+        Engine.from_source(f"chain(X) :- {body}, X = done."),
+        parse_term("chain(X)"),
+        1,
+    )
+
+
+def workload_unindexed_join():
+    source = "\n".join(f"edge({i}, {(i + 1) % JOIN_FACTS})." for i in range(JOIN_FACTS))
+    source += "\njoin(A, C) :- edge(A, B), edge(B, C).\n"
+    engine = Engine.from_source(source)
+    engine.database.indexing = False
+    return engine, parse_term("join(1, C)"), 1
+
+
+WORKLOADS = {
+    "indexed_point_lookup": workload_indexed_point_lookup,
+    "unindexed_point_lookup": workload_unindexed_point_lookup,
+    "deep_conjunction": workload_deep_conjunction,
+    "arith_chain": workload_arith_chain,
+    "unindexed_join": workload_unindexed_join,
+}
+
+
+def run_workload(name, min_seconds):
+    """Run one workload: counters from a single pass, then a timing loop."""
+    engine, goal, expected = WORKLOADS[name]()
+
+    before = engine.metrics.snapshot()
+    solutions = sum(1 for _ in engine.solve(goal))
+    charged = engine.metrics.snapshot() - before
+    if solutions != expected:
+        raise SystemExit(
+            f"{name}: expected {expected} solutions, got {solutions}"
+        )
+    counters = {key: getattr(charged, key) for key in COUNTER_KEYS}
+
+    # Warm, then time whole repetitions until min_seconds has elapsed.
+    runs = 0
+    start = time.perf_counter()
+    deadline = start + min_seconds
+    while True:
+        for _ in engine.solve(goal):
+            pass
+        runs += 1
+        now = time.perf_counter()
+        if now >= deadline:
+            break
+    return {
+        "ops_per_sec": round(runs / (now - start), 1),
+        "solutions": solutions,
+        "metrics": counters,
+    }
+
+
+def run_all(min_seconds, names):
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "workloads": {
+            name: run_workload(name, min_seconds) for name in names
+        },
+    }
+
+
+def check(results, baseline, tolerance):
+    """Compare a fresh run against the committed baseline.
+
+    Returns a list of failure strings: empty means the gate passes.
+    Throughput may drift with the machine, so it fails only past
+    ``tolerance``; metrics counters are deterministic and must match
+    exactly.
+    """
+    failures = []
+    if baseline.get("schema") != SCHEMA:
+        failures.append(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+            " (regenerate with --output)"
+        )
+        return failures
+    for name, base in baseline.get("workloads", {}).items():
+        fresh = results["workloads"].get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        base_ops = base["ops_per_sec"]
+        fresh_ops = fresh["ops_per_sec"]
+        if fresh_ops * tolerance < base_ops:
+            failures.append(
+                f"{name}: {fresh_ops} ops/s is >{tolerance}x below "
+                f"baseline {base_ops} ops/s"
+            )
+        if fresh["solutions"] != base["solutions"]:
+            failures.append(
+                f"{name}: {fresh['solutions']} solutions != baseline "
+                f"{base['solutions']}"
+            )
+        for key, expected in base["metrics"].items():
+            actual = fresh["metrics"].get(key)
+            if actual != expected:
+                failures.append(
+                    f"{name}: metrics[{key}] = {actual} != baseline {expected}"
+                )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", metavar="PATH", help="write results as JSON to PATH"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="compare against the baseline JSON at PATH; exit 1 on failure",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="allowed throughput regression factor for --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.4,
+        help="timing-loop duration per workload (default 0.4)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=sorted(WORKLOADS),
+        help="run only this workload (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.workload or sorted(WORKLOADS)
+    results = run_all(args.min_seconds, names)
+    for name in names:
+        entry = results["workloads"][name]
+        counters = entry["metrics"]
+        print(
+            f"{name:26s} {entry['ops_per_sec']:>10.1f} ops/s  "
+            f"unifications={counters['unifications']} "
+            f"fast_rejects={counters['head_fast_rejects']}"
+        )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check(results, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}", file=sys.stderr)
+            return 1
+        print(f"check against {args.check} passed (tolerance {args.tolerance}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

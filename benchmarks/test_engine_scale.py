@@ -8,9 +8,10 @@ argument indexing is the mechanism §III-A compares reordering against.
 
 import pytest
 
-from repro.prolog import Database, Engine
+from repro.prolog import Database, Engine, parse_term
 
 FACT_COUNT = 5_000
+CHAIN_LENGTH = 24
 
 
 @pytest.fixture(scope="module")
@@ -18,6 +19,13 @@ def big_database():
     source = "\n".join(f"rec({i}, v{i % 97})." for i in range(FACT_COUNT))
     source += "\nlookup2(A, B) :- rec(A, X), rec(B, X).\n"
     return Database.from_source(source)
+
+
+@pytest.fixture(scope="module")
+def chain_engine():
+    facts = "\n".join(f"step{i}(a, b)." for i in range(CHAIN_LENGTH))
+    body = ", ".join(f"step{i}(a, B{i})" for i in range(CHAIN_LENGTH))
+    return Engine.from_source(f"{facts}\nchain :- {body}.")
 
 
 class TestShape:
@@ -31,6 +39,17 @@ class TestShape:
         database.indexing = False
         _, metrics = Engine(database).run("rec(2500, V)")
         assert metrics.unifications == FACT_COUNT
+
+    def test_unindexed_scan_fast_rejects_all_but_match(self, big_database):
+        # Compiled head fingerprints skip the general unifier for every
+        # clause whose first argument cannot match — the scan still
+        # charges one (failed) unification per try, identically to the
+        # interpreted engine.
+        database = big_database.copy()
+        database.indexing = False
+        _, metrics = Engine(database).run("rec(2500, V)")
+        assert metrics.head_fast_rejects == FACT_COUNT - 1
+        assert metrics.skeleton_instantiations == 1
 
 
 class TestBenchmarks:
@@ -55,3 +74,23 @@ class TestBenchmarks:
         source = "\n".join(f"rec({i}, v{i % 97})." for i in range(1_000))
         database = benchmark(Database.from_source, source)
         assert len(database) == 1_000
+
+    def test_bench_clause_try_rate(self, benchmark, big_database):
+        # Raw clause-try throughput: a full unindexed scan with the
+        # query pre-parsed, so only head attempts are measured. This is
+        # the cost the paper's model charges per c_i.
+        database = big_database.copy()
+        database.indexing = False
+        engine = Engine(database)
+        goal = parse_term("rec(2500, V)")
+        count = benchmark(lambda: sum(1 for _ in engine.solve(goal)))
+        assert count == 1
+
+    def test_bench_deep_conjunction(self, benchmark, chain_engine):
+        # The flattened goal-list loop vs. the old nested generator
+        # ladder: 24 chained fact lookups, query pre-parsed.
+        goal = parse_term("chain")
+        count = benchmark(
+            lambda: sum(1 for _ in chain_engine.solve(goal))
+        )
+        assert count == 1

@@ -10,7 +10,15 @@ This package is the execution substrate the paper's experiments run on
 ['bob']
 """
 
-from .database import Clause, Database, body_goals, goals_to_body, split_clause
+from .compile import CompiledClause, compile_clause, flatten_conjunction
+from .database import (
+    Clause,
+    Database,
+    body_goals,
+    first_arg_key,
+    goals_to_body,
+    split_clause,
+)
 from .engine import Engine, Frame, Solution
 from .metrics import Metrics
 from .reader.operators import OperatorTable, standard_operators
@@ -38,6 +46,7 @@ from .writer import clause_to_string, program_to_string, term_to_string
 __all__ = [
     "Atom",
     "Clause",
+    "CompiledClause",
     "Database",
     "Engine",
     "Frame",
@@ -51,8 +60,11 @@ __all__ = [
     "Var",
     "body_goals",
     "clause_to_string",
+    "compile_clause",
     "copy_term",
     "deref",
+    "first_arg_key",
+    "flatten_conjunction",
     "functor_indicator",
     "goals_to_body",
     "indicator_str",

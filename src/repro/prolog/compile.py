@@ -1,0 +1,286 @@
+"""Clause compilation: slot-based skeletons with lazy body materialization.
+
+The paper's execution model charges one clause *try* per head attempted
+(the ``c_i`` costs its Markov model consumes), so the engine's clause-try
+loop is the hot path that every calibration, ablation, and benchmark
+ultimately measures. The interpreted loop paid a full recursive
+:func:`~repro.prolog.terms.rename_term` copy of head *and* body for every
+attempt — even when head unification failed immediately.
+
+This module applies the WAM's core insight (Warren 1983) at the Python
+level: each :class:`~repro.prolog.database.Clause` is compiled **once**
+into a :class:`CompiledClause` skeleton where
+
+* every distinct clause variable becomes a dense integer **slot**;
+* the head becomes per-argument **get specs** (the WAM's get
+  instructions): fresh-variable arguments bind directly without
+  entering the general unifier, and the head term itself is never
+  rebuilt — ``matching_clauses`` already guarantees the functor;
+* body goals become flat **build programs** — postorder instruction
+  tuples executed iteratively over one argument stack, so
+  instantiation never recurses;
+* **ground subterms are shared**, not copied (they are immutable in
+  use), so a ground fact head costs *zero* allocation per attempt;
+* the **body is materialized lazily** — only after the head unifies —
+  so failed attempts never copy the body at all;
+* conjunction chains are flattened at compile time into a goal list,
+  letting the engine run one flat loop instead of a nested
+  ``_solve_conjunction`` generator ladder;
+* the head's **fingerprint** (its first argument's index key, shared
+  with ``Database._index``) is cached so calls whose bound first
+  argument cannot match skip unification entirely.
+
+Compiled skeletons are cached per predicate on the
+:class:`~repro.prolog.database.Database` and invalidated wholesale via
+its ``generation`` counter (see ``Database.compiled_program``).
+
+Instruction encoding
+--------------------
+Each build program is a tuple of uniform 3-tuples ``(op, a, b)``:
+
+=====  ==========  ====================================================
+op     operands    effect
+=====  ==========  ====================================================
+``0``  term, --    push a shared ground (sub)term
+``1``  slot, --    push the frame's variable for ``slot``
+``2``  name, n     pop ``n`` args, push ``Struct(name, args)``
+=====  ==========  ====================================================
+
+A skeleton whose term is entirely ground compiles to *no* program at
+all: the stored term itself is reused on every instantiation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .terms import Atom, Struct, Term, Var, deref, term_is_ground
+from .unify import unify
+
+__all__ = ["CompiledClause", "compile_clause", "flatten_conjunction"]
+
+#: Instruction opcodes (module-private names kept short for the hot loop).
+_OP_CONST = 0
+_OP_SLOT = 1
+_OP_BUILD = 2
+
+#: Shared empty slot frame for clauses with no variables (facts).
+_NO_SLOTS: Tuple = ()
+
+#: Raw allocator bypassing ``Struct.__init__`` validation in the hot loop.
+_new_struct = Struct.__new__
+
+#: A build program: tuple of ``(op, a, b)`` instructions, or ``None``
+#: when the term is ground and ``const`` is shared instead.
+_Code = Optional[Tuple[Tuple[int, object, int], ...]]
+
+
+def flatten_conjunction(body: Term) -> List[Term]:
+    """Flatten a (possibly nested) ``','``/2 chain into its goal list.
+
+    Mirrors :func:`repro.prolog.database.body_goals` (duplicated here to
+    keep this module importable by the database without a cycle): only
+    conjunctions are flattened; disjunctions, if-then-elses, and
+    variable goals stay single, and are dereferenced exactly as the
+    recursive solver would have dereferenced them on entry.
+    """
+    goals: List[Term] = []
+    stack = [body]
+    while stack:
+        current = deref(stack.pop())
+        if (
+            isinstance(current, Struct)
+            and current.name == ","
+            and len(current.args) == 2
+        ):
+            stack.append(current.args[1])
+            stack.append(current.args[0])
+        else:
+            goals.append(current)
+    return goals
+
+
+def _compile_term(
+    term: Term, slots: Dict[int, int], names: List[str]
+) -> Tuple[_Code, Optional[Term]]:
+    """Compile one term into ``(code, const)``.
+
+    Ground terms return ``(None, term)`` — shared, never copied.
+    Non-ground terms return a postorder build program; ``slots`` maps
+    ``id(var)`` to its slot index and grows as new variables appear (so
+    head and body compiled with the same maps share slots).
+    """
+    term = deref(term)
+    if term_is_ground(term):
+        return None, term
+    code: List[Tuple[int, object, int]] = []
+
+    def emit(node: Term) -> None:
+        node = deref(node)
+        if isinstance(node, Var):
+            index = slots.get(id(node))
+            if index is None:
+                index = len(names)
+                slots[id(node)] = index
+                names.append(node.name)
+            code.append((_OP_SLOT, index, 0))
+            return
+        if isinstance(node, Struct) and not term_is_ground(node):
+            for arg in node.args:
+                emit(arg)
+            code.append((_OP_BUILD, node.name, len(node.args)))
+            return
+        code.append((_OP_CONST, node, 0))
+
+    emit(term)
+    return tuple(code), None
+
+
+def _run(code: Tuple[Tuple[int, object, int], ...], frame) -> Term:
+    """Execute a build program over ``frame`` (the flat ``Var`` list)."""
+    stack: List[Term] = []
+    push = stack.append
+    for op, a, b in code:
+        if op == _OP_SLOT:
+            push(frame[a])
+        elif op == _OP_CONST:
+            push(a)
+        else:
+            struct = _new_struct(Struct)
+            struct.name = a
+            struct.args = tuple(stack[-b:])
+            del stack[-b:]
+            push(struct)
+    return stack[-1]
+
+
+#: Head-argument spec tags (see :meth:`CompiledClause.unify_head`).
+_ARG_FRESH = 0
+_ARG_CONST = 1
+_ARG_SLOT = 2
+_ARG_BUILD = 3
+
+
+class CompiledClause:
+    """One clause compiled to a slot-numbered skeleton.
+
+    Attributes:
+
+    * ``var_names`` — display name per slot; ``len(var_names)`` is the
+      frame size allocated per attempt.
+    * ``head_args`` — per-argument head unification specs (WAM "get"
+      instructions): ``(0, slot)`` first occurrence of a variable (a
+      direct bind, no general unification), ``(1, term)`` a shared
+      ground argument, ``(2, slot)`` a repeated variable, ``(3, code)``
+      a compound containing variables, built then unified.
+    * ``head_key`` — the head's first-argument index key (the same
+      fingerprint ``Database._index`` buckets on), ``None`` when the
+      head has no arguments or its first argument is a variable.
+    * ``goals`` — the flattened body as ``(code, const)`` pairs, in
+      execution order; empty for facts. Compile-time ``true`` atoms are
+      dropped (the solver never charged or traced them anyway).
+
+    The head is never rebuilt as a term: ``matching_clauses`` already
+    guarantees the functor and arity match, so head unification runs
+    argument by argument against the caller's argument tuple.
+    """
+
+    __slots__ = ("var_names", "head_args", "head_key", "goals")
+
+    def __init__(self, head: Term, body: Term):
+        slots: Dict[int, int] = {}
+        names: List[str] = []
+        head = deref(head)
+        head_args: List[Tuple[int, object]] = []
+        if isinstance(head, Struct):
+            for arg in head.args:
+                arg = deref(arg)
+                if isinstance(arg, Var) and id(arg) not in slots:
+                    slots[id(arg)] = len(names)
+                    names.append(arg.name)
+                    head_args.append((_ARG_FRESH, slots[id(arg)]))
+                elif isinstance(arg, Var):
+                    head_args.append((_ARG_SLOT, slots[id(arg)]))
+                else:
+                    code, const = _compile_term(arg, slots, names)
+                    if code is None:
+                        head_args.append((_ARG_CONST, const))
+                    else:
+                        head_args.append((_ARG_BUILD, code))
+        self.head_args = tuple(head_args)
+        goals: List[Tuple[_Code, Optional[Term]]] = []
+        for goal in flatten_conjunction(body):
+            if isinstance(goal, Atom) and goal.name == "true":
+                continue
+            goals.append(_compile_term(goal, slots, names))
+        self.goals = tuple(goals)
+        self.var_names = tuple(names)
+        if isinstance(head, Struct):
+            # Late import: database imports this module's compiler, so
+            # the fingerprint helper is fetched lazily to avoid a cycle.
+            from .database import first_arg_key
+
+            self.head_key = first_arg_key(head.args[0])
+        else:
+            self.head_key = None
+
+    def unify_head(self, goal_args, trail, occurs_check: bool = False):
+        """Unify the skeleton head against ``goal_args``; one attempt.
+
+        Allocates the flat frame of fresh variables (head *and* body
+        slots, once), then runs the per-argument specs: fresh-variable
+        arguments bind directly without entering the general unifier,
+        ground arguments and compounds go through :func:`~.unify.unify`.
+        Returns the frame on success and ``None`` on failure; in both
+        cases bindings stay on the trail for the caller's mark/undo
+        discipline, exactly like a plain ``unify`` call.
+        """
+        names = self.var_names
+        frame = [Var(name) for name in names] if names else _NO_SLOTS
+        index = 0
+        for tag, payload in self.head_args:
+            goal_arg = goal_args[index]
+            index += 1
+            if tag == _ARG_FRESH:
+                while isinstance(goal_arg, Var):
+                    ref = goal_arg.ref
+                    if ref is None:
+                        break
+                    goal_arg = ref
+                if isinstance(goal_arg, Var):
+                    # Bind the caller's variable to the fresh slot —
+                    # the same direction the general unifier picks.
+                    goal_arg.ref = frame[payload]
+                    trail.push(goal_arg)
+                else:
+                    var = frame[payload]
+                    var.ref = goal_arg
+                    trail.push(var)
+            elif tag == _ARG_CONST:
+                if not unify(goal_arg, payload, trail, occurs_check):
+                    return None
+            elif tag == _ARG_SLOT:
+                if not unify(goal_arg, frame[payload], trail, occurs_check):
+                    return None
+            else:
+                if not unify(
+                    goal_arg, _run(payload, frame), trail, occurs_check
+                ):
+                    return None
+        return frame
+
+    def materialize_body(self, frame) -> List[Term]:
+        """The body goals instantiated against ``frame``, in order.
+
+        Ground goals are shared; the rest are rebuilt iteratively from
+        their build programs. Empty for facts.
+        """
+        return [
+            const if code is None else _run(code, frame)
+            for code, const in self.goals
+        ]
+
+
+def compile_clause(clause) -> CompiledClause:
+    """Compile one :class:`~repro.prolog.database.Clause` to a skeleton."""
+    return CompiledClause(clause.head, clause.body)

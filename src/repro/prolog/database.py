@@ -37,6 +37,7 @@ __all__ = [
     "split_clause",
     "body_goals",
     "goals_to_body",
+    "first_arg_key",
 ]
 
 Indicator = Tuple[str, int]
@@ -142,17 +143,32 @@ def _unknown_directive_warning(name: str) -> str:
     return message
 
 
-def _first_arg_key(term: Term) -> Optional[Tuple]:
-    """Index key of a call/head first argument; None when unindexable (var)."""
+def first_arg_key(term: Term):
+    """Index key of a call/head argument; None when unindexable (var).
+
+    Shared between the clause index buckets and the compiled-clause
+    head fingerprints (:mod:`repro.prolog.compile`): two concrete keys
+    that differ can never unify, so either consumer may skip the
+    attempt outright. Representation (internal, chosen for cheap
+    construction on the per-call hot path): atoms key as the interned
+    :class:`Atom` itself, numbers as ``(type, value)`` (so ``1`` and
+    ``1.0`` stay distinct), compounds as ``(name, arity)``. The three
+    families cannot collide: a ``(type, value)`` pair never equals a
+    ``(str, int)`` pair, and an ``Atom`` equals only itself.
+    """
     term = deref(term)
+    if isinstance(term, Atom):
+        return term
     if isinstance(term, Var):
         return None
-    if isinstance(term, Atom):
-        return ("atom", term.name)
     if is_number(term):
-        return ("number", type(term).__name__, term)
+        return (type(term), term)
     assert isinstance(term, Struct)
-    return ("struct", term.name, term.arity)
+    return (term.name, term.arity)
+
+
+#: Backwards-compatible private alias (pre-compile-layer name).
+_first_arg_key = first_arg_key
 
 
 class Database:
@@ -180,6 +196,11 @@ class Database:
         self._predicates: Dict[Indicator, List[Clause]] = {}
         self._index: Dict[Indicator, Dict[Optional[Tuple], List[Clause]]] = {}
         self._index_position: Dict[Indicator, int] = {}
+        #: Compiled skeletons per predicate (see
+        #: :mod:`repro.prolog.compile`), invalidated wholesale whenever
+        #: :attr:`generation` moves past :attr:`_compiled_generation`.
+        self._compiled: Dict[Indicator, List] = {}
+        self._compiled_generation = 0
         self.directives: List[Term] = []
         #: Predicates declared ``:- table name/arity`` (see
         #: :mod:`repro.prolog.tabling`).
@@ -310,6 +331,31 @@ class Database:
     def defines(self, indicator: Indicator) -> bool:
         """Is the predicate defined by at least one clause?"""
         return indicator in self._predicates
+
+    def compiled_program(self, indicator: Indicator) -> List:
+        """Compiled skeletons for *every* clause of ``indicator``.
+
+        The list is parallel to the predicate's full clause list, so a
+        clause selected by :meth:`matching_clauses` finds its skeleton
+        at ``program[clause.index]``. The cache is invalidated
+        wholesale via the existing :attr:`generation` counter: any
+        mutation (:meth:`add_clause`, :meth:`replace_predicate`,
+        :meth:`remove_predicate`) bumps it, and the next lookup
+        recompiles lazily — the same discipline the tabling store uses.
+        """
+        if self._compiled_generation != self.generation:
+            self._compiled.clear()
+            self._compiled_generation = self.generation
+        program = self._compiled.get(indicator)
+        if program is None:
+            from .compile import compile_clause
+
+            program = [
+                compile_clause(clause)
+                for clause in self._predicates.get(indicator, ())
+            ]
+            self._compiled[indicator] = program
+        return program
 
     def matching_clauses(self, goal: Term) -> List[Clause]:
         """Clauses worth trying for ``goal``, respecting indexing."""

@@ -6,6 +6,15 @@ left to right, backtracking on failure. Implementation is generator
 based — ``solve_goal`` yields once per solution — with a WAM-style
 binding trail undone between alternatives.
 
+Clause attempts run on compiled skeletons by default (see
+:mod:`repro.prolog.compile`): heads are instantiated from slot-numbered
+build programs and bodies are materialized lazily, only after the head
+unifies, so a failed attempt never copies the body. Conjunctions run as
+a flat goal-list loop (:meth:`Engine._solve_body`) instead of a nested
+generator ladder. ``Engine(compiled=False)`` restores the interpreted
+rename-per-attempt path, which the differential tests hold the compiled
+path against, solution for solution and counter for counter.
+
 Cut is implemented with per-call *frames*: executing ``!`` succeeds
 immediately; when it is asked for another solution it sets the frame's
 ``cut`` flag, which (a) stops retrying goals to its left in the body and
@@ -39,7 +48,8 @@ from ..errors import (
     TypeErrorProlog,
 )
 from .builtins import BUILTINS, lookup
-from .database import Database
+from .compile import flatten_conjunction
+from .database import Database, first_arg_key
 from .metrics import Metrics
 from .tabling import TableStore, solve_tabled
 from .reader.parser import parse_term
@@ -176,6 +186,7 @@ class Engine:
         echo: bool = False,
         table_all: bool = False,
         adjust_recursion_limit: bool = True,
+        compiled: bool = True,
     ):
         self.database = database
         self.trail = Trail()
@@ -206,6 +217,15 @@ class Engine:
         self._table_producing: List = []
         #: Nesting depth of negation-as-failure (stratification check).
         self._negation_depth = 0
+        #: Solve user predicates on compiled skeletons (the default) or
+        #: on the interpreted rename-per-attempt path. Bound once here
+        #: so the hot dispatch in ``solve_goal`` (and the tabling
+        #: producer, which calls ``engine._solve_user`` directly) pays
+        #: no per-call branching.
+        self.compiled = compiled
+        self._solve_user = (
+            self._solve_user_compiled if compiled else self._solve_user_interpreted
+        )
         if adjust_recursion_limit:
             # Short-lived engines (calibration samples) pass False and
             # rely on one up-front ensure_recursion_capacity call.
@@ -242,7 +262,11 @@ class Engine:
             name, arity = goal.name, goal.arity
             # Control constructs: handled inline for cut transparency.
             if name == "," and arity == 2:
-                yield from self._solve_conjunction(goal.args[0], goal.args[1], depth, frame)
+                # Flatten the whole chain once and run the flat loop
+                # instead of recursing one generator per ',' node.
+                yield from self._solve_body(
+                    flatten_conjunction(goal), depth, frame
+                )
                 return
             if name == ";" and arity == 2:
                 yield from self._solve_disjunction(goal.args[0], goal.args[1], depth, frame)
@@ -284,9 +308,29 @@ class Engine:
         tracer = self.tracer
         bus = self.events
         if tracer is None and bus is None:
+            # Disabled-instrumentation fast path: delegate directly.
+            # Nothing below this line (mode strings, events,
+            # timestamps) is constructed when both are off.
             yield from iterator
             return
-        # Byrd's four-port box around the goal.
+        yield from self._solve_boxed(iterator, goal, args, indicator, depth)
+
+    def _solve_boxed(
+        self,
+        iterator: Iterator[None],
+        goal: Term,
+        args: Tuple[Term, ...],
+        indicator: Indicator,
+        depth: int,
+    ) -> Iterator[None]:
+        """Byrd's four-port box around one goal activation.
+
+        Split out of :meth:`solve_goal` so the instrumented path — the
+        only place mode strings, port events, and timestamps are built —
+        is entered solely when a tracer or event bus is attached.
+        """
+        tracer = self.tracer
+        bus = self.events
         started = 0.0
         if bus is not None:
             bus.emit(PortEvent("call", indicator, depth, _runtime_mode(args)))
@@ -316,13 +360,58 @@ class Engine:
                 f"exceeded {self.call_budget} calls (at {indicator[0]}/{indicator[1]})"
             )
 
-    def _solve_conjunction(
-        self, left: Term, right: Term, depth: int, frame: Frame
+    def _solve_body(
+        self, goals: List[Term], depth: int, frame: Frame
     ) -> Iterator[None]:
-        for _ in self.solve_goal(left, depth, frame):
-            yield from self.solve_goal(right, depth, frame)
-            if frame.cut:
-                return
+        """Solve a flat goal list left to right with backtracking.
+
+        The goal-list equivalent of the classic nested-conjunction
+        recursion, in one Python frame: goal ``i`` advancing opens a
+        fresh sub-iterator for goal ``i+1``; goal ``i`` exhausting
+        resumes goal ``i-1`` — unless the clause frame's cut flag is
+        set, which (exactly like the recursive version) stops retrying
+        goals to the left. Each solution costs one ``yield`` instead of
+        one hop per conjunction level.
+        """
+        n = len(goals)
+        if n == 1:
+            yield from self.solve_goal(goals[0], depth, frame)
+            return
+        if n == 0:
+            yield
+            return
+        solve = self.solve_goal
+        iterators: List[Optional[Iterator[None]]] = [None] * n
+        iterators[0] = solve(goals[0], depth, frame)
+        last = n - 1
+        i = 0
+        try:
+            while i >= 0:
+                advanced = False
+                for _ in iterators[i]:
+                    advanced = True
+                    break
+                if advanced:
+                    if i == last:
+                        yield
+                    else:
+                        i += 1
+                        iterators[i] = solve(goals[i], depth, frame)
+                else:
+                    iterators[i] = None
+                    if frame.cut:
+                        return
+                    i -= 1
+        finally:
+            # Close abandoned sub-iterators rightmost-first — the same
+            # order the nested yield-from chain unwound in, so paired
+            # try/finally state (negation depth, producer stacks) pops
+            # in LIFO order.
+            while i >= 0:
+                iterator = iterators[i]
+                if iterator is not None:
+                    iterator.close()
+                i -= 1
 
     def _solve_disjunction(
         self, left: Term, right: Term, depth: int, frame: Frame
@@ -358,7 +447,91 @@ class Engine:
             self.trail.undo_to(mark)
             yield from self.solve_goal(else_part, depth, frame)
 
-    def _solve_user(self, goal: Term, indicator: Indicator, depth: int) -> Iterator[None]:
+    def _solve_user_compiled(
+        self, goal: Term, indicator: Indicator, depth: int
+    ) -> Iterator[None]:
+        """The default clause-try loop, on compiled skeletons.
+
+        Per attempt: the cached head fingerprint rejects calls whose
+        bound first argument cannot match (no allocation at all), the
+        head alone is instantiated from its slot program, and the body
+        is materialized only after the head unifies — so failed
+        attempts never copy the body. Counter discipline is identical
+        to :meth:`_solve_user_interpreted`: fast rejections still
+        charge a failed unification and emit a ``UnifyEvent``.
+        """
+        if depth >= self.max_depth:
+            raise DepthLimitExceeded(
+                f"depth {self.max_depth} exceeded at {indicator[0]}/{indicator[1]}"
+            )
+        database = self.database
+        clauses = database.matching_clauses(goal)
+        bus = self.events
+        if bus is not None and len(clauses) > 1:
+            bus.emit(ChoicePointEvent(indicator, len(clauses), depth))
+        if not clauses:
+            return
+        program = database.compiled_program(indicator)
+        metrics = self.metrics
+        trail = self.trail
+        occurs = self.occurs_check
+        frame = Frame()
+        goal_args: Tuple[Term, ...] = ()
+        goal_key = None
+        if indicator[1]:
+            goal_args = deref(goal).args
+            if len(clauses) > 1:
+                # The fingerprint only pays for itself when there is
+                # more than one candidate to reject.
+                goal_key = first_arg_key(goal_args[0])
+        body_depth = depth + 1
+        first_attempt = True
+        for clause in clauses:
+            if not first_attempt:
+                metrics.record_backtrack()
+            first_attempt = False
+            compiled = program[clause.index]
+            if (
+                goal_key is not None
+                and compiled.head_key is not None
+                and compiled.head_key != goal_key
+            ):
+                metrics.record_fast_reject()
+                if bus is not None:
+                    bus.emit(UnifyEvent(indicator, False))
+                continue
+            mark = trail.mark()
+            slots = compiled.unify_head(goal_args, trail, occurs)
+            metrics.record_instantiation()
+            if slots is not None:
+                metrics.record_unification(True)
+                if bus is not None:
+                    bus.emit(UnifyEvent(indicator, True))
+                goals = compiled.materialize_body(slots)
+                count = len(goals)
+                if count == 0:
+                    yield
+                elif count == 1:
+                    yield from self.solve_goal(goals[0], body_depth, frame)
+                else:
+                    yield from self._solve_body(goals, body_depth, frame)
+            else:
+                metrics.record_unification(False)
+                if bus is not None:
+                    bus.emit(UnifyEvent(indicator, False))
+            trail.undo_to(mark)
+            if frame.cut:
+                return
+
+    def _solve_user_interpreted(
+        self, goal: Term, indicator: Indicator, depth: int
+    ) -> Iterator[None]:
+        """The pre-compilation clause-try loop (full rename per attempt).
+
+        Kept as the ``Engine(compiled=False)`` reference semantics: the
+        differential tests assert the compiled path matches it solution
+        for solution and counter for counter.
+        """
         if depth >= self.max_depth:
             raise DepthLimitExceeded(
                 f"depth {self.max_depth} exceeded at {indicator[0]}/{indicator[1]}"
@@ -406,8 +579,13 @@ class Engine:
         mark = self.trail.mark()
         try:
             for _ in self.solve_goal(goal, 0, self.new_frame()):
+                # One shared mapping per snapshot: two query variables
+                # bound to the same unbound variable must keep sharing
+                # it in the Solution (a fresh mapping per variable
+                # would tear them apart).
+                mapping: Dict[int, Var] = {}
                 yield Solution(
-                    {var.name: rename_term(var, {}) for var in variables}
+                    {var.name: rename_term(var, mapping) for var in variables}
                 )
         except RecursionError:
             raise DepthLimitExceeded(

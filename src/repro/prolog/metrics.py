@@ -29,6 +29,13 @@ class Metrics:
     clause_entries: int = 0
     #: Times the engine resumed an earlier choice point.
     backtracks: int = 0
+    #: Clause-skeleton instantiations by the compiled clause path
+    #: (one per head attempt that was not fast-rejected).
+    skeleton_instantiations: int = 0
+    #: Head attempts skipped by the cached first-argument fingerprint
+    #: (still charged as failed unifications, so ``unifications`` stays
+    #: comparable with the interpreted path).
+    head_fast_rejects: int = 0
     #: Calls per predicate indicator.
     calls_by_predicate: Dict[Indicator, int] = field(default_factory=dict)
     #: Tabled calls answered from an existing variant table.
@@ -57,6 +64,19 @@ class Metrics:
         """Charge one clause retry."""
         self.backtracks += 1
 
+    def record_instantiation(self) -> None:
+        """Charge one compiled-skeleton head instantiation."""
+        self.skeleton_instantiations += 1
+
+    def record_fast_reject(self) -> None:
+        """Charge one fingerprint-rejected head attempt.
+
+        Counts as a failed unification too, keeping ``unifications``
+        identical between the compiled and interpreted clause paths.
+        """
+        self.unifications += 1
+        self.head_fast_rejects += 1
+
     def record_table_hit(self) -> None:
         """Charge one tabled call served from an existing table."""
         self.table_hits += 1
@@ -79,6 +99,8 @@ class Metrics:
         self.unifications = 0
         self.clause_entries = 0
         self.backtracks = 0
+        self.skeleton_instantiations = 0
+        self.head_fast_rejects = 0
         self.calls_by_predicate.clear()
         self.table_hits = 0
         self.table_misses = 0
@@ -92,6 +114,8 @@ class Metrics:
             unifications=self.unifications,
             clause_entries=self.clause_entries,
             backtracks=self.backtracks,
+            skeleton_instantiations=self.skeleton_instantiations,
+            head_fast_rejects=self.head_fast_rejects,
             calls_by_predicate=dict(self.calls_by_predicate),
             table_hits=self.table_hits,
             table_misses=self.table_misses,
@@ -108,6 +132,10 @@ class Metrics:
             unifications=self.unifications - other.unifications,
             clause_entries=self.clause_entries - other.clause_entries,
             backtracks=self.backtracks - other.backtracks,
+            skeleton_instantiations=(
+                self.skeleton_instantiations - other.skeleton_instantiations
+            ),
+            head_fast_rejects=self.head_fast_rejects - other.head_fast_rejects,
             calls_by_predicate={k: v for k, v in by_predicate.items() if v},
             table_hits=self.table_hits - other.table_hits,
             table_misses=self.table_misses - other.table_misses,
@@ -124,6 +152,10 @@ class Metrics:
             unifications=self.unifications + other.unifications,
             clause_entries=self.clause_entries + other.clause_entries,
             backtracks=self.backtracks + other.backtracks,
+            skeleton_instantiations=(
+                self.skeleton_instantiations + other.skeleton_instantiations
+            ),
+            head_fast_rejects=self.head_fast_rejects + other.head_fast_rejects,
             calls_by_predicate={k: v for k, v in by_predicate.items() if v},
             table_hits=self.table_hits + other.table_hits,
             table_misses=self.table_misses + other.table_misses,
@@ -139,6 +171,8 @@ class Metrics:
             "unifications": self.unifications,
             "clause_entries": self.clause_entries,
             "backtracks": self.backtracks,
+            "skeleton_instantiations": self.skeleton_instantiations,
+            "head_fast_rejects": self.head_fast_rejects,
             "table_hits": self.table_hits,
             "table_misses": self.table_misses,
             "table_answers": self.table_answers,

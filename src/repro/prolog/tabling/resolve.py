@@ -33,7 +33,7 @@ from typing import Iterator, Tuple
 
 from ...errors import IncompleteTableError
 from ...observability.events import TableEvent
-from ..terms import Term, rename_term
+from ..terms import Term, rename_term, term_is_ground
 from ..unify import unify
 from .store import Evaluation, Table
 from .variant import variant_key
@@ -144,6 +144,7 @@ def _produce(engine, table: Table) -> None:
             if answer_key not in table.answer_keys:
                 table.answer_keys.add(answer_key)
                 table.answers.append(answer)
+                table.answers_ground.append(term_is_ground(answer))
                 engine.metrics.record_table_answer()
                 if bus is not None:
                     bus.emit(
@@ -168,13 +169,19 @@ def _complete(engine, table: Table) -> None:
 
 
 def _stream_complete(engine, goal: Term, table: Table) -> Iterator[None]:
-    """Yield each stored answer that unifies with the call."""
+    """Yield each stored answer that unifies with the call.
+
+    Ground answers (the common case — tables memoize resolved calls)
+    unify against the stored term directly; only answers that still
+    contain variables pay a rename per read.
+    """
     trail = engine.trail
-    for answer in table.answers:
+    occurs = engine.occurs_check
+    ground_flags = table.answers_ground
+    for index, answer in enumerate(table.answers):
         mark = trail.mark()
-        if unify(
-            goal, rename_term(answer, {}), trail, occurs_check=engine.occurs_check
-        ):
+        candidate = answer if ground_flags[index] else rename_term(answer, {})
+        if unify(goal, candidate, trail, occurs_check=occurs):
             yield
         trail.undo_to(mark)
 
@@ -197,10 +204,11 @@ def _stream_live(engine, goal: Term, table: Table) -> Iterator[None]:
                 producing[-1].note_consumption(table, index)
             return
         answer = table.answers[index]
+        candidate = (
+            answer if table.answers_ground[index] else rename_term(answer, {})
+        )
         index += 1
         mark = trail.mark()
-        if unify(
-            goal, rename_term(answer, {}), trail, occurs_check=engine.occurs_check
-        ):
+        if unify(goal, candidate, trail, occurs_check=engine.occurs_check):
             yield
         trail.undo_to(mark)

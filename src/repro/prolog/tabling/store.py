@@ -32,6 +32,7 @@ class Table:
         "indicator",
         "depth",
         "answers",
+        "answers_ground",
         "answer_keys",
         "complete",
         "passes",
@@ -47,6 +48,11 @@ class Table:
         self.depth = depth
         #: Answers as resolved goal copies, in first-derivation order.
         self.answers: List[Term] = []
+        #: Parallel to :attr:`answers`: True when the answer is ground,
+        #: letting consumers unify against the stored term directly
+        #: instead of renaming a copy per read (ground terms cannot be
+        #: bound into, so sharing them is safe).
+        self.answers_ground: List[bool] = []
         self.answer_keys: Set[Tuple] = set()
         self.complete = False
         #: Production passes run so far (0 = never produced).

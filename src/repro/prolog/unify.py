@@ -37,10 +37,17 @@ class Trail:
         self._entries.append(var)
 
     def undo_to(self, mark: int) -> None:
-        """Unbind every variable bound since ``mark``."""
+        """Unbind every variable bound since ``mark``.
+
+        Bulk truncation: one slice walk plus one ``del`` instead of a
+        pop-per-binding loop — the backtracking path runs this once per
+        abandoned clause attempt, so the constant factor matters.
+        """
         entries = self._entries
-        while len(entries) > mark:
-            entries.pop().ref = None
+        if len(entries) > mark:
+            for var in entries[mark:]:
+                var.ref = None
+            del entries[mark:]
 
     def __len__(self) -> int:
         return len(self._entries)
