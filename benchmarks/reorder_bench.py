@@ -1,0 +1,211 @@
+"""Machine-readable reorder benchmark: cold vs incremental wall time.
+
+Not a paper artefact: this is the perf-regression harness guarding the
+reordering pipeline's incremental path. For each paper program it
+times
+
+* ``cold`` — a from-scratch :class:`~repro.reorder.system.Reorderer`
+  run (fresh :class:`~repro.reorder.pipeline.AnalysisContext`, every
+  analysis and per-predicate build computed), and
+* ``incremental`` — one predicate replaced with identical clauses
+  (bumping its generation mark) followed by a re-reorder against the
+  retained context, so only the edited predicate's SCC and its
+  transitive callers are rebuilt.
+
+Usage::
+
+    # Refresh the committed baseline after an intentional change:
+    PYTHONPATH=src python benchmarks/reorder_bench.py --output BENCH_reorder.json
+
+    # CI smoke gate — fail on >3x slowdown or any drift in the
+    # deterministic cache counters:
+    PYTHONPATH=src python benchmarks/reorder_bench.py \
+        --check BENCH_reorder.json --tolerance 3.0
+
+The JSON schema (``repro-reorder-bench/1``) stores, per program, the
+measured wall times, the cold/incremental speedup ratio, and the
+incremental run's cache counters (predicates total, dirty, affected,
+version-build hits and misses). The counters are deterministic, so
+``--check`` compares them exactly; timings are machine-dependent, so
+they are compared as a ratio against ``--tolerance``.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.programs import REGISTRY
+from repro.prolog.database import Database
+from repro.reorder import AnalysisContext, Reorderer
+from repro.reorder.pipeline.context import BUILD_STAGE
+
+SCHEMA = "repro-reorder-bench/1"
+
+#: program name -> the predicate "edited" for the incremental run.
+#: The edit replaces the predicate with identical clauses: output is
+#: unchanged, but the generation mark moves, dirtying exactly that
+#: predicate.
+PROGRAMS = {
+    "family_tree": ("wife", 2),
+    "corporate": ("employee", 2),
+    "meal": ("meal", 3),
+    "geography": ("borders", 2),
+}
+
+
+def _touch(database, indicator):
+    """Replace a predicate with its own clauses (a no-op edit that
+    bumps the predicate's generation mark)."""
+    database.replace_predicate(indicator, database.clauses(indicator))
+
+
+def run_program(name, repeats):
+    """Benchmark one program: cold runs, then edit-and-rereorder runs."""
+    source = REGISTRY[name].source()
+    edited = PROGRAMS[name]
+
+    # Cold: fresh database + context every iteration.
+    cold_times = []
+    for _ in range(repeats):
+        database = Database.from_source(source)
+        start = time.perf_counter()
+        Reorderer(database).reorder()
+        cold_times.append(time.perf_counter() - start)
+
+    # Incremental: one retained context; each iteration edits one
+    # predicate and re-reorders, replaying every unaffected predicate.
+    database = Database.from_source(source)
+    context = AnalysisContext(database)
+    Reorderer(database, context=context).reorder()  # warm the cache
+    incremental_times = []
+    for _ in range(repeats):
+        _touch(database, edited)
+        context.reset_counters()
+        start = time.perf_counter()
+        Reorderer(database, context=context).reorder()
+        incremental_times.append(time.perf_counter() - start)
+
+    counters = context.counters_record()
+    cold = min(cold_times)
+    incremental = min(incremental_times)
+    return {
+        "cold_seconds": round(cold, 6),
+        "incremental_seconds": round(incremental, 6),
+        "speedup": round(cold / incremental, 2) if incremental else 0.0,
+        "counters": {
+            "predicates": len(database.predicates()),
+            "dirty": len(counters["dirty"]),
+            "affected": len(counters["affected"]),
+            "build_hits": counters["hits"].get(BUILD_STAGE, 0),
+            "build_misses": counters["misses"].get(BUILD_STAGE, 0),
+        },
+    }
+
+
+def run_all(repeats, names):
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "programs": {name: run_program(name, repeats) for name in names},
+    }
+
+
+def check(results, baseline, tolerance):
+    """Compare a fresh run against the committed baseline.
+
+    Returns a list of failure strings: empty means the gate passes.
+    Wall times drift with the machine, so they fail only past
+    ``tolerance``; cache counters are deterministic and must match
+    exactly.
+    """
+    failures = []
+    if baseline.get("schema") != SCHEMA:
+        failures.append(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+            " (regenerate with --output)"
+        )
+        return failures
+    for name, base in baseline.get("programs", {}).items():
+        fresh = results["programs"].get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        for key in ("cold_seconds", "incremental_seconds"):
+            if fresh[key] > base[key] * tolerance:
+                failures.append(
+                    f"{name}: {key} {fresh[key]}s is >{tolerance}x above "
+                    f"baseline {base[key]}s"
+                )
+        for key, expected in base["counters"].items():
+            actual = fresh["counters"].get(key)
+            if actual != expected:
+                failures.append(
+                    f"{name}: counters[{key}] = {actual} != baseline {expected}"
+                )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", metavar="PATH", help="write results as JSON to PATH"
+    )
+    parser.add_argument(
+        "--check",
+        metavar="PATH",
+        help="compare against the baseline JSON at PATH; exit 1 on failure",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="allowed wall-time regression factor for --check (default 3.0)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed iterations per program (best-of; default 3)",
+    )
+    parser.add_argument(
+        "--program",
+        action="append",
+        choices=sorted(PROGRAMS),
+        help="run only this program (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.program or sorted(PROGRAMS)
+    results = run_all(args.repeats, names)
+    for name in names:
+        entry = results["programs"][name]
+        counters = entry["counters"]
+        print(
+            f"{name:14s} cold={entry['cold_seconds'] * 1000:8.1f}ms  "
+            f"incremental={entry['incremental_seconds'] * 1000:8.1f}ms  "
+            f"x{entry['speedup']:<6} rebuilt {counters['build_misses']}"
+            f"/{counters['predicates']} predicates"
+        )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check(results, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}", file=sys.stderr)
+            return 1
+        print(f"check against {args.check} passed (tolerance {args.tolerance}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,11 +33,44 @@ from ..prolog.database import Database
 from ..prolog.engine import Engine
 from ..prolog.terms import Atom, Struct, Term, Var, deref, is_number
 from .declarations import CostDeclaration, Declarations
-from .modes import Mode, ModeItem, all_input_modes
+from .modes import Mode, ModeItem, all_input_modes, mode_str
 
 __all__ = ["CalibrationOptions", "EmpiricalCalibrator"]
 
 Indicator = Tuple[str, int]
+
+#: Per-process calibrator, built once by the pool initializer so each
+#: worker parses the program a single time.
+_WORKER: Optional["EmpiricalCalibrator"] = None
+
+
+def _calibration_worker_init(
+    source: str, options: "CalibrationOptions", constants: List[str]
+) -> None:
+    """Pool initializer: rebuild the calibrator in the worker process.
+
+    The program is shipped as *source text* and re-parsed here rather
+    than pickled: Atom equality is identity-based within a process, so
+    a pickled Database would break clause indexing.
+    """
+    global _WORKER
+    _WORKER = EmpiricalCalibrator(
+        Database.from_source(source), options, constants
+    )
+
+
+def _calibration_worker_measure(
+    pair: Tuple[Indicator, Mode]
+) -> Tuple[Optional[GoalStats], bool]:
+    """Pool task: measure one (indicator, mode) pair.
+
+    Returns ``(stats, failed)`` so the parent can rebuild its own
+    ``failures`` list in deterministic task order.
+    """
+    assert _WORKER is not None
+    before = len(_WORKER.failures)
+    stats = _WORKER.measure(*pair)
+    return stats, len(_WORKER.failures) > before
 
 
 @dataclass
@@ -156,33 +189,109 @@ class EmpiricalCalibrator:
             prob=successes / count,
         )
 
+    # -- batched / parallel measurement ------------------------------------
+
+    def _program_source(self) -> str:
+        """The database as re-consultable source text (for workers).
+
+        ``op`` directives come first so custom operators parse, then
+        ``table`` directives, then the clauses."""
+        from ..prolog.writer import program_to_string, term_to_string
+
+        lines = []
+        for directive in self.database.directives:
+            directive = deref(directive)
+            if isinstance(directive, Struct) and directive.name == "op":
+                lines.append(
+                    f":- {term_to_string(directive, self.database.operators)}."
+                )
+        for name, arity in sorted(self.database.tabled):
+            lines.append(f":- table {name}/{arity}.")
+        lines.append(
+            program_to_string(self.database.to_terms(), self.database.operators)
+        )
+        return "\n".join(lines)
+
+    def measure_pairs(
+        self, pairs: Sequence[Tuple[Indicator, Mode]], jobs: int = 1
+    ) -> List[Optional[GoalStats]]:
+        """Measure many (indicator, mode) pairs, optionally in parallel.
+
+        ``jobs > 1`` fans the sample runs across a process pool; results
+        (including the order of :attr:`failures` entries) are merged in
+        task order, so any ``jobs`` value produces bit-identical output
+        to the serial path. Falls back to serial execution when worker
+        processes are unavailable (restricted environments).
+        """
+        pairs = list(pairs)
+        if jobs <= 1 or len(pairs) <= 1:
+            return [self.measure(*pair) for pair in pairs]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            payload = (self._program_source(), self.options, list(self.constants))
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pairs)),
+                initializer=_calibration_worker_init,
+                initargs=payload,
+            ) as pool:
+                outcomes = list(pool.map(_calibration_worker_measure, pairs))
+        except (OSError, PermissionError, ValueError, RuntimeError):
+            # No subprocess support here: measure serially instead.
+            return [self.measure(*pair) for pair in pairs]
+        results: List[Optional[GoalStats]] = []
+        for pair, (stats, failed) in zip(pairs, outcomes):
+            if failed:
+                self.failures.append(pair)
+            results.append(stats)
+        return results
+
+    def failure_warnings(self) -> List[str]:
+        """Human-readable lines for every failed measurement so far."""
+        return [
+            f"calibration failed for {indicator[0]}/{indicator[1]} "
+            f"mode {mode_str(mode)}: a sample query errored or exceeded "
+            f"the call budget"
+            for indicator, mode in self.failures
+        ]
+
     # -- feeding the reorderer -----------------------------------------------
 
     def calibrate(
         self,
         indicators: Optional[Iterable[Indicator]] = None,
         declarations: Optional[Declarations] = None,
+        jobs: int = 1,
     ) -> Declarations:
         """Measure every {+,-} mode of the given predicates (default: all
         user predicates) and install the results as cost declarations.
 
         Existing declarations win: a user-supplied ``:- cost`` is never
-        overwritten. Returns the (new or updated) Declarations object.
+        overwritten. ``jobs > 1`` measures in parallel (deterministic
+        merge; see :meth:`measure_pairs`). Measurement failures are also
+        appended to the database's warnings channel, which the CLI
+        prints. Returns the (new or updated) Declarations object.
         """
         declarations = declarations or Declarations()
         targets = list(indicators or self.database.predicates())
-        for indicator in targets:
-            for mode in all_input_modes(indicator[1]):
-                if (indicator, mode) in declarations.costs:
-                    continue
-                stats = self.measure(indicator, mode)
-                if stats is None:
-                    continue
-                declarations.costs[(indicator, mode)] = CostDeclaration(
-                    indicator=indicator,
-                    mode=mode,
-                    cost=stats.cost,
-                    prob=stats.prob,
-                    solutions=stats.solutions,
-                )
+        pairs = [
+            (indicator, mode)
+            for indicator in targets
+            for mode in all_input_modes(indicator[1])
+            if (indicator, mode) not in declarations.costs
+        ]
+        failures_before = len(self.failures)
+        results = self.measure_pairs(pairs, jobs=jobs)
+        for (indicator, mode), stats in zip(pairs, results):
+            if stats is None:
+                continue
+            declarations.costs[(indicator, mode)] = CostDeclaration(
+                indicator=indicator,
+                mode=mode,
+                cost=stats.cost,
+                prob=stats.prob,
+                solutions=stats.solutions,
+            )
+        # Surface this call's failures (not re-reported on later calls).
+        self.database.warnings.extend(self.failure_warnings()[failures_before:])
         return declarations

@@ -15,7 +15,12 @@ from typing import Dict, List, Set, Tuple
 
 from .callgraph import CallGraph
 
-__all__ = ["strongly_connected_components", "recursive_predicates", "recursion_groups"]
+__all__ = [
+    "strongly_connected_components",
+    "recursive_predicates",
+    "recursion_groups",
+    "affected_predicates",
+]
 
 Indicator = Tuple[str, int]
 
@@ -92,3 +97,39 @@ def recursive_predicates(callgraph: CallGraph) -> Set[Indicator]:
     for group in recursion_groups(callgraph):
         recursive.update(group)
     return recursive
+
+
+def affected_predicates(
+    callgraph: CallGraph, dirty: Set[Indicator]
+) -> Set[Indicator]:
+    """The invalidation closure of an edited predicate set.
+
+    A change to one predicate can shift the reordering decisions of its
+    whole strongly-connected component (mutual recursion evaluates as a
+    unit) and, because version statistics propagate callees-first, of
+    every transitive caller of that component. Predicates outside this
+    closure keep byte-identical reorder output, so incremental
+    consumers (the reorderer's AnalysisContext) may serve them from
+    cache.
+    """
+    if not dirty:
+        return set()
+    component_of: Dict[Indicator, Set[Indicator]] = {}
+    for component in strongly_connected_components(callgraph.callees):
+        for indicator in component:
+            component_of[indicator] = component
+    affected: Set[Indicator] = set()
+    queue: List[Indicator] = list(dirty)
+    while queue:
+        indicator = queue.pop()
+        members = component_of.get(indicator, {indicator})
+        for member in members:
+            if member in affected:
+                continue
+            affected.add(member)
+            queue.extend(
+                caller
+                for caller in callgraph.callers.get(member, ())
+                if caller not in affected
+            )
+    return affected

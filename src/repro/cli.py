@@ -111,6 +111,7 @@ def command_reorder(args: argparse.Namespace) -> int:
         records = [profile_header(command="reorder", file=args.file)]
         records.extend(reorderer.spans.to_records())
         records.append(reorderer.search_counters.to_record())
+        records.append(reorderer.context.counters_record())
         records.extend(report_records(program.report))
         write_jsonl(records, args.json)
     return 0
@@ -373,12 +374,20 @@ def command_profile(args: argparse.Namespace) -> int:
         calibrator = EmpiricalCalibrator(
             database, CalibrationOptions(max_samples=args.calibration_samples)
         )
+        warnings_before = len(database.warnings)
         with spans.span("calibration") as span:
-            declarations = calibrator.calibrate()
+            declarations = calibrator.calibrate(jobs=args.jobs)
             calibrated = len(declarations.costs)
             span.meta.update(
-                measured=calibrated, failures=len(calibrator.failures)
+                measured=calibrated,
+                failures=len(calibrator.failures),
+                jobs=args.jobs,
             )
+        # Failed measurements land on the warnings channel; surface
+        # them like every other database warning, and in the report.
+        for warning in database.warnings[warnings_before:]:
+            print(f"warning: {warning}", file=sys.stderr)
+        program.report.calibration_failures = calibrator.failure_warnings()
     spans.ensure(PIPELINE_PHASES)
     # 3. The instrumented run itself (on the original program: that is
     #    what the model's predictions describe).
@@ -416,6 +425,7 @@ def command_profile(args: argparse.Namespace) -> int:
         ]
         records.extend(spans.to_records())
         records.append(reorderer.search_counters.to_record())
+        records.append(reorderer.context.counters_record())
         records.extend(report_records(program.report))
         records.append(metrics_record(metrics))
         records.append(solutions_record(solutions))
@@ -527,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="drift lines printed in the summary (default 10)")
     profile.add_argument("--no-calibrate", action="store_true",
                          help="skip the empirical-calibration phase")
+    profile.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="calibration worker processes (1 = serial; "
+                              "any N gives bit-identical results)")
     profile.add_argument("--calibration-samples", type=int, default=8,
                          help="sample queries per (predicate, mode) (default 8)")
     _add_reorder_flags(profile)

@@ -24,6 +24,7 @@ from .formulas import (
 )
 from .goal_stats import GoalStats
 from .predicate_model import CostModel, head_match_probability
+from .stats_store import StatsStore
 
 __all__ = [
     "AllSolutionsResult",
@@ -31,6 +32,7 @@ __all__ = [
     "CostModel",
     "GoalStats",
     "SequenceEvaluation",
+    "StatsStore",
     "all_solutions_analysis",
     "all_solutions_cost_closed_form",
     "all_solutions_matrix",

@@ -20,6 +20,7 @@ the engine, which itself imports :mod:`.events`; import it as
 """
 
 from .events import (
+    CacheEvent,
     ChoicePointEvent,
     Event,
     EventBus,
@@ -52,6 +53,7 @@ __all__ = [
     "UnifyEvent",
     "PredicateTimeEvent",
     "TableEvent",
+    "CacheEvent",
     "attach",
     "detach",
     "PIPELINE_PHASES",

@@ -37,6 +37,7 @@ __all__ = [
     "UnifyEvent",
     "PredicateTimeEvent",
     "TableEvent",
+    "CacheEvent",
     "EventBus",
     "attach",
     "detach",
@@ -65,7 +66,9 @@ class Event:
             if name == "ts":
                 continue
             if name == "indicator":
-                record["predicate"] = _indicator_text(value)
+                record["predicate"] = (
+                    _indicator_text(value) if value is not None else None
+                )
             else:
                 record[name] = value
         record["ts"] = self.ts
@@ -153,6 +156,24 @@ class TableEvent(Event):
     action: str
     indicator: Indicator
     answers: int
+
+
+@dataclass
+class CacheEvent(Event):
+    """One AnalysisContext cache consultation by the reorder pipeline.
+
+    ``stage`` names the cached artefact (an analysis stage such as
+    ``"fixity"``, a per-predicate ``"version build"``, or a
+    ``"calibration"`` measurement); ``hit`` says whether it was served
+    from cache or recomputed. Whole-program stages carry no
+    ``indicator``.
+    """
+
+    kind = "cache"
+
+    stage: str
+    hit: bool
+    indicator: Optional[Indicator] = None
 
 
 class EventBus:

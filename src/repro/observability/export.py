@@ -92,6 +92,10 @@ def report_records(report) -> List[Record]:
         records.append({"type": "report", "kind": "decision", **decision})
     for warning in payload["warnings"]:
         records.append({"type": "report", "kind": "warning", "message": warning})
+    for failure in payload.get("calibration_failures", []):
+        records.append(
+            {"type": "report", "kind": "calibration_failure", "message": failure}
+        )
     records.append(
         {
             "type": "report",

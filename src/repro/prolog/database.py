@@ -210,6 +210,12 @@ class Database:
         #: Bumped on every clause mutation; lets caches (e.g. the
         #: engine's table store) notice the program changed.
         self.generation = 0
+        #: Per-predicate generation watermark: the :attr:`generation`
+        #: value of each predicate's most recent mutation. Lets
+        #: generation-scoped caches (the reorderer's AnalysisContext)
+        #: identify *which* predicates changed instead of invalidating
+        #: wholesale.
+        self._predicate_marks: Dict[Indicator, int] = {}
         #: Optional event bus (index hit/miss telemetry); None = fast path.
         self.events = None
         # Per-database operator table: ':- op/3' directives extend it,
@@ -298,6 +304,7 @@ class Database:
         clause.index = len(clauses)
         clauses.append(clause)
         self.generation += 1
+        self._predicate_marks[clause.indicator] = self.generation
         self._index.pop(clause.indicator, None)  # invalidate
         self._index_position.pop(clause.indicator, None)
 
@@ -308,6 +315,7 @@ class Database:
             renumbered.append(Clause(clause.head, clause.body, position))
         self._predicates[indicator] = renumbered
         self.generation += 1
+        self._predicate_marks[indicator] = self.generation
         self._index.pop(indicator, None)
         self._index_position.pop(indicator, None)
 
@@ -315,6 +323,7 @@ class Database:
         """Delete a predicate and its index entries."""
         self._predicates.pop(indicator, None)
         self.generation += 1
+        self._predicate_marks.pop(indicator, None)
         self._index.pop(indicator, None)
         self._index_position.pop(indicator, None)
 
@@ -331,6 +340,17 @@ class Database:
     def defines(self, indicator: Indicator) -> bool:
         """Is the predicate defined by at least one clause?"""
         return indicator in self._predicates
+
+    def predicate_marks(self) -> Dict[Indicator, int]:
+        """Generation watermark per defined predicate.
+
+        Comparing two snapshots of this map tells an incremental
+        consumer exactly which predicates were added, edited, or removed
+        between two :attr:`generation` values."""
+        return {
+            indicator: self._predicate_marks.get(indicator, 0)
+            for indicator in self._predicates
+        }
 
     def compiled_program(self, indicator: Indicator) -> List:
         """Compiled skeletons for *every* clause of ``indicator``.
@@ -451,6 +471,9 @@ class Database:
         other.tabled = set(self.tabled)
         other.warnings = list(self.warnings)
         other.operators = self.operators
+        # The copy starts at generation 0 with every predicate unmarked,
+        # matching a database consulted from scratch.
+        other._predicate_marks = dict.fromkeys(other._predicates, 0)
         return other
 
     def __contains__(self, indicator: Indicator) -> bool:

@@ -3,6 +3,13 @@ and clause ordering, per-mode specialisation, and the driving facade."""
 
 from .clause_order import ClauseRanking, heads_mutually_exclusive, order_clauses
 from .explain import explain_predicate
+from .pipeline import (
+    AnalysisContext,
+    CachedPredicateBuild,
+    Phase,
+    PipelineState,
+    ReorderPipeline,
+)
 from .goal_search import (
     DEFAULT_EXHAUSTIVE_LIMIT,
     OrderResult,
@@ -30,13 +37,18 @@ from .unfold import UnfoldOptions, UnfoldReport, unfold_clause_goal, unfold_prog
 from .verify import QueryCheck, VerificationReport, verify_reordering
 
 __all__ = [
+    "AnalysisContext",
     "Block",
     "BlockPartition",
+    "CachedPredicateBuild",
     "ClauseRanking",
     "DEFAULT_EXHAUSTIVE_LIMIT",
     "ModeVersion",
     "OrderResult",
+    "Phase",
+    "PipelineState",
     "QueryCheck",
+    "ReorderPipeline",
     "ReorderOptions",
     "ReorderReport",
     "ReorderedProgram",

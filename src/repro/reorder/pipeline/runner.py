@@ -1,0 +1,226 @@
+"""Wiring and execution order of the reordering pipeline.
+
+:class:`ReorderPipeline` instantiates the nine phases, runs them over a
+:class:`PipelineState`, and — when an :class:`AnalysisContext` is
+attached — replays cached per-predicate builds instead of recomputing
+them. The cold path performs exactly the operations of the
+pre-pipeline ``Reorderer.reorder()`` in exactly the same order, so its
+output is byte-identical (pinned by ``tests/reorder/golden/``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...analysis.modes import Mode
+from .build import (
+    GoalSequencePhase,
+    InnerControlPhase,
+    RuntimeGuardPhase,
+    VersionBuildPhase,
+)
+from .context import AnalysisContext, CachedPredicateBuild
+from .phases import (
+    AnalysisSummaryPhase,
+    ModeEnumerationPhase,
+    OutputBuildPhase,
+    ProcessingOrderPhase,
+)
+from .phases import VersionDedupPhase
+from .types import Indicator, ModeVersion, ReorderedProgram
+
+__all__ = ["PipelineState", "ReorderPipeline"]
+
+
+class PipelineState:
+    """Everything the phases read and write while reordering one
+    program: the analyses, the shared report/telemetry objects, and the
+    per-predicate scratch slots (``current*``)."""
+
+    def __init__(
+        self,
+        *,
+        options,
+        database,
+        report,
+        spans,
+        search_counters,
+        declarations,
+        callgraph,
+        fixity,
+        semifixity,
+        modes,
+        domains,
+        model,
+        version_names,
+        context: Optional[AnalysisContext] = None,
+    ):
+        self.options = options
+        self.database = database
+        self.report = report
+        self.spans = spans
+        self.search_counters = search_counters
+        self.declarations = declarations
+        self.callgraph = callgraph
+        self.fixity = fixity
+        self.semifixity = semifixity
+        self.modes = modes
+        self.domains = domains
+        self.model = model
+        #: (indicator, mode) → final specialised name (shared with the
+        #: facade so later runs and explain() see the same mapping).
+        self.version_names: Dict[Tuple[Indicator, Mode], str] = version_names
+        #: None disables build caching (cold one-shot run).
+        self.context = context
+        # Whole-program results.
+        self.order: List[Indicator] = []
+        self.versions: Dict[Tuple[Indicator, Mode], ModeVersion] = {}
+        self.output = None
+        # Per-predicate scratch (reset per indicator by the runner).
+        self.current: Optional[Indicator] = None
+        self.current_modes: List[Mode] = []
+        self.current_versions: List[ModeVersion] = []
+        self.current_specialized = False
+        self.current_overrides: List[Tuple[Mode, object]] = []
+        # Nested sub-phase request slots.
+        self.sequence_request = None
+        self.control_request = None
+        self.guard_request = None
+        # Run-local warning accumulators: the mode-inference and
+        # cost-model warning streams of *this* run, in emission order.
+        # With a reused context the underlying analyses keep warnings
+        # from previous runs (memo-guarded, so they would not re-emit);
+        # per-predicate deltas + cached replays reconstruct the stream.
+        self.run_modes_warnings: List[str] = []
+        self.run_model_warnings: List[str] = []
+
+
+class ReorderPipeline:
+    """The nine phases, in execution order, over one PipelineState."""
+
+    def __init__(self, state: PipelineState):
+        self.state = state
+        self.analysis_summary = AnalysisSummaryPhase()
+        self.processing_order = ProcessingOrderPhase()
+        self.mode_enumeration = ModeEnumerationPhase()
+        self.goal_sequence = GoalSequencePhase()
+        self.inner_control = InnerControlPhase(self.goal_sequence)
+        self.runtime_guards = RuntimeGuardPhase(
+            self.goal_sequence, self.inner_control
+        )
+        self.version_build = VersionBuildPhase(
+            self.goal_sequence, self.inner_control, self.runtime_guards
+        )
+        self.version_dedup = VersionDedupPhase()
+        self.output_build = OutputBuildPhase()
+        #: All phases, in the order their work happens.
+        self.phases = (
+            self.analysis_summary,
+            self.processing_order,
+            self.mode_enumeration,
+            self.version_build,
+            self.goal_sequence,
+            self.inner_control,
+            self.runtime_guards,
+            self.version_dedup,
+            self.output_build,
+        )
+
+    def run(self) -> ReorderedProgram:
+        """Execute all phases and return the reordered program."""
+        state = self.state
+        self.analysis_summary.run(state)
+        self.processing_order.run(state)
+        for indicator in state.order:
+            state.current = indicator
+            if not self._replay_cached(indicator):
+                self._build_fresh(indicator)
+            for version in state.current_versions:
+                state.versions[(version.indicator, version.mode)] = version
+        self.output_build.run(state)
+        state.report.warnings.extend(state.run_modes_warnings)
+        state.report.warnings.extend(state.run_model_warnings)
+        return ReorderedProgram(
+            state.output,
+            state.versions,
+            state.report,
+            state.database,
+            version_names=dict(state.version_names),
+        )
+
+    # -- one predicate, fresh ---------------------------------------------
+
+    def _build_fresh(self, indicator: Indicator) -> None:
+        """Run mode enumeration, version build and dedup for one
+        predicate, capturing every side effect for later replay when a
+        context is attached."""
+        state = self.state
+        caching = state.context is not None
+        log_start = len(state.report._log)
+        warn_start = len(state.report.warnings)
+        modes_start = len(state.modes.warnings)
+        model_start = len(state.model.warnings)
+        names_start = len(state.version_names)
+        state.current_overrides = []
+
+        self.mode_enumeration.run(state)
+        self.version_build.run(state)
+        self.version_dedup.run(state)
+
+        modes_delta = list(state.modes.warnings[modes_start:])
+        model_delta = list(state.model.warnings[model_start:])
+        state.run_modes_warnings.extend(modes_delta)
+        state.run_model_warnings.extend(model_delta)
+        if not caching:
+            return
+        # Capture this predicate's registrations in insertion order.
+        # Dedup rewrites names in place (no reinsertion), so slicing the
+        # ordered dict view from names_start is exact for new entries;
+        # a predicate is processed once, so all its entries are new.
+        new_names = [
+            (mode, name)
+            for (ind, mode), name in list(state.version_names.items())[names_start:]
+            if ind == indicator
+        ]
+        notes = [
+            (mode, line)
+            for (ind, mode, line) in state.report._log[log_start:]
+            if ind == indicator
+        ]
+        state.context.store_build(
+            indicator,
+            CachedPredicateBuild(
+                indicator=indicator,
+                versions=list(state.current_versions),
+                version_names=new_names,
+                notes=notes,
+                report_warnings=list(state.report.warnings[warn_start:]),
+                modes_warnings=modes_delta,
+                model_warnings=model_delta,
+                overrides=list(state.current_overrides),
+            ),
+        )
+
+    # -- one predicate, from cache ----------------------------------------
+
+    def _replay_cached(self, indicator: Indicator) -> bool:
+        """Serve one predicate from the context cache, replaying the
+        side effects a fresh build would have had. Returns False on a
+        miss (or when no context is attached)."""
+        state = self.state
+        if state.context is None:
+            return False
+        build = state.context.build_for(indicator)
+        if build is None:
+            return False
+        for mode, name in build.version_names:
+            state.version_names[(indicator, mode)] = name
+        for mode, stats in build.overrides:
+            state.model.override_stats(indicator, mode, stats)
+        for mode, line in build.notes:
+            state.report.note(indicator, mode, line)
+        state.report.warnings.extend(build.report_warnings)
+        state.run_modes_warnings.extend(build.modes_warnings)
+        state.run_model_warnings.extend(build.model_warnings)
+        state.current_versions = list(build.versions)
+        return True

@@ -1,11 +1,13 @@
 """The reordering system (paper Fig. 3 and §VI-B-2).
 
-:class:`Reorderer` wires the analyses together and drives the
-per-predicate, per-mode restructuring:
+:class:`Reorderer` is the facade over the staged pipeline in
+:mod:`repro.reorder.pipeline`:
 
 1. read the program and its declarations;
 2. run the automatic analyses — call graph, entry points, recursion,
-   fixity, semifixity, mode inference, domain estimation;
+   fixity, semifixity, mode inference, domain estimation — via an
+   :class:`~repro.reorder.pipeline.AnalysisContext` that caches them
+   (and the per-predicate build results) across runs;
 3. working callees-first (reverse topological order over the call
    graph's SCC condensation), reorder every user predicate for every
    legal {+,-} input mode: partition each clause body into blocks,
@@ -20,209 +22,56 @@ Everything the system could not infer (undeclared recursive modes,
 unknown costs) is reported through ``ReorderedProgram.report.warnings``
 — the Fig. 3 requirement that "the system informs the programmer when
 it cannot infer properties of the program".
+
+Incremental use: construct the context once, edit the database, and
+build a fresh ``Reorderer`` per run::
+
+    context = AnalysisContext(database)
+    program = Reorderer(database, context=context).reorder()
+    database.replace_predicate(("p", 2), new_clauses)
+    program = Reorderer(database, context=context).reorder()   # only
+    # p/2's SCC and its callers are recomputed; the rest replays.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..analysis.callgraph import CallGraph
 from ..analysis.declarations import Declarations
-from ..analysis.domains import DomainAnalysis
-from ..analysis.fixity import FixityAnalysis
-from ..analysis.mode_inference import ModeInference
-from ..analysis.modes import (
-    Mode,
-    ModeItem,
-    VarState,
-    bind_head_states,
-    call_mode,
-    mode_str,
-)
-from ..analysis.recursion import recursive_predicates, strongly_connected_components
-from ..analysis.semifixity import SemifixityAnalysis
-from ..markov.clause_model import SequenceEvaluation
-from ..markov.goal_stats import GoalStats
-from ..markov.predicate_model import CostModel, head_match_probability
+from ..analysis.modes import Mode
 from ..observability.spans import SpanRecorder
-from ..prolog.database import Clause, Database, body_goals, goals_to_body
-from ..prolog.engine import Engine
-from ..prolog.terms import (
-    Atom,
-    Struct,
-    Term,
-    deref,
-    functor_indicator,
-    indicator_str,
+from ..prolog.database import Database
+from .goal_search import SearchCounters
+from .pipeline import (
+    AnalysisContext,
+    ModeVersion,
+    PipelineState,
+    ReorderOptions,
+    ReorderPipeline,
+    ReorderReport,
+    ReorderedProgram,
 )
-from ..prolog.writer import clause_to_string, program_to_string
-from .clause_order import ClauseRanking, order_clauses
-from .goal_search import DEFAULT_EXHAUSTIVE_LIMIT, SearchCounters, find_best_order
-from .restrictions import order_constraints, partition_body
-from .specialize import build_dispatcher, rename_goal, specialized_name
+from .pipeline.types import Indicator
 
-__all__ = ["ReorderOptions", "ModeVersion", "ReorderReport", "ReorderedProgram", "Reorderer"]
-
-Indicator = Tuple[str, int]
-
-
-@dataclass
-class ReorderOptions:
-    """Knobs of the reordering system."""
-
-    #: Reorder goals within clauses (§III-B).
-    reorder_goals: bool = True
-    #: Reorder clauses within predicates (§III-A).
-    reorder_clauses: bool = True
-    #: Emit one version per legal mode plus dispatchers (§VII); when
-    #: False, each predicate is reordered in place for its most general
-    #: legal mode and keeps its name.
-    specialize: bool = True
-    #: Blocks up to this size are permuted exhaustively; larger ones use
-    #: the A* best-first search (§VI-A-3).
-    exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT
-    #: Predicates with more legal modes than this are not specialised
-    #: (they are reordered in place like specialize=False).
-    max_versions: int = 16
-    #: First-argument indexing for the emitted database.
-    indexing: bool = True
-    #: §V-D run-time tests: when a predicate is reordered *in place*
-    #: (specialize=False, or too many modes), clauses whose best order
-    #: under full instantiation differs from the generic order get a
-    #: ``nonvar``-guarded if-then-else — "the tests are the if, the
-    #: reordered version is the then, and the original is the else".
-    runtime_tests: bool = False
-    #: §VIII unfolding: sweeps of Tamaki–Sato goal unfolding applied to
-    #: the program before analysis, to "increase the possibilities for
-    #: reordering". 0 disables.
-    unfold_rounds: int = 0
-    #: Cost-model assumption that *every* user predicate runs tabled
-    #: (the engine's ``table_all`` switch / CLI ``--table-all``):
-    #: recursive calls become cheap answer streams and per-predicate
-    #: costs amortize, so the chosen goal orders can differ.
-    table_all: bool = False
-
-
-@dataclass
-class ModeVersion:
-    """One mode-specialised version of one predicate."""
-
-    indicator: Indicator
-    mode: Mode
-    name: str
-    clauses: List[Clause]
-    #: Model estimate for the reordered version.
-    estimate: Optional[GoalStats]
-    #: Model estimate for the original (for the report).
-    original_estimate: Optional[GoalStats]
-
-    @property
-    def version_indicator(self) -> Indicator:
-        return (self.name, self.indicator[1])
-
-
-@dataclass
-class ReorderReport:
-    """What the reorderer did and what it could not do."""
-
-    warnings: List[str] = field(default_factory=list)
-    #: (indicator, mode) → human-readable decision lines.
-    decisions: Dict[Tuple[Indicator, Mode], List[str]] = field(default_factory=dict)
-    fixed_predicates: Set[Indicator] = field(default_factory=set)
-    recursive_predicates: Set[Indicator] = field(default_factory=set)
-    semifixed_predicates: Set[Indicator] = field(default_factory=set)
-    tabled_predicates: Set[Indicator] = field(default_factory=set)
-
-    def note(self, indicator: Indicator, mode: Mode, line: str) -> None:
-        """Record one human-readable decision line."""
-        self.decisions.setdefault((indicator, mode), []).append(line)
-
-    def summary(self) -> str:
-        """All decisions and warnings as one text block."""
-        lines = []
-        for (indicator, mode), notes in self.decisions.items():
-            header = f"{indicator_str(indicator)} {mode_str(mode)}"
-            for note in notes:
-                lines.append(f"{header}: {note}")
-        for warning in self.warnings:
-            lines.append(f"warning: {warning}")
-        return "\n".join(lines)
-
-    def to_dict(self) -> Dict[str, object]:
-        """The report as JSON-serializable data (for the JSONL export)."""
-        decisions = [
-            {
-                "predicate": indicator_str(indicator),
-                "mode": mode_str(mode),
-                "note": note,
-            }
-            for (indicator, mode), notes in self.decisions.items()
-            for note in notes
-        ]
-        return {
-            "decisions": decisions,
-            "warnings": list(self.warnings),
-            "fixed": sorted(indicator_str(i) for i in self.fixed_predicates),
-            "recursive": sorted(
-                indicator_str(i) for i in self.recursive_predicates
-            ),
-            "semifixed": sorted(
-                indicator_str(i) for i in self.semifixed_predicates
-            ),
-            "tabled": sorted(
-                indicator_str(i) for i in self.tabled_predicates
-            ),
-        }
-
-
-class ReorderedProgram:
-    """The output of the reorderer: a drop-in replacement program."""
-
-    def __init__(
-        self,
-        database: Database,
-        versions: Dict[Tuple[Indicator, Mode], ModeVersion],
-        report: ReorderReport,
-        original: Database,
-        version_names: Optional[Dict[Tuple[Indicator, Mode], str]] = None,
-    ):
-        self.database = database
-        self.versions = versions
-        self.report = report
-        self.original = original
-        self._version_names = version_names or {}
-
-    def version_name(self, indicator: Indicator, mode: Mode) -> Optional[str]:
-        """The specialised predicate name serving a call mode (modes
-        merged into another version resolve to the canonical name)."""
-        name = self._version_names.get((indicator, mode))
-        if name is not None:
-            return name
-        version = self.versions.get((indicator, mode))
-        return version.name if version else None
-
-    def engine(self, **kwargs) -> Engine:
-        """An engine executing the reordered program."""
-        return Engine(self.database, **kwargs)
-
-    def source(self) -> str:
-        """The reordered program as Prolog source text.
-
-        ``:- table`` directives are re-emitted first (under the
-        specialised version names), so consulting the printed program
-        reproduces the tabling behaviour of the in-memory one.
-        """
-        directives = "".join(
-            f":- table {name}/{arity}.\n"
-            for name, arity in sorted(self.database.tabled)
-        )
-        body = program_to_string(self.database.to_terms(), self.database.operators)
-        return directives + body
+__all__ = [
+    "ReorderOptions",
+    "ModeVersion",
+    "ReorderReport",
+    "ReorderedProgram",
+    "Reorderer",
+]
 
 
 class Reorderer:
-    """Drives the full reordering pipeline over one program."""
+    """Drives the full reordering pipeline over one program.
+
+    The analysis attributes (``declarations``, ``callgraph``,
+    ``fixity``, ``semifixity``, ``modes``, ``domains``, ``model``) are
+    plain, settable attributes snapshotted from the context at
+    construction — ablation harnesses may substitute any of them before
+    calling :meth:`reorder` (build caching then disables itself, since
+    cached builds were produced by the context's own analyses).
+    """
 
     def __init__(
         self,
@@ -230,6 +79,7 @@ class Reorderer:
         options: Optional[ReorderOptions] = None,
         declarations: Optional[Declarations] = None,
         spans: Optional[SpanRecorder] = None,
+        context: Optional[AnalysisContext] = None,
     ):
         self.options = options or ReorderOptions()
         #: Pipeline-phase wall-clock telemetry (shared when passed in).
@@ -244,25 +94,35 @@ class Reorderer:
                     database, UnfoldOptions(rounds=self.options.unfold_rounds)
                 )
             self.unfold_report = unfold_report
+            # Unfolding produced a new database; a caller-supplied
+            # context (keyed to the original) cannot serve it.
+            context = None
         else:
             self.spans.mark_skipped("unfold")
             self.unfold_report = None
         self.database = database
-        with self.spans.span("declarations"):
-            self.declarations = declarations or Declarations.from_database(database)
-        with self.spans.span("call graph"):
-            self.callgraph = CallGraph(database)
-        with self.spans.span("fixity"):
-            self.fixity = FixityAnalysis(database, self.callgraph, self.declarations)
-        with self.spans.span("semifixity"):
-            self.semifixity = SemifixityAnalysis(database, self.callgraph, self.declarations)
-        with self.spans.span("mode inference"):
-            self.modes = ModeInference(database, self.declarations, self.callgraph)
-            self.domains = DomainAnalysis(database, self.declarations)
-        self.model = CostModel(
-            database, self.declarations, self.modes, self.domains,
-            table_all=self.options.table_all,
-        )
+        if context is None:
+            context = AnalysisContext(database, declarations=declarations)
+        else:
+            if context.database is not database:
+                raise ValueError(
+                    "AnalysisContext was built for a different database"
+                )
+            if declarations is not None:
+                raise ValueError(
+                    "pass declarations through the AnalysisContext, "
+                    "not alongside one"
+                )
+        self.context = context
+        context.refresh(self.options, self.spans)
+        # Snapshot the analyses as plain attributes (see class docstring).
+        self.declarations = context.declarations
+        self.callgraph = context.callgraph
+        self.fixity = context.fixity
+        self.semifixity = context.semifixity
+        self.modes = context.modes
+        self.domains = context.domains
+        self.model = context.model
         self.report = ReorderReport()
         #: (indicator, mode) → final specialised name (after dedup).
         self._version_names: Dict[Tuple[Indicator, Mode], str] = {}
@@ -271,647 +131,35 @@ class Reorderer:
 
     def reorder(self) -> ReorderedProgram:
         """Run the pipeline and return the reordered program."""
-        self._record_analysis_summary()
-        versions: Dict[Tuple[Indicator, Mode], ModeVersion] = {}
-        for indicator in self._processing_order():
-            for version in self._process_predicate(indicator):
-                versions[(version.indicator, version.mode)] = version
-        output = self._build_output(versions)
-        self.report.warnings.extend(self.modes.warnings)
-        self.report.warnings.extend(self.model.warnings)
-        return ReorderedProgram(
-            output, versions, self.report, self.database,
-            version_names=dict(self._version_names),
+        state = PipelineState(
+            options=self.options,
+            database=self.database,
+            report=self.report,
+            spans=self.spans,
+            search_counters=self.search_counters,
+            declarations=self.declarations,
+            callgraph=self.callgraph,
+            fixity=self.fixity,
+            semifixity=self.semifixity,
+            modes=self.modes,
+            domains=self.domains,
+            model=self.model,
+            version_names=self._version_names,
+            context=self.context if self._cache_usable() else None,
         )
+        return ReorderPipeline(state).run()
 
-    # -- pipeline steps -------------------------------------------------------
-
-    def _record_analysis_summary(self) -> None:
-        self.report.fixed_predicates = set(self.fixity.fixed_predicates)
-        self.report.recursive_predicates = set(
-            recursive_predicates(self.callgraph)
-        ) | set(self.declarations.recursive)
-        self.report.semifixed_predicates = {
-            indicator
-            for indicator in self.database.predicates()
-            if self.semifixity.is_semifixed(indicator)
-        }
-        self.report.tabled_predicates = {
-            indicator
-            for indicator in self.database.predicates()
-            if self.model.is_tabled(indicator)
-        }
-
-    def _processing_order(self) -> List[Indicator]:
-        """User predicates, callees before callers (Tarjan emission order
-        is reverse topological over the condensation)."""
-        components = strongly_connected_components(self.callgraph.callees)
-        order: List[Indicator] = []
-        for component in components:
-            for indicator in sorted(component):
-                if self.database.defines(indicator):
-                    order.append(indicator)
-        return order
-
-    def _modes_for(self, indicator: Indicator) -> List[Mode]:
-        legal = self.modes.legal_input_modes(indicator)
-        if not legal:
-            self.report.warnings.append(
-                f"{indicator_str(indicator)}: no legal {{+,-}} input modes "
-                f"inferred or declared; keeping the original definition"
-            )
-        return legal
-
-    def _process_predicate(self, indicator: Indicator) -> List[ModeVersion]:
-        clauses = self.database.clauses(indicator)
-        modes = self._modes_for(indicator)
-        should_specialize = (
-            self.options.specialize
-            and indicator[1] > 0
-            and 0 < len(modes) <= self.options.max_versions
+    def _cache_usable(self) -> bool:
+        """Build caching is sound only while this facade still runs on
+        the context's own analyses (an ablation harness swapping in,
+        say, a noisy cost model must not replay builds produced by the
+        clean one)."""
+        context = self.context
+        return (
+            self.model is context.model
+            and self.modes is context.modes
+            and self.fixity is context.fixity
+            and self.semifixity is context.semifixity
+            and self.domains is context.domains
+            and self.declarations is context.declarations
         )
-        if not modes:
-            # Keep the predicate verbatim (still reachable via output build).
-            version = ModeVersion(
-                indicator=indicator,
-                mode=(),
-                name=indicator[0],
-                clauses=list(clauses),
-                estimate=None,
-                original_estimate=None,
-            )
-            self._version_names[(indicator, ())] = indicator[0]
-            return [version]
-        if not should_specialize:
-            mode = self._generic_mode(indicator, modes)
-            version = self._build_version(indicator, clauses, mode, rename=False)
-            version.name = indicator[0]
-            self._version_names[(indicator, mode)] = indicator[0]
-            for other in modes:
-                self._version_names.setdefault((indicator, other), indicator[0])
-            if self.options.runtime_tests and indicator[1] > 0:
-                self._add_runtime_guards(indicator, clauses, version, mode, modes)
-            return [version]
-        versions = [
-            self._build_version(indicator, clauses, mode, rename=True)
-            for mode in modes
-        ]
-        self._dedup_versions(indicator, versions)
-        return versions
-
-    @staticmethod
-    def _generic_mode(indicator: Indicator, modes: List[Mode]) -> Mode:
-        all_free = (ModeItem.MINUS,) * indicator[1]
-        return all_free if all_free in modes else modes[0]
-
-    def _add_runtime_guards(
-        self,
-        indicator: Indicator,
-        clauses: Sequence[Clause],
-        version: ModeVersion,
-        generic_mode: Mode,
-        legal_modes: List[Mode],
-    ) -> None:
-        """§V-D: wrap clauses in ``nonvar``-guarded if-then-else when the
-        fully-instantiated mode prefers a different goal order.
-
-        The guarded clause replaces the version's corresponding clause:
-        ``head :- ( nonvar(A1), ... -> optimistic body ; generic body )``.
-        Both bodies are the reorderer's output for their respective
-        modes, so either branch is safe; the tests cost a few tag
-        checks (the paper: "we use the new order and gain efficiency;
-        if they fail, we use the original order and lose only the cost
-        of the tests").
-        """
-        optimistic_mode = (ModeItem.PLUS,) * indicator[1]
-        if optimistic_mode == generic_mode or optimistic_mode not in legal_modes:
-            return
-        guarded: List[Clause] = []
-        changed = False
-        for clause, generic_clause in zip(clauses, version.clauses):
-            optimistic_goals, evaluation = self._reorder_clause_goals(
-                indicator, clause, optimistic_mode
-            )
-            generic_goals = body_goals(generic_clause.body)
-            optimistic_body = goals_to_body(optimistic_goals)
-            if evaluation is None or _same_goal_sequence(
-                optimistic_goals, generic_goals
-            ):
-                guarded.append(generic_clause)
-                continue
-            head = deref(clause.head)
-            if not isinstance(head, Struct):
-                guarded.append(generic_clause)
-                continue
-            condition = goals_to_body(
-                [Struct("nonvar", (arg,)) for arg in head.args]
-            )
-            body = Struct(
-                ";",
-                (
-                    Struct("->", (condition, optimistic_body)),
-                    generic_clause.body,
-                ),
-            )
-            guarded.append(Clause(clause.head, body))
-            changed = True
-        if changed:
-            version.clauses = guarded
-            self.report.note(
-                indicator, generic_mode,
-                "run-time nonvar tests added (different order when instantiated)",
-            )
-
-    # -- building one version ---------------------------------------------------
-
-    def _build_version(
-        self,
-        indicator: Indicator,
-        clauses: Sequence[Clause],
-        mode: Mode,
-        rename: bool,
-    ) -> ModeVersion:
-        name = specialized_name(indicator[0], mode) if rename else indicator[0]
-        self._version_names[(indicator, mode)] = name
-        original_estimate = self.model.predicate_stats(indicator, mode)
-        rankings: List[ClauseRanking] = []
-        evaluations: List[Tuple[float, Optional[SequenceEvaluation]]] = []
-        for clause in clauses:
-            new_goals, evaluation = self._reorder_clause_goals(indicator, clause, mode)
-            if rename:
-                with self.spans.span("specialize"):
-                    renamed_goals = self._rename_goals(clause, new_goals, mode)
-            else:
-                renamed_goals = new_goals
-            head = rename_goal(clause.head, name) if rename else clause.head
-            new_clause = Clause(head, goals_to_body(renamed_goals))
-            match = head_match_probability(clause, mode, self.domains)
-            evaluations.append((match, evaluation))
-            if evaluation is None:
-                stats = GoalStats(cost=1.0, solutions=0.0, prob=0.0)
-                p, c = 0.0, 1.0
-            else:
-                stats = evaluation.as_goal_stats()
-                p = match * evaluation.p_success
-                c = max(match * evaluation.single_cost, 1e-6)
-            rankings.append(ClauseRanking(clause=new_clause, stats=stats, p=p, c=c))
-
-        if self.options.reorder_clauses and len(rankings) > 1:
-            with self.spans.span("clause order"):
-                ordered = order_clauses(rankings, self.fixity)
-            if [r.clause for r in ordered] != [r.clause for r in rankings]:
-                self.report.note(
-                    indicator, mode,
-                    "clauses reordered to "
-                    + str([rankings.index(r) + 1 for r in ordered]),
-                )
-            rankings = ordered
-
-        new_clauses = [ranking.clause for ranking in rankings]
-        # Propagate the reordered version's statistics upward so callers
-        # are ordered against the costs they will actually see.
-        estimate = self._combined_stats(evaluations)
-        if estimate is not None and self.model.is_tabled(indicator):
-            # Callers of a tabled predicate mostly pay the amortized
-            # re-call cost, not the first derivation.
-            from ..prolog.tabling.cost import tabled_stats
-
-            estimate = tabled_stats(estimate)
-        if estimate is not None:
-            self.model.override_stats(indicator, mode, estimate)
-            if (
-                original_estimate is not None
-                and estimate.cost < original_estimate.cost * 0.999
-            ):
-                # The paper stores mode, probability and cost with each
-                # version; surface the estimated gain in the report.
-                self.report.note(
-                    indicator, mode,
-                    f"estimated cost {original_estimate.cost:.1f} -> "
-                    f"{estimate.cost:.1f} "
-                    f"(p {original_estimate.prob:.2f} -> {estimate.prob:.2f})",
-                )
-        return ModeVersion(
-            indicator=indicator,
-            mode=mode,
-            name=name,
-            clauses=new_clauses,
-            estimate=estimate,
-            original_estimate=original_estimate,
-        )
-
-    @staticmethod
-    def _combined_stats(
-        evaluations: List[Tuple[float, Optional[SequenceEvaluation]]]
-    ) -> Optional[GoalStats]:
-        """Predicate stats from per-clause (match prob, evaluation)."""
-        total_cost = 1.0
-        solutions = 0.0
-        miss = 1.0
-        any_legal = False
-        for match, evaluation in evaluations:
-            if evaluation is None or match == 0.0:
-                continue
-            any_legal = True
-            total_cost += match * evaluation.total_cost
-            solutions += match * evaluation.solutions
-            miss *= 1.0 - match * evaluation.p_success
-        if not any_legal:
-            return None
-        return GoalStats(cost=total_cost, solutions=solutions, prob=1.0 - miss)
-
-    def _reorder_clause_goals(
-        self, indicator: Indicator, clause: Clause, mode: Mode
-    ) -> Tuple[List[Term], Optional[SequenceEvaluation]]:
-        """Reorder one clause body for one input mode.
-
-        Returns the new goal list (original predicate names — renaming
-        happens later) and the chain evaluation of the new order."""
-        states: VarState = {}
-        bind_head_states(clause.head, mode, states)
-        new_goals, legal = self._reorder_goal_sequence(
-            indicator, mode, clause.body, states
-        )
-        if self.options.reorder_goals:
-            inner_states: VarState = {}
-            bind_head_states(clause.head, mode, inner_states)
-            new_goals = self._reorder_inner_controls(
-                indicator, mode, new_goals, inner_states
-            )
-        evaluation = (
-            self.model.clause_body_evaluation(
-                Clause(clause.head, goals_to_body(new_goals)), mode
-            )
-            if legal
-            else None
-        )
-        return new_goals, evaluation
-
-    def _reorder_goal_sequence(
-        self,
-        indicator: Indicator,
-        mode: Mode,
-        body: Term,
-        states: VarState,
-        multi_default: bool = True,
-    ) -> Tuple[List[Term], bool]:
-        """Block-partition and reorder one conjunction; advances states.
-
-        ``multi_default=False`` ranks every block by the single-solution
-        chain (used for contexts that need only the first answer, e.g.
-        inside negation)."""
-        partition = partition_body(body, self.fixity)
-        new_goals: List[Term] = []
-        legal = True
-        for block in partition.blocks:
-            multi = block.multi_solution and multi_default
-            if (
-                not block.mobile
-                or not self.options.reorder_goals
-                or len(block) <= 1
-            ):
-                evaluation = self.model.evaluate_goals(block.goals, states)
-                if evaluation is None:
-                    legal = False
-                new_goals.extend(block.goals)
-                continue
-            constraints = order_constraints(block.goals, self.semifixity, states)
-            with self.spans.span("goal search"):
-                result = find_best_order(
-                    block.goals,
-                    states,
-                    self.model,
-                    constraints,
-                    multi_solution=multi,
-                    exhaustive_limit=self.options.exhaustive_limit,
-                    counters=self.search_counters,
-                )
-            if result is None:
-                self.report.note(
-                    indicator, mode,
-                    f"no legal order for a {len(block)}-goal block; kept source order",
-                )
-                self.model.evaluate_goals(block.goals, states)
-                new_goals.extend(block.goals)
-                legal = False
-                continue
-            if result.order != tuple(range(len(block.goals))):
-                self.report.note(
-                    indicator, mode,
-                    f"goals reordered to {[i + 1 for i in result.order]} "
-                    f"({result.strategy}, {result.explored} orders examined)",
-                )
-            new_goals.extend(block.goals[i] for i in result.order)
-            states.clear()
-            states.update(result.states)
-        return new_goals, legal
-
-    # -- reordering inside control constructs (§IV-D-2/5/6) -------------------
-
-    def _reorder_inner_controls(
-        self, indicator: Indicator, mode: Mode, goals: List[Term], states: VarState
-    ) -> List[Term]:
-        """Reorder the conjunctions *inside* negation, the set
-        predicates, and disjunction halves ("we reorder multiple goals
-        within its argument", "we reorder the internal goals"). One
-        nesting level; deeper structure is left as written."""
-        rebuilt: List[Term] = []
-        for goal in goals:
-            rebuilt.append(self._reorder_compound(indicator, mode, goal, states))
-            self.modes.abstract_execute(goal, states)
-        return rebuilt
-
-    def _reorder_compound(
-        self, indicator: Indicator, mode: Mode, goal: Term, states: VarState
-    ) -> Term:
-        goal_deref = deref(goal)
-        if not isinstance(goal_deref, Struct):
-            return goal
-        name, arity = goal_deref.name, goal_deref.arity
-        if name in ("\\+", "not", "once") and arity == 1:
-            # Only the first solution of the argument matters.
-            inner = self._reorder_subbody(
-                indicator, mode, goal_deref.args[0], dict(states), multi=False
-            )
-            return Struct(name, (inner,))
-        if name in ("findall", "bagof", "setof") and arity == 3:
-            rebuilt = self._reorder_caret_body(
-                indicator, mode, goal_deref.args[1], dict(states)
-            )
-            return Struct(
-                name, (goal_deref.args[0], rebuilt, goal_deref.args[2])
-            )
-        if name == ";" and arity == 2:
-            left = deref(goal_deref.args[0])
-            if isinstance(left, Struct) and left.name == "->" and left.arity == 2:
-                # The premise is immobile "exactly like goals before a
-                # cut" (§IV-D-3); then/else halves reorder.
-                condition_states = dict(states)
-                self.modes.abstract_execute(left.args[0], condition_states)
-                then_part = self._reorder_subbody(
-                    indicator, mode, left.args[1], condition_states
-                )
-                else_part = self._reorder_subbody(
-                    indicator, mode, goal_deref.args[1], dict(states)
-                )
-                return Struct(
-                    ";", (Struct("->", (left.args[0], then_part)), else_part)
-                )
-            left_part = self._reorder_subbody(
-                indicator, mode, goal_deref.args[0], dict(states)
-            )
-            right_part = self._reorder_subbody(
-                indicator, mode, goal_deref.args[1], dict(states)
-            )
-            return Struct(";", (left_part, right_part))
-        return goal
-
-    def _reorder_subbody(
-        self,
-        indicator: Indicator,
-        mode: Mode,
-        body: Term,
-        states: VarState,
-        multi: bool = True,
-    ) -> Term:
-        goals, _legal = self._reorder_goal_sequence(
-            indicator, mode, body, states, multi_default=multi
-        )
-        return goals_to_body(goals)
-
-    def _reorder_caret_body(
-        self, indicator: Indicator, mode: Mode, term: Term, states: VarState
-    ) -> Term:
-        term_deref = deref(term)
-        if (
-            isinstance(term_deref, Struct)
-            and term_deref.name == "^"
-            and term_deref.arity == 2
-        ):
-            return Struct(
-                "^",
-                (
-                    term_deref.args[0],
-                    self._reorder_caret_body(
-                        indicator, mode, term_deref.args[1], states
-                    ),
-                ),
-            )
-        return self._reorder_subbody(indicator, mode, term, states)
-
-    def _rename_goals(
-        self, clause: Clause, goals: List[Term], mode: Mode
-    ) -> List[Term]:
-        """Rename subgoals to their mode-specialised versions."""
-        if not self.options.specialize:
-            return goals
-        states: VarState = {}
-        bind_head_states(clause.head, mode, states)
-        renamed: List[Term] = []
-        for goal in goals:
-            target = self._rename_one(goal, states)
-            self.modes.abstract_execute(goal, states)
-            renamed.append(target)
-        return renamed
-
-    #: Control constructs whose goal arguments are renamed recursively
-    #: (position tuples index the goal-valued arguments).
-    _CONTROL_GOAL_ARGS = {
-        ("\\+", 1): (0,),
-        ("not", 1): (0,),
-        ("call", 1): (0,),
-        ("once", 1): (0,),
-    }
-
-    def _rename_one(self, goal: Term, states: VarState) -> Term:
-        """Rename a goal (recursively through control constructs) to the
-        specialised versions matching its call modes. ``states`` is not
-        mutated; the caller advances it afterwards. Renaming is purely
-        an optimisation — unrenamed calls go through the (correct)
-        dispatcher — so any part we cannot track stays as written."""
-        goal_deref = deref(goal)
-        if not isinstance(goal_deref, (Atom, Struct)):
-            return goal
-        if isinstance(goal_deref, Struct):
-            name, arity = goal_deref.name, goal_deref.arity
-            if name == "," and arity == 2:
-                left = self._rename_one(goal_deref.args[0], states)
-                after_left = dict(states)
-                self.modes.abstract_execute(goal_deref.args[0], after_left)
-                right = self._rename_one(goal_deref.args[1], after_left)
-                return Struct(",", (left, right))
-            if name == ";" and arity == 2:
-                first = deref(goal_deref.args[0])
-                if isinstance(first, Struct) and first.name == "->" and first.arity == 2:
-                    condition = self._rename_one(first.args[0], states)
-                    after_condition = dict(states)
-                    self.modes.abstract_execute(first.args[0], after_condition)
-                    then_part = self._rename_one(first.args[1], after_condition)
-                    else_part = self._rename_one(goal_deref.args[1], dict(states))
-                    return Struct(
-                        ";", (Struct("->", (condition, then_part)), else_part)
-                    )
-                left = self._rename_one(goal_deref.args[0], dict(states))
-                right = self._rename_one(goal_deref.args[1], dict(states))
-                return Struct(";", (left, right))
-            if name == "->" and arity == 2:
-                condition = self._rename_one(goal_deref.args[0], states)
-                after_condition = dict(states)
-                self.modes.abstract_execute(goal_deref.args[0], after_condition)
-                then_part = self._rename_one(goal_deref.args[1], after_condition)
-                return Struct("->", (condition, then_part))
-            control = self._CONTROL_GOAL_ARGS.get((name, arity))
-            if control is not None:
-                args = list(goal_deref.args)
-                for position in control:
-                    args[position] = self._rename_one(args[position], dict(states))
-                return Struct(name, tuple(args))
-            if name in ("findall", "bagof", "setof") and arity == 3:
-                args = list(goal_deref.args)
-                args[1] = self._rename_under_carets(args[1], dict(states))
-                return Struct(name, tuple(args))
-        try:
-            indicator = functor_indicator(goal_deref)
-        except TypeError:
-            return goal
-        if not self.database.defines(indicator):
-            return goal
-        goal_mode = call_mode(goal_deref, states)
-        if any(item is ModeItem.ANY for item in goal_mode):
-            return goal  # unknown instantiation: go through the dispatcher
-        target = self._version_names.get((indicator, goal_mode))
-        if target is None or target == indicator[0]:
-            return goal
-        return rename_goal(goal_deref, target)
-
-    def _rename_under_carets(self, term: Term, states: VarState) -> Term:
-        term_deref = deref(term)
-        if (
-            isinstance(term_deref, Struct)
-            and term_deref.name == "^"
-            and term_deref.arity == 2
-        ):
-            return Struct(
-                "^",
-                (
-                    term_deref.args[0],
-                    self._rename_under_carets(term_deref.args[1], states),
-                ),
-            )
-        return self._rename_one(term, states)
-
-    # -- dedup & output -----------------------------------------------------------
-
-    def _dedup_versions(
-        self, indicator: Indicator, versions: List[ModeVersion]
-    ) -> None:
-        """Merge versions whose clause lists are identical.
-
-        "In many cases, the reorderer produces only one or two distinct
-        versions of a predicate" (§VII). The canonical version is the
-        first mode producing each body; later duplicates are dropped and
-        all references rewritten — including self-references inside this
-        predicate's own (possibly recursive) clauses.
-        """
-        by_shape: Dict[str, ModeVersion] = {}
-        rename_map: Dict[str, str] = {}
-        kept: List[ModeVersion] = []
-        for version in versions:
-            shape = "\n".join(
-                clause_to_string(Clause(_strip_name(c.head), c.body).to_term())
-                for c in version.clauses
-            )
-            canonical = by_shape.get(shape)
-            if canonical is None:
-                by_shape[shape] = version
-                kept.append(version)
-            else:
-                rename_map[version.name] = canonical.name
-                self._version_names[(indicator, version.mode)] = canonical.name
-                self.report.note(
-                    indicator, version.mode,
-                    f"identical to version {canonical.name}; merged",
-                )
-        if len(kept) == 1:
-            # A single distinct version: give it back the original name
-            # and skip the dispatcher entirely ("predicates with clauses
-            # of one goal cannot be reordered" end up here too).
-            only = kept[0]
-            rename_map[only.name] = indicator[0]
-            only.name = indicator[0]
-            for (ind, mode) in list(self._version_names):
-                if ind == indicator:
-                    self._version_names[(ind, mode)] = indicator[0]
-        if not rename_map:
-            return
-        for version in kept:
-            version.clauses = [
-                Clause(
-                    _rewrite_one_name(clause.head, rename_map),
-                    goals_to_body(
-                        _rewrite_goal_names(body_goals(clause.body), rename_map)
-                    ),
-                )
-                for clause in version.clauses
-            ]
-        versions[:] = kept
-
-    def _build_output(
-        self, versions: Dict[Tuple[Indicator, Mode], ModeVersion]
-    ) -> Database:
-        output = Database(indexing=self.options.indexing)
-        output.operators = self.database.operators
-        # Dispatchers first (they carry the original names).
-        dispatched: Set[Indicator] = set()
-        for (indicator, _mode), version in versions.items():
-            if version.name == indicator[0]:
-                continue  # in-place version keeps the original name
-            if indicator in dispatched:
-                continue
-            dispatched.add(indicator)
-            mode_map = {
-                mode: name
-                for (ind, mode), name in self._version_names.items()
-                if ind == indicator
-            }
-            with self.spans.span("specialize"):
-                output.add_clause(build_dispatcher(indicator, mode_map))
-        seen_versions: Set[Indicator] = set()
-        for version in versions.values():
-            if version.version_indicator in seen_versions:
-                continue
-            seen_versions.add(version.version_indicator)
-            for clause in version.clauses:
-                output.add_clause(Clause(clause.head, clause.body))
-            # A tabled predicate stays tabled under its specialised
-            # names, so the emitted program memoizes the same calls.
-            if version.indicator in self.database.tabled:
-                output.tabled.add(version.version_indicator)
-        return output
-
-
-def _same_goal_sequence(first: List[Term], second: List[Term]) -> bool:
-    if len(first) != len(second):
-        return False
-    return all(a is b for a, b in zip(first, second))
-
-
-def _strip_name(head: Term) -> Term:
-    """Replace the head functor with a placeholder for shape comparison."""
-    head = deref(head)
-    if isinstance(head, Struct):
-        return Struct("$head", head.args)
-    return Atom("$head")
-
-
-def _rewrite_one_name(term: Term, mapping: Dict[str, str]) -> Term:
-    term_deref = deref(term)
-    if isinstance(term_deref, Struct) and term_deref.name in mapping:
-        return Struct(mapping[term_deref.name], term_deref.args)
-    if isinstance(term_deref, Atom) and term_deref.name in mapping:
-        return Atom(mapping[term_deref.name])
-    return term
-
-
-def _rewrite_goal_names(goals: List[Term], mapping: Dict[str, str]) -> List[Term]:
-    return [_rewrite_one_name(goal, mapping) for goal in goals]
