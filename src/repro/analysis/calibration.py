@@ -32,6 +32,13 @@ from ..markov.goal_stats import GoalStats
 from ..prolog.database import Database
 from ..prolog.engine import Engine
 from ..prolog.terms import Atom, Struct, Term, Var, deref, is_number
+from ..robustness import faults
+from ..robustness.budget import Budget
+from ..robustness.watchdog import (
+    WatchdogOptions,
+    WatchdogUnavailable,
+    run_watchdogged,
+)
 from .declarations import CostDeclaration, Declarations
 from .modes import Mode, ModeItem, all_input_modes, mode_str
 
@@ -73,6 +80,21 @@ def _calibration_worker_measure(
     return stats, len(_WORKER.failures) > before
 
 
+def _calibration_worker_task(
+    index: int, pair: Tuple[Indicator, Mode]
+) -> Tuple[Optional[GoalStats], bool]:
+    """Watchdog task: one measurement, with its fault site.
+
+    The fault site is keyed by the *task index* (not a per-process
+    counter), so a respawned worker retrying the same sample re-trips
+    the same fault — which is how the tests drive a hung task all the
+    way to quarantine while its neighbours measure normally.
+    """
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.hit("calibration.worker", key=index)
+    return _calibration_worker_measure(pair)
+
+
 @dataclass
 class CalibrationOptions:
     """Sampling and safety bounds for empirical measurement."""
@@ -84,6 +106,16 @@ class CalibrationOptions:
     call_budget: int = 50_000
     #: Engine depth bound during calibration runs.
     max_depth: int = 400
+    #: Wall-clock allowance per parallel measurement task, seconds. A
+    #: worker that exceeds it is killed and the task retried on a fresh
+    #: worker; a second miss quarantines the sample (see
+    #: :mod:`repro.robustness.watchdog`). Also bounds the serial re-run
+    #: of a quarantined sample (as a cooperative engine deadline).
+    task_timeout: float = 30.0
+    #: Retries after the first failed/timed-out attempt of one task.
+    task_retries: int = 1
+    #: Base backoff before a retry, seconds (doubles per attempt).
+    task_backoff: float = 0.05
 
 
 class EmpiricalCalibrator:
@@ -102,6 +134,11 @@ class EmpiricalCalibrator:
         )
         #: (indicator, mode) pairs whose sample runs errored/diverged.
         self.failures: List[Tuple[Indicator, Mode]] = []
+        #: Samples whose parallel workers hung or crashed through every
+        #: retry: ((indicator, mode), reason). Each is transparently
+        #: re-measured serially under a deadline; the quarantine is
+        #: still surfaced through :meth:`quarantine_warnings`.
+        self.quarantined: List[Tuple[Tuple[Indicator, Mode], str]] = []
         # One recursion-limit check up front; the (many, short-lived)
         # per-sample engines then skip it entirely.
         Engine.ensure_recursion_capacity(self.options.max_depth)
@@ -157,9 +194,19 @@ class EmpiricalCalibrator:
             queries.append(f"{name}({', '.join(arguments)})")
         return queries
 
-    def measure(self, indicator: Indicator, mode: Mode) -> Optional[GoalStats]:
+    def measure(
+        self,
+        indicator: Indicator,
+        mode: Mode,
+        budget: Optional[Budget] = None,
+    ) -> Optional[GoalStats]:
         """Measured stats for a (predicate, mode); None when any sample
-        errors or exceeds the budget (the mode is unsafe to calibrate)."""
+        errors or exceeds the budget (the mode is unsafe to calibrate).
+
+        ``budget`` (optional) adds a wall-clock bound shared by all of
+        the pair's sample queries; expiry counts as a measurement
+        failure like any other diverging sample.
+        """
         queries = self.sample_queries(indicator, mode)
         if not queries:
             return None
@@ -172,6 +219,7 @@ class EmpiricalCalibrator:
                 max_depth=self.options.max_depth,
                 call_budget=self.options.call_budget,
                 adjust_recursion_limit=False,
+                budget=budget,
             )
             try:
                 solutions, metrics = engine.run(query)
@@ -217,30 +265,60 @@ class EmpiricalCalibrator:
     ) -> List[Optional[GoalStats]]:
         """Measure many (indicator, mode) pairs, optionally in parallel.
 
-        ``jobs > 1`` fans the sample runs across a process pool; results
-        (including the order of :attr:`failures` entries) are merged in
-        task order, so any ``jobs`` value produces bit-identical output
-        to the serial path. Falls back to serial execution when worker
+        ``jobs > 1`` fans the sample runs across a watchdog-supervised
+        process pool (:mod:`repro.robustness.watchdog`): each task gets
+        ``options.task_timeout`` seconds of wall clock, a worker that
+        hangs or crashes is killed and its task retried once on a fresh
+        worker, and a sample that fails every attempt is *quarantined* —
+        recorded in :attr:`quarantined` and transparently re-measured
+        serially here under a cooperative deadline. Results (including
+        the order of :attr:`failures` entries) are merged in task
+        order, so any ``jobs`` value produces bit-identical output to
+        the serial path. Falls back to serial execution when worker
         processes are unavailable (restricted environments).
         """
         pairs = list(pairs)
         if jobs <= 1 or len(pairs) <= 1:
             return [self.measure(*pair) for pair in pairs]
+        payload = (self._program_source(), self.options, list(self.constants))
         try:
-            from concurrent.futures import ProcessPoolExecutor
-
-            payload = (self._program_source(), self.options, list(self.constants))
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pairs)),
+            outcomes = run_watchdogged(
+                _calibration_worker_task,
+                pairs,
+                jobs,
+                WatchdogOptions(
+                    task_timeout=self.options.task_timeout,
+                    retries=self.options.task_retries,
+                    backoff=self.options.task_backoff,
+                ),
                 initializer=_calibration_worker_init,
                 initargs=payload,
-            ) as pool:
-                outcomes = list(pool.map(_calibration_worker_measure, pairs))
-        except (OSError, PermissionError, ValueError, RuntimeError):
+            )
+        except (
+            WatchdogUnavailable,
+            OSError,
+            PermissionError,
+            ValueError,
+            RuntimeError,
+        ):
             # No subprocess support here: measure serially instead.
             return [self.measure(*pair) for pair in pairs]
         results: List[Optional[GoalStats]] = []
-        for pair, (stats, failed) in zip(pairs, outcomes):
+        for pair, outcome in zip(pairs, outcomes):
+            if outcome.quarantined:
+                self.quarantined.append(
+                    (pair, outcome.error or "worker failed")
+                )
+                # Transparent serial re-run, deadline-bounded so a
+                # cooperative hang cannot stall the parent; a genuine
+                # diverger lands in ``failures`` like any serial one.
+                results.append(
+                    self.measure(
+                        *pair, budget=Budget(deadline=self.options.task_timeout)
+                    )
+                )
+                continue
+            stats, failed = outcome.result
             if failed:
                 self.failures.append(pair)
             results.append(stats)
@@ -253,6 +331,14 @@ class EmpiricalCalibrator:
             f"mode {mode_str(mode)}: a sample query errored or exceeded "
             f"the call budget"
             for indicator, mode in self.failures
+        ]
+
+    def quarantine_warnings(self) -> List[str]:
+        """Human-readable lines for every quarantined parallel sample."""
+        return [
+            f"calibration worker quarantined for {indicator[0]}/{indicator[1]} "
+            f"mode {mode_str(mode)} ({reason}); re-measured serially"
+            for (indicator, mode), reason in self.quarantined
         ]
 
     # -- feeding the reorderer -----------------------------------------------
@@ -281,6 +367,7 @@ class EmpiricalCalibrator:
             if (indicator, mode) not in declarations.costs
         ]
         failures_before = len(self.failures)
+        quarantined_before = len(self.quarantined)
         results = self.measure_pairs(pairs, jobs=jobs)
         for (indicator, mode), stats in zip(pairs, results):
             if stats is None:
@@ -294,4 +381,7 @@ class EmpiricalCalibrator:
             )
         # Surface this call's failures (not re-reported on later calls).
         self.database.warnings.extend(self.failure_warnings()[failures_before:])
+        self.database.warnings.extend(
+            self.quarantine_warnings()[quarantined_before:]
+        )
         return declarations

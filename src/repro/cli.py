@@ -36,11 +36,20 @@ from .analysis import (
     mode_str,
     recursive_predicates,
 )
-from .errors import ReproError
+from .errors import BudgetExceededError, ReproError
 from .prolog import Database, Engine, indicator_str, term_to_string
 from .reorder import ReorderOptions, Reorderer
+from .robustness import Budget
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "EXIT_ERROR", "EXIT_RESOURCE"]
+
+#: Exit code for parse/load/run-time errors (the historical one).
+EXIT_ERROR = 2
+#: Exit code for resource exhaustion: a ``--timeout`` deadline expired
+#: or a budget ran out (the :class:`~repro.errors.BudgetExceededError`
+#: family). Distinct from :data:`EXIT_ERROR` so callers can tell "the
+#: program is wrong" from "the program ran out of time".
+EXIT_RESOURCE = 3
 
 
 def _load(path: str, indexing: bool = True) -> Database:
@@ -60,6 +69,8 @@ def _options_from_args(args: argparse.Namespace) -> ReorderOptions:
         unfold_rounds=args.unfold,
         exhaustive_limit=args.exhaustive_limit,
         table_all=getattr(args, "table_all", False),
+        phase_timeout=getattr(args, "phase_timeout", None),
+        astar_node_budget=getattr(args, "astar_node_budget", None),
     )
 
 
@@ -76,6 +87,24 @@ def _add_table_flag(parser: argparse.ArgumentParser) -> None:
                              "see docs/TABLING.md)")
 
 
+def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock deadline; expiry exits with code "
+                             f"{EXIT_RESOURCE} (see docs/ROBUSTNESS.md)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="inject deterministic faults, e.g. "
+                             "'engine.call:raise@5' (testing harness; "
+                             "see docs/ROBUSTNESS.md)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                        help="seed for --faults trigger positions (default 0)")
+
+
+def _deadline_budget(args: argparse.Namespace) -> Optional[Budget]:
+    """One shared Budget for every stage of this command (or None)."""
+    timeout = getattr(args, "timeout", None)
+    return Budget(deadline=timeout) if timeout is not None else None
+
+
 def _add_reorder_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-goals", action="store_true",
                         help="do not reorder goals within clauses")
@@ -89,12 +118,22 @@ def _add_reorder_flags(parser: argparse.ArgumentParser) -> None:
                         help="apply N unfolding sweeps first (paper §VIII)")
     parser.add_argument("--exhaustive-limit", type=int, default=6,
                         help="max block size for exhaustive search (then A*)")
+    parser.add_argument("--phase-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-predicate build deadline; an expired build "
+                             "degrades that predicate to source order")
+    parser.add_argument("--astar-node-budget", type=int, default=None,
+                        metavar="N",
+                        help="A* node-expansion cap per block (exhaustion "
+                             "falls back to a greedy admissible completion)")
 
 
 def command_reorder(args: argparse.Namespace) -> int:
     """``reorder FILE``: print the reordered program."""
     database = _load(args.file)
-    reorderer = Reorderer(database, _options_from_args(args))
+    reorderer = Reorderer(
+        database, _options_from_args(args), budget=_deadline_budget(args)
+    )
     program = reorderer.reorder()
     print(program.source(), end="")
     if args.report:
@@ -198,7 +237,9 @@ def _print_profile_summary(bus, metrics) -> None:
 def command_run(args: argparse.Namespace) -> int:
     """``run FILE QUERY``: execute a query, printing answers + calls."""
     database = _load(args.file)
-    engine = Engine(database, table_all=args.table_all)
+    engine = Engine(
+        database, table_all=args.table_all, budget=_deadline_budget(args)
+    )
     bus = None
     if args.profile or args.json:
         from .observability import attach
@@ -251,8 +292,33 @@ def compare_exit_code(
     return 0 if matches else 1
 
 
+def _compare_run(engine, query: str, timeout: Optional[float]):
+    """Run one side of a ``compare`` under its own deadline.
+
+    Returns ``(solutions, metrics, timed_out)``. A timed-out run keeps
+    the partial metrics charged up to the deadline so the other
+    version's numbers can still be reported (satellite: no dying with
+    the first version's traceback).
+    """
+    before = engine.metrics.snapshot()
+    timed_out = False
+    try:
+        budget = Budget(deadline=timeout) if timeout is not None else None
+        solutions = engine.ask(query, budget=budget)
+    except BudgetExceededError:
+        solutions = []
+        timed_out = True
+    return solutions, engine.metrics.snapshot() - before, timed_out
+
+
 def command_compare(args: argparse.Namespace) -> int:
-    """``compare FILE QUERY``: original vs reordered call counts."""
+    """``compare FILE QUERY``: original vs reordered call counts.
+
+    With ``--timeout`` each version runs under its own deadline; a
+    version that exceeds it is reported with a ``TIMEOUT`` marker and
+    the command exits with :data:`EXIT_RESOURCE` instead of dying with
+    a traceback — the surviving version's numbers still print.
+    """
     database = _load(args.file)
     report = None
     spans = None
@@ -263,7 +329,9 @@ def command_compare(args: argparse.Namespace) -> int:
         reordered_database = WarrenReorderer(database).reorder_program()
         new_engine = Engine(reordered_database, table_all=args.table_all)
     else:
-        reorderer = Reorderer(database, _options_from_args(args))
+        reorderer = Reorderer(
+            database, _options_from_args(args), budget=_deadline_budget(args)
+        )
         program = reorderer.reorder()
         new_engine = program.engine(table_all=args.table_all)
         report, spans, search = (
@@ -276,19 +344,32 @@ def command_compare(args: argparse.Namespace) -> int:
 
         original_bus = attach(original_engine)
         new_bus = attach(new_engine)
-    original_solutions, original = original_engine.run(args.query)
-    new_solutions, new = new_engine.run(args.query)
+    original_solutions, original, original_timeout = _compare_run(
+        original_engine, args.query, args.timeout
+    )
+    new_solutions, new, new_timeout = _compare_run(
+        new_engine, args.query, args.timeout
+    )
+    any_timeout = original_timeout or new_timeout
     matches = sorted(s.key() for s in original_solutions) == sorted(
         s.key() for s in new_solutions
     )
-    print(f"original : {original.calls} calls, {len(original_solutions)} solutions")
-    print(f"reordered: {new.calls} calls, {len(new_solutions)} solutions")
-    if new.calls:
+    original_marker = " TIMEOUT (partial)" if original_timeout else ""
+    new_marker = " TIMEOUT (partial)" if new_timeout else ""
+    print(f"original : {original.calls} calls, "
+          f"{len(original_solutions)} solutions{original_marker}")
+    print(f"reordered: {new.calls} calls, "
+          f"{len(new_solutions)} solutions{new_marker}")
+    if any_timeout:
+        pass  # a partial run makes the ratio and answer check meaningless
+    elif new.calls:
         print(f"ratio    : {original.calls / new.calls:.2f}")
     else:
         print("ratio    : n/a")
         print("warning: reordered run made 0 calls; ratio is undefined",
               file=sys.stderr)
+    if any_timeout:
+        print("ratio    : n/a (timeout)")
     if (
         original.table_hits or original.table_misses
         or new.table_hits or new.table_misses
@@ -298,13 +379,26 @@ def command_compare(args: argparse.Namespace) -> int:
             f"{original.table_misses} misses, "
             f"reordered {new.table_hits} hits/{new.table_misses} misses"
         )
-    if (len(original_solutions) == 0) != (len(new_solutions) == 0):
+    if not any_timeout and (len(original_solutions) == 0) != (len(new_solutions) == 0):
         print(
             "warning: one run returned solutions and the other none — "
             "the reordering is not set-equivalent on this query",
             file=sys.stderr,
         )
-    print(f"answers  : {'identical set' if matches else 'DIFFER (bug!)'}")
+    if any_timeout:
+        which = ", ".join(
+            name for name, hit in (
+                ("original", original_timeout), ("reordered", new_timeout)
+            ) if hit
+        )
+        print(f"answers  : incomparable ({which} timed out)")
+        print(
+            f"error: comparison partial — {which} exceeded the "
+            f"{args.timeout:g}s deadline",
+            file=sys.stderr,
+        )
+    else:
+        print(f"answers  : {'identical set' if matches else 'DIFFER (bug!)'}")
     if args.json:
         from .observability import (
             event_records,
@@ -323,6 +417,14 @@ def command_compare(args: argparse.Namespace) -> int:
         records.append(solutions_record(original_solutions, run="original"))
         records.append(metrics_record(new, run="reordered"))
         records.append(solutions_record(new_solutions, run="reordered"))
+        for run_name, hit in (
+            ("original", original_timeout), ("reordered", new_timeout)
+        ):
+            if hit:
+                records.append({
+                    "type": "timeout", "run": run_name,
+                    "seconds": args.timeout,
+                })
         if spans is not None:
             records.extend(spans.to_records())
         if search is not None:
@@ -337,6 +439,8 @@ def command_compare(args: argparse.Namespace) -> int:
         _print_profile_summary(original_bus, original)
         print("% reordered run:", file=sys.stderr)
         _print_profile_summary(new_bus, new)
+    if any_timeout:
+        return EXIT_RESOURCE
     return compare_exit_code(len(original_solutions), len(new_solutions), matches)
 
 
@@ -362,8 +466,10 @@ def command_profile(args: argparse.Namespace) -> int:
     from .observability.drift import DriftOptions, DriftReporter
 
     database = _load(args.file)
+    # One deadline budget shared by every stage of the command.
+    budget = _deadline_budget(args)
     # 1. The reordering pipeline, for spans / search counters / report.
-    reorderer = Reorderer(database.copy(), _options_from_args(args))
+    reorderer = Reorderer(database.copy(), _options_from_args(args), budget=budget)
     program = reorderer.reorder()
     spans = reorderer.spans
     # 2. Empirical calibration (measures its own phase span).
@@ -372,7 +478,11 @@ def command_profile(args: argparse.Namespace) -> int:
         spans.mark_skipped("calibration")
     else:
         calibrator = EmpiricalCalibrator(
-            database, CalibrationOptions(max_samples=args.calibration_samples)
+            database,
+            CalibrationOptions(
+                max_samples=args.calibration_samples,
+                task_timeout=args.task_timeout,
+            ),
         )
         warnings_before = len(database.warnings)
         with spans.span("calibration") as span:
@@ -383,15 +493,19 @@ def command_profile(args: argparse.Namespace) -> int:
                 failures=len(calibrator.failures),
                 jobs=args.jobs,
             )
+            if calibrator.quarantined:
+                span.meta.update(quarantined=len(calibrator.quarantined))
         # Failed measurements land on the warnings channel; surface
         # them like every other database warning, and in the report.
         for warning in database.warnings[warnings_before:]:
             print(f"warning: {warning}", file=sys.stderr)
-        program.report.calibration_failures = calibrator.failure_warnings()
+        program.report.calibration_failures = (
+            calibrator.failure_warnings() + calibrator.quarantine_warnings()
+        )
     spans.ensure(PIPELINE_PHASES)
     # 3. The instrumented run itself (on the original program: that is
     #    what the model's predictions describe).
-    engine = Engine(database, table_all=args.table_all)
+    engine = Engine(database, table_all=args.table_all, budget=budget)
     bus = attach(engine)
     try:
         solutions, metrics = engine.run(args.query)
@@ -497,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reorder_flags(reorder)
     _add_profile_flags(reorder)
     _add_table_flag(reorder)
+    _add_robustness_flags(reorder)
     reorder.set_defaults(handler=command_reorder)
 
     analyze = commands.add_parser("analyze", help="show the static analyses")
@@ -508,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("query")
     _add_profile_flags(run)
     _add_table_flag(run)
+    _add_robustness_flags(run)
     run.set_defaults(handler=command_run)
 
     compare = commands.add_parser(
@@ -521,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reorder_flags(compare)
     _add_profile_flags(compare)
     _add_table_flag(compare)
+    _add_robustness_flags(compare)
     compare.set_defaults(handler=command_compare)
 
     profile = commands.add_parser(
@@ -542,8 +659,15 @@ def build_parser() -> argparse.ArgumentParser:
                               "any N gives bit-identical results)")
     profile.add_argument("--calibration-samples", type=int, default=8,
                          help="sample queries per (predicate, mode) (default 8)")
+    profile.add_argument("--task-timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-task deadline for calibration workers; a "
+                              "hung worker is killed, retried once, then "
+                              "quarantined and re-measured serially "
+                              "(default 30)")
     _add_reorder_flags(profile)
     _add_table_flag(profile)
+    _add_robustness_flags(profile)
     profile.set_defaults(handler=command_profile)
 
     verify = commands.add_parser(
@@ -575,15 +699,32 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Typed :class:`~repro.errors.ReproError` failures (parse errors,
     depth-limit blowups, tabling stratification violations...) become a
-    one-line ``error: ...`` message and exit code 2 — no traceback.
+    one-line ``error: ...`` message and exit code :data:`EXIT_ERROR`
+    (2) — no traceback. Resource exhaustion (``--timeout`` deadline
+    expiry, budget caps: the
+    :class:`~repro.errors.BudgetExceededError` family) gets its own
+    :data:`EXIT_RESOURCE` (3) so callers can tell the two apart.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "faults", None):
+        import os
+
+        from .robustness import faults
+
+        seed = getattr(args, "fault_seed", 0)
+        # Export the plan so calibration worker processes inherit it.
+        os.environ["REPRO_FAULTS"] = args.faults
+        os.environ["REPRO_FAULTS_SEED"] = str(seed)
+        faults.install_from_spec(args.faults, seed=seed)
     try:
         return args.handler(args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_RESOURCE
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":

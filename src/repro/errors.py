@@ -19,7 +19,11 @@ __all__ = [
     "ExistenceError",
     "ArithmeticErrorProlog",
     "DepthLimitExceeded",
+    "BudgetExceededError",
     "CallBudgetExceeded",
+    "DeadlineExceeded",
+    "QueryCancelled",
+    "FaultInjected",
     "TablingError",
     "IncompleteTableError",
     "AnalysisError",
@@ -103,8 +107,47 @@ class DepthLimitExceeded(PrologError):
     """
 
 
-class CallBudgetExceeded(PrologError):
+class BudgetExceededError(PrologError):
+    """A resource budget ran out before the computation finished.
+
+    Base class for every exhaustion kind the robustness layer tracks
+    (calls, steps, wall-clock deadline, cooperative cancellation). The
+    CLI maps this family to its own exit code (3) so callers can tell
+    "the program is wrong" (exit 2) from "the program ran out of
+    resources" (exit 3). See docs/ROBUSTNESS.md.
+    """
+
+
+class CallBudgetExceeded(BudgetExceededError):
     """The engine's call budget (max predicate calls per query) ran out."""
+
+
+class DeadlineExceeded(BudgetExceededError):
+    """A wall-clock deadline expired before the computation finished.
+
+    Raised by :class:`repro.robustness.Budget` at its cooperative check
+    sites (engine call/step charging, the tabling fixpoint, goal-search
+    expansion, pipeline phase boundaries).
+    """
+
+
+class QueryCancelled(BudgetExceededError):
+    """A cooperative :class:`repro.robustness.CancelToken` was tripped.
+
+    Semantically a caller decision rather than an exhaustion, but it
+    shares the budget machinery (and the CLI's resource exit code): the
+    computation was stopped before producing a complete answer set.
+    """
+
+
+class FaultInjected(ReproError):
+    """An injected fault fired (see :mod:`repro.robustness.faults`).
+
+    Only ever raised by the deterministic fault-injection harness; the
+    robustness test-suite uses it to prove that every degradation path
+    (engine abort, pipeline per-predicate isolation, calibration
+    quarantine) handles an arbitrary unexpected error.
+    """
 
 
 class TablingError(PrologError):

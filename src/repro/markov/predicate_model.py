@@ -134,6 +134,14 @@ class CostModel:
         """
         self._memo[(indicator, mode)] = stats
 
+    def remove_override(self, indicator: Indicator, mode: Mode) -> None:
+        """Drop an installed override (and any memoized value) for one
+        (predicate, mode), so the next :meth:`predicate_stats` call
+        recomputes it from the program text. The pipeline's degrade
+        path uses this to roll back the overrides of a failed build.
+        """
+        self._memo.pop((indicator, mode), None)
+
     def predicate_stats(
         self, indicator: Indicator, mode: Mode
     ) -> Optional[GoalStats]:

@@ -38,6 +38,9 @@ __all__ = [
     "PredicateTimeEvent",
     "TableEvent",
     "CacheEvent",
+    "BudgetEvent",
+    "DegradedEvent",
+    "FaultEvent",
     "EventBus",
     "attach",
     "detach",
@@ -174,6 +177,53 @@ class CacheEvent(Event):
     stage: str
     hit: bool
     indicator: Optional[Indicator] = None
+
+
+@dataclass
+class BudgetEvent(Event):
+    """A resource budget ran out (see :class:`repro.robustness.Budget`).
+
+    ``what`` names the exhausted bound (``deadline``, ``calls``,
+    ``steps``, ``cancelled``); ``site`` is the charge site that noticed
+    (``engine.call``, ``engine.step``, ``tabling.fixpoint``,
+    ``goal_search.astar``, ...).
+    """
+
+    kind = "budget"
+
+    what: str
+    site: str
+
+
+@dataclass
+class DegradedEvent(Event):
+    """The reorder pipeline degraded one predicate to source order.
+
+    Emitted by the per-predicate failure isolation: ``phase`` is where
+    the build failed (currently always ``build``), ``reason`` the
+    one-line exception description. All other predicates are unaffected.
+    """
+
+    kind = "degraded"
+
+    indicator: Indicator
+    phase: str
+    reason: str
+
+
+@dataclass
+class FaultEvent(Event):
+    """An injected fault fired (:mod:`repro.robustness.faults`).
+
+    ``site`` is the fault site, ``action`` the fault kind
+    (``raise`` / ``hang`` / ``exhaust``). Only ever emitted while a
+    fault plan is installed — never in production runs.
+    """
+
+    kind = "fault"
+
+    site: str
+    action: str
 
 
 class EventBus:

@@ -47,6 +47,8 @@ from ..errors import (
     InstantiationError,
     TypeErrorProlog,
 )
+from ..robustness import faults
+from ..robustness.budget import Budget
 from .builtins import BUILTINS, lookup
 from .compile import flatten_conjunction
 from .database import Database, first_arg_key
@@ -187,12 +189,21 @@ class Engine:
         table_all: bool = False,
         adjust_recursion_limit: bool = True,
         compiled: bool = True,
+        budget: Optional[Budget] = None,
     ):
         self.database = database
         self.trail = Trail()
         self.metrics = Metrics()
         self.max_depth = max_depth
         self.call_budget = call_budget
+        #: Default :class:`~repro.robustness.Budget` applied to every
+        #: query this engine runs (a per-call budget passed to
+        #: :meth:`solve`/:meth:`ask` takes precedence).
+        self.budget = budget
+        #: The budget charged by the query currently executing; set and
+        #: restored by :meth:`solve` so nested machinery (``_solve_body``,
+        #: the tabling fixpoint) can reach it without plumbing.
+        self._active_budget: Optional[Budget] = None
         self.occurs_check = occurs_check
         #: Captured output of write/nl/etc.
         self.output: List[str] = []
@@ -359,6 +370,10 @@ class Engine:
             raise CallBudgetExceeded(
                 f"exceeded {self.call_budget} calls (at {indicator[0]}/{indicator[1]})"
             )
+        if self._active_budget is not None:
+            self._active_budget.charge_call()
+        if faults.ACTIVE is not None:
+            faults.ACTIVE.hit("engine.call")
 
     def _solve_body(
         self, goals: List[Term], depth: int, frame: Frame
@@ -385,8 +400,14 @@ class Engine:
         iterators[0] = solve(goals[0], depth, frame)
         last = n - 1
         i = 0
+        budget = self._active_budget
         try:
             while i >= 0:
+                if budget is not None:
+                    # A step per body-loop iteration catches redo storms
+                    # (e.g. ``between/3, fail``) that never make a new
+                    # call and so would dodge ``_charge_call``.
+                    budget.charge_step()
                 advanced = False
                 for _ in iterators[i]:
                     advanced = True
@@ -563,10 +584,16 @@ class Engine:
 
     # -- public query API --------------------------------------------------------
 
-    def solve(self, query: Union[str, Term]) -> Iterator[Solution]:
+    def solve(
+        self, query: Union[str, Term], budget: Optional[Budget] = None
+    ) -> Iterator[Solution]:
         """Yield a :class:`Solution` snapshot per answer to ``query``.
 
         The snapshot's terms are copies: safe to keep after backtracking.
+        ``budget`` (or the engine-level default) bounds the enumeration:
+        deadline expiry / budget exhaustion raise the
+        :class:`~repro.errors.BudgetExceededError` family, and a
+        solution cap stops the iteration cleanly once reached.
         """
         goal = (
             parse_term(query, self.database.operators)
@@ -576,6 +603,11 @@ class Engine:
         variables = [
             v for v in term_variables(goal) if not v.name.startswith("_")
         ]
+        active = budget if budget is not None else self.budget
+        if active is not None:
+            active.start()
+        previous = self._active_budget
+        self._active_budget = active
         mark = self.trail.mark()
         try:
             for _ in self.solve_goal(goal, 0, self.new_frame()):
@@ -587,21 +619,38 @@ class Engine:
                 yield Solution(
                     {var.name: rename_term(var, mapping) for var in variables}
                 )
+                if active is not None and active.note_solution():
+                    return
         except RecursionError:
             raise DepthLimitExceeded(
                 "Python recursion limit reached before max_depth; "
                 "the query recurses too deeply"
             ) from None
         finally:
+            self._active_budget = previous
             self.trail.undo_to(mark)
 
-    def ask(self, query: Union[str, Term], limit: Optional[int] = None) -> List[Solution]:
-        """All (or the first ``limit``) solutions as a list."""
+    def ask(
+        self,
+        query: Union[str, Term],
+        limit: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> List[Solution]:
+        """All (or the first ``limit``) solutions as a list.
+
+        The solve generator is closed explicitly once the limit is hit,
+        so trail/choice-point state unwinds deterministically here — not
+        whenever garbage collection happens to finalize the generator.
+        """
         results: List[Solution] = []
-        for solution in self.solve(query):
-            results.append(solution)
-            if limit is not None and len(results) >= limit:
-                break
+        generator = self.solve(query, budget=budget)
+        try:
+            for solution in generator:
+                results.append(solution)
+                if limit is not None and len(results) >= limit:
+                    break
+        finally:
+            generator.close()
         return results
 
     def succeeds(self, query: Union[str, Term]) -> bool:

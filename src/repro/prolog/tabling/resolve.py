@@ -33,6 +33,7 @@ from typing import Iterator, Tuple
 
 from ...errors import IncompleteTableError
 from ...observability.events import TableEvent
+from ...robustness import faults
 from ..terms import Term, rename_term, term_is_ground
 from ..unify import unify
 from .store import Evaluation, Table
@@ -116,13 +117,24 @@ def solve_tabled(
 
 def _fixpoint(engine, evaluation: Evaluation) -> None:
     """Run production passes until no table needs another one, then
-    mark every variant of the evaluation complete."""
+    mark every variant of the evaluation complete.
+
+    Budget/deadline checks run once per worklist round (production
+    passes inside the round are already charged call-by-call); an
+    exhaustion here unwinds through the leader's discard handler, so no
+    half-built table survives the abort.
+    """
+    budget = engine._active_budget
     while True:
+        if budget is not None:
+            budget.check("tabling.fixpoint")
         pending = [table for table in evaluation.variants if table.needs_pass()]
         if not pending:
             break
         for table in pending:
             _produce(engine, table)
+    if faults.ACTIVE is not None:
+        faults.ACTIVE.hit("tabling.complete")
     for table in evaluation.variants:
         if not table.complete:
             _complete(engine, table)

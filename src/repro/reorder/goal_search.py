@@ -37,6 +37,7 @@ from ..markov.goal_stats import GoalStats
 from ..markov.predicate_model import CostModel
 from ..analysis.modes import VarState
 from ..prolog.terms import Term
+from ..robustness.budget import Budget
 
 __all__ = [
     "OrderResult",
@@ -81,6 +82,9 @@ class SearchCounters:
     #: each one is a violation of the admissibility argument (appending
     #: a goal should never lower the prefix cost).
     admissibility_violations: int = 0
+    #: A*: blocks whose node budget ran out, forcing the greedy
+    #: admissible-fallback completion (strategy ``astar-greedy``).
+    astar_budget_exhausted: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """All counters as a flat dict (JSONL-ready)."""
@@ -94,6 +98,7 @@ class SearchCounters:
             "astar_pruned": self.astar_pruned,
             "astar_heap_peak": self.astar_heap_peak,
             "admissibility_violations": self.admissibility_violations,
+            "astar_budget_exhausted": self.astar_budget_exhausted,
         }
 
     def to_record(self) -> Dict[str, object]:
@@ -135,6 +140,7 @@ def exhaustive_search(
     constraints: Set[Constraint],
     multi_solution: bool = True,
     counters: Optional[SearchCounters] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[OrderResult]:
     """Evaluate every legal permutation; None if none is legal."""
     best: Optional[OrderResult] = None
@@ -143,6 +149,8 @@ def exhaustive_search(
         if not _respects(permutation, constraints):
             continue
         explored += 1
+        if budget is not None:
+            budget.check("goal_search.exhaustive")
         if counters is not None:
             counters.exhaustive_permutations += 1
         scratch = dict(states)
@@ -167,6 +175,61 @@ def exhaustive_search(
     return best
 
 
+def _greedy_complete(
+    goals: Sequence[Term],
+    blocked_by: Dict[int, Set[int]],
+    order: Tuple[int, ...],
+    stats_list: List[GoalStats],
+    node_states: VarState,
+    model: CostModel,
+    multi_solution: bool,
+    explored: int,
+) -> Optional[OrderResult]:
+    """Finish a prefix greedily: cheapest legal goal next, every step.
+
+    The admissible fallback when the A* node budget runs out: the
+    prefix handed in is the cheapest open node (its f-value is a lower
+    bound on any completion), and the greedy tail keeps every
+    mode-legality guarantee — only optimality of the *suffix* is
+    surrendered. Ties break toward the lower goal index, keeping the
+    fallback deterministic. Returns None from a legality dead end.
+    """
+    n = len(goals)
+    chosen = list(order)
+    chosen_stats = list(stats_list)
+    states = dict(node_states)
+    while len(chosen) < n:
+        used = set(chosen)
+        best_step: Optional[Tuple[float, int, GoalStats, VarState]] = None
+        for candidate in range(n):
+            if candidate in used:
+                continue
+            if blocked_by[candidate] - used:
+                continue
+            scratch = dict(states)
+            stats = model.goal_stats(goals[candidate], scratch)
+            if stats is None:
+                continue
+            explored += 1
+            trial = evaluate_sequence(chosen_stats + [stats])
+            cost = _order_cost(trial, multi_solution)
+            if best_step is None or cost < best_step[0]:
+                best_step = (cost, candidate, stats, scratch)
+        if best_step is None:
+            return None
+        _, candidate, stats, states = best_step
+        chosen.append(candidate)
+        chosen_stats.append(stats)
+    evaluation = evaluate_sequence(chosen_stats)
+    return OrderResult(
+        order=tuple(chosen),
+        evaluation=evaluation,
+        states=states,
+        explored=explored,
+        strategy="astar-greedy",
+    )
+
+
 def astar_search(
     goals: Sequence[Term],
     states: VarState,
@@ -174,8 +237,17 @@ def astar_search(
     constraints: Set[Constraint],
     multi_solution: bool = True,
     counters: Optional[SearchCounters] = None,
+    node_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[OrderResult]:
-    """Best-first search over ordered prefixes (Smith & Genesereth / A*)."""
+    """Best-first search over ordered prefixes (Smith & Genesereth / A*).
+
+    ``node_budget`` caps the number of generated children; when it runs
+    out, the cheapest open prefix is completed greedily (strategy
+    ``astar-greedy``) so the block still gets a legal order instead of
+    an unbounded search. ``budget`` adds deadline/cancel checks per
+    expansion.
+    """
     n = len(goals)
     blocked_by: Dict[int, Set[int]] = {i: set() for i in range(n)}
     for before, after in constraints:
@@ -188,8 +260,24 @@ def astar_search(
     )
     heap = [start]
     explored = 0
+    exhausted = False
     while heap:
         cost, _, order, stats_list, node_states = heapq.heappop(heap)
+        if budget is not None:
+            budget.check("goal_search.astar")
+        if node_budget is not None and explored >= node_budget:
+            if counters is not None and not exhausted:
+                counters.astar_budget_exhausted += 1
+            exhausted = True
+            # Greedily finish the cheapest open prefixes until one
+            # completes legally; every pop is still best-first.
+            result = _greedy_complete(
+                goals, blocked_by, order, stats_list, node_states,
+                model, multi_solution, explored,
+            )
+            if result is not None:
+                return result
+            continue
         if len(order) == n:
             evaluation = evaluate_sequence(stats_list)
             return OrderResult(
@@ -242,10 +330,14 @@ def find_best_order(
     multi_solution: bool = True,
     exhaustive_limit: int = DEFAULT_EXHAUSTIVE_LIMIT,
     counters: Optional[SearchCounters] = None,
+    node_budget: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> Optional[OrderResult]:
     """Best legal order of a block: exhaustive for small blocks, A* above
     the limit. None when no order is legal (caller falls back to the
-    source order and reports)."""
+    source order and reports). ``node_budget`` bounds the A* expansion
+    (greedy admissible fallback past it); ``budget`` adds
+    deadline/cancel checks inside both strategies."""
     constraints = constraints or set()
     if counters is not None:
         counters.blocks += 1
@@ -265,8 +357,12 @@ def find_best_order(
         if counters is not None:
             counters.exhaustive_blocks += 1
         return exhaustive_search(
-            goals, states, model, constraints, multi_solution, counters
+            goals, states, model, constraints, multi_solution, counters,
+            budget=budget,
         )
     if counters is not None:
         counters.astar_blocks += 1
-    return astar_search(goals, states, model, constraints, multi_solution, counters)
+    return astar_search(
+        goals, states, model, constraints, multi_solution, counters,
+        node_budget=node_budget, budget=budget,
+    )

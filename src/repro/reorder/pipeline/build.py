@@ -133,6 +133,12 @@ class GoalSequencePhase(Phase):
                     multi_solution=multi,
                     exhaustive_limit=state.options.exhaustive_limit,
                     counters=state.search_counters,
+                    node_budget=state.options.astar_node_budget,
+                    budget=(
+                        state.phase_budget
+                        if state.phase_budget is not None
+                        else state.budget
+                    ),
                 )
             if result is None:
                 state.report.note(

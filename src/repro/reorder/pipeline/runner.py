@@ -13,6 +13,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ...analysis.modes import Mode
+from ...errors import BudgetExceededError
+from ...robustness import faults
+from ...robustness.budget import Budget
 from .build import (
     GoalSequencePhase,
     InnerControlPhase,
@@ -54,6 +57,8 @@ class PipelineState:
         model,
         version_names,
         context: Optional[AnalysisContext] = None,
+        budget: Optional[Budget] = None,
+        events=None,
     ):
         self.options = options
         self.database = database
@@ -72,6 +77,14 @@ class PipelineState:
         self.version_names: Dict[Tuple[Indicator, Mode], str] = version_names
         #: None disables build caching (cold one-shot run).
         self.context = context
+        #: Whole-run resource budget (None = unbounded). Exhaustion of
+        #: *this* budget aborts the run; per-predicate failures degrade.
+        self.budget = budget
+        #: Per-predicate deadline budget, rebuilt by the runner for each
+        #: indicator when ``options.phase_timeout`` is set.
+        self.phase_budget: Optional[Budget] = None
+        #: Optional event bus (degraded/budget events).
+        self.events = events
         # Whole-program results.
         self.order: List[Indicator] = []
         self.versions: Dict[Tuple[Indicator, Mode], ModeVersion] = {}
@@ -127,14 +140,42 @@ class ReorderPipeline:
         )
 
     def run(self) -> ReorderedProgram:
-        """Execute all phases and return the reordered program."""
+        """Execute all phases and return the reordered program.
+
+        Per-predicate failure isolation: any exception out of one
+        predicate's build (injected fault, per-predicate deadline, a
+        bug in an analysis) rolls back that predicate's side effects
+        and degrades it to source order, leaving every other
+        predicate's output untouched. Only exhaustion of the
+        *whole-run* budget (deadline expiry / cancellation) aborts.
+        """
         state = self.state
+        if state.budget is not None:
+            state.budget.start()
         self.analysis_summary.run(state)
         self.processing_order.run(state)
         for indicator in state.order:
             state.current = indicator
-            if not self._replay_cached(indicator):
-                self._build_fresh(indicator)
+            if state.budget is not None:
+                state.budget.check("phase.build")
+            if state.options.phase_timeout is not None:
+                state.phase_budget = Budget(
+                    deadline=state.options.phase_timeout
+                ).start()
+            snapshot = self._snapshot()
+            try:
+                if faults.ACTIVE is not None:
+                    faults.ACTIVE.hit("phase.build")
+                if not self._replay_cached(indicator):
+                    self._build_fresh(indicator)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:
+                if self._whole_run_exhausted(exc):
+                    raise
+                self._degrade(indicator, exc, snapshot)
+            finally:
+                state.phase_budget = None
             for version in state.current_versions:
                 state.versions[(version.indicator, version.mode)] = version
         self.output_build.run(state)
@@ -147,6 +188,92 @@ class ReorderPipeline:
             state.database,
             version_names=dict(state.version_names),
         )
+
+    # -- failure isolation -------------------------------------------------
+
+    def _whole_run_exhausted(self, exc: Exception) -> bool:
+        """Is this exception the *whole-run* budget giving out (which
+        must propagate), rather than a per-predicate failure (which
+        degrades)?"""
+        budget = self.state.budget
+        if budget is None or not isinstance(exc, BudgetExceededError):
+            return False
+        return budget.expired or (
+            budget.token is not None and budget.token.cancelled
+        )
+
+    def _snapshot(self) -> Tuple[int, int, int, int, int, int, int]:
+        """Lengths of every append-only stream a build mutates, taken
+        before the build so :meth:`_rollback` can truncate them."""
+        state = self.state
+        return (
+            len(state.report._log),
+            len(state.report.warnings),
+            len(state.modes.warnings),
+            len(state.model.warnings),
+            len(state.version_names),
+            len(state.run_modes_warnings),
+            len(state.run_model_warnings),
+        )
+
+    def _rollback(self, indicator: Indicator, snapshot) -> None:
+        """Undo every side effect of a failed build: report notes and
+        warnings, analysis warning streams, version-name registrations,
+        and cost-model overrides."""
+        state = self.state
+        (
+            log_start, warn_start, modes_start, model_start,
+            names_start, run_modes_start, run_model_start,
+        ) = snapshot
+        report = state.report
+        for ind, mode, _line in reversed(report._log[log_start:]):
+            notes = report.decisions.get((ind, mode))
+            if notes:
+                notes.pop()
+                if not notes:
+                    del report.decisions[(ind, mode)]
+        del report._log[log_start:]
+        del report.warnings[warn_start:]
+        del state.modes.warnings[modes_start:]
+        del state.model.warnings[model_start:]
+        del state.run_modes_warnings[run_modes_start:]
+        del state.run_model_warnings[run_model_start:]
+        for key in list(state.version_names.keys())[names_start:]:
+            del state.version_names[key]
+        for mode, _stats in state.current_overrides:
+            state.model.remove_override(indicator, mode)
+        state.current_overrides = []
+
+    def _degrade(self, indicator: Indicator, exc: Exception, snapshot) -> None:
+        """Fall back to the predicate's source clauses after a failed
+        build: roll back the build's side effects, register a verbatim
+        version under the original name (exactly the shape the
+        no-legal-modes path emits, so the output builder adds no
+        dispatcher), and record the degradation."""
+        state = self.state
+        self._rollback(indicator, snapshot)
+        reason = f"{type(exc).__name__}: {exc}"
+        version = ModeVersion(
+            indicator=indicator,
+            mode=(),
+            name=indicator[0],
+            clauses=list(state.database.clauses(indicator)),
+            estimate=None,
+            original_estimate=None,
+        )
+        state.version_names[(indicator, ())] = indicator[0]
+        state.current_versions = [version]
+        state.current_specialized = False
+        state.report.degraded[indicator] = reason
+        state.report.warnings.append(
+            f"degraded {indicator[0]}/{indicator[1]} to source order: {reason}"
+        )
+        if state.events is not None:
+            from ...observability.events import DegradedEvent
+
+            state.events.emit(
+                DegradedEvent(indicator=indicator, phase="build", reason=reason)
+            )
 
     # -- one predicate, fresh ---------------------------------------------
 

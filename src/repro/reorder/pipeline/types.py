@@ -62,6 +62,15 @@ class ReorderOptions:
     #: recursive calls become cheap answer streams and per-predicate
     #: costs amortize, so the chosen goal orders can differ.
     table_all: bool = False
+    #: Wall-clock allowance, in seconds, for building any *one*
+    #: predicate (mode enumeration + version build + dedup). A
+    #: predicate that blows it is degraded to source order; None
+    #: disables the per-predicate deadline.
+    phase_timeout: Optional[float] = None
+    #: Cap on A* child generations per block; past it the cheapest open
+    #: prefix is completed greedily (strategy ``astar-greedy``). None
+    #: leaves the search unbounded (the golden-pinned default).
+    astar_node_budget: Optional[int] = None
 
     def cache_key(self) -> Tuple:
         """The option fields a cached per-predicate build depends on.
@@ -78,6 +87,8 @@ class ReorderOptions:
             self.max_versions,
             self.runtime_tests,
             self.table_all,
+            self.phase_timeout,
+            self.astar_node_budget,
         )
 
 
@@ -114,6 +125,11 @@ class ReorderReport:
     #: measure, rendered as human-readable lines (see
     #: :meth:`repro.analysis.calibration.EmpiricalCalibrator.failure_warnings`).
     calibration_failures: List[str] = field(default_factory=list)
+    #: Predicates the pipeline degraded to source order after a build
+    #: failure or per-predicate timeout: indicator → one-line reason.
+    #: Every other predicate's output is unaffected (isolation is
+    #: per-predicate; see docs/ROBUSTNESS.md).
+    degraded: Dict[Indicator, str] = field(default_factory=dict)
     #: Chronological note log — lets the incremental pipeline replay a
     #: cached predicate's decision lines in their original order.
     _log: List[Tuple[Indicator, Mode, str]] = field(
@@ -136,6 +152,10 @@ class ReorderReport:
             lines.append(f"warning: {warning}")
         for failure in self.calibration_failures:
             lines.append(f"calibration failure: {failure}")
+        for indicator, reason in self.degraded.items():
+            lines.append(
+                f"degraded: {indicator_str(indicator)} kept in source order ({reason})"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -168,6 +188,11 @@ class ReorderReport:
         # pre-pipeline reorderer.
         if self.calibration_failures:
             result["calibration_failures"] = list(self.calibration_failures)
+        if self.degraded:
+            result["degraded"] = [
+                {"predicate": indicator_str(indicator), "reason": reason}
+                for indicator, reason in self.degraded.items()
+            ]
         return result
 
 

@@ -41,6 +41,7 @@ from ..analysis.declarations import Declarations
 from ..analysis.modes import Mode
 from ..observability.spans import SpanRecorder
 from ..prolog.database import Database
+from ..robustness.budget import Budget
 from .goal_search import SearchCounters
 from .pipeline import (
     AnalysisContext,
@@ -80,8 +81,16 @@ class Reorderer:
         declarations: Optional[Declarations] = None,
         spans: Optional[SpanRecorder] = None,
         context: Optional[AnalysisContext] = None,
+        budget: Optional[Budget] = None,
+        events=None,
     ):
         self.options = options or ReorderOptions()
+        #: Whole-run resource budget: deadline expiry or cancellation
+        #: aborts the run with a BudgetExceededError (per-predicate
+        #: failures degrade instead; see docs/ROBUSTNESS.md).
+        self.budget = budget
+        #: Optional event bus for degraded/budget events.
+        self.events = events
         #: Pipeline-phase wall-clock telemetry (shared when passed in).
         self.spans = spans if spans is not None else SpanRecorder()
         #: Search-internals telemetry, accumulated across all blocks.
@@ -146,6 +155,8 @@ class Reorderer:
             model=self.model,
             version_names=self._version_names,
             context=self.context if self._cache_usable() else None,
+            budget=self.budget,
+            events=self.events,
         )
         return ReorderPipeline(state).run()
 

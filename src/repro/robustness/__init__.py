@@ -1,0 +1,31 @@
+"""Cross-cutting robustness layer: budgets, fault injection, watchdog.
+
+Three cooperating pieces keep the system alive on hostile inputs:
+
+* :mod:`~repro.robustness.budget` — a unified :class:`Budget` (deadline
+  + call/step budgets + solution cap + :class:`CancelToken`) threaded
+  through the engine, tabling, goal search and the reorder pipeline;
+* :mod:`~repro.robustness.faults` — deterministic fault injection at
+  named sites, driving the ``tests/robustness`` degradation proofs;
+* :mod:`~repro.robustness.watchdog` — a supervised subprocess pool
+  (per-task timeout, retry, quarantine) for parallel calibration.
+
+See ``docs/ROBUSTNESS.md`` for the degradation matrix.
+"""
+
+from .budget import Budget, CancelToken
+from .watchdog import (
+    TaskOutcome,
+    WatchdogOptions,
+    WatchdogUnavailable,
+    run_watchdogged,
+)
+
+__all__ = [
+    "Budget",
+    "CancelToken",
+    "TaskOutcome",
+    "WatchdogOptions",
+    "WatchdogUnavailable",
+    "run_watchdogged",
+]

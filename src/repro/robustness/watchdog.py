@@ -1,0 +1,314 @@
+"""A subprocess pool with per-task timeouts, retries and quarantine.
+
+``EmpiricalCalibrator.measure_pairs(jobs=N)`` used to fan tasks over a
+``ProcessPoolExecutor`` — which cannot interrupt a wedged task: one
+user clause that loops in a non-charging builtin hangs the whole
+``repro profile --jobs`` run forever. This module replaces it with an
+explicitly supervised pool:
+
+* each worker is one ``multiprocessing.Process`` with a duplex pipe,
+  initialized once (program source parsed a single time) and then fed
+  tasks one at a time;
+* the parent stamps a **deadline** on every dispatched task; a worker
+  that misses it is **killed** (terminate + join) and replaced;
+* a timed-out or crashed task is **retried once** on a fresh worker
+  after an exponential backoff, then **quarantined**;
+* results merge in task order, so any ``jobs`` value is deterministic.
+
+The caller decides what to do with quarantined tasks; the calibrator
+re-runs them serially under a :class:`~repro.robustness.Budget`
+deadline and reports whatever still fails as calibration failures.
+
+Everything here is deliberately engine-agnostic: tasks are
+``(index, payload)`` pairs mapped through a picklable ``task_fn``, so
+other subsystems can reuse the watchdog.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import Pipe, Process, connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+
+__all__ = [
+    "WatchdogOptions",
+    "TaskOutcome",
+    "WatchdogUnavailable",
+    "run_watchdogged",
+]
+
+
+class WatchdogUnavailable(ReproError):
+    """Worker processes could not be started or initialized (restricted
+    environment, broken initializer); the caller should run serially."""
+
+
+@dataclass
+class WatchdogOptions:
+    """Supervision knobs for one :func:`run_watchdogged` call."""
+
+    #: Wall-clock allowance per task attempt, seconds.
+    task_timeout: float = 30.0
+    #: Re-dispatches after the first failed attempt (0 = no retry).
+    retries: int = 1
+    #: Base backoff before a retry, seconds; doubles per attempt.
+    backoff: float = 0.05
+    #: Parent poll granularity, seconds (bounds kill latency).
+    poll_interval: float = 0.02
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one task across all its attempts."""
+
+    index: int
+    result: Any = None
+    #: Human-readable description of the final failure (None = success).
+    error: Optional[str] = None
+    #: Did any attempt exceed the task timeout?
+    timed_out: bool = False
+    attempts: int = 0
+    #: True when every allowed attempt failed; the task was abandoned.
+    quarantined: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+
+@dataclass
+class _Pending:
+    """One task waiting for (re-)dispatch."""
+
+    index: int
+    payload: Any
+    attempts: int = 0
+    ready_at: float = 0.0
+    timed_out: bool = False
+    last_error: Optional[str] = None
+
+
+@dataclass
+class _Worker:
+    """One supervised worker process."""
+
+    process: Process
+    conn: Any
+    ready: bool = False
+    #: The in-flight task (None = idle), with its kill deadline.
+    busy: Optional[_Pending] = None
+    deadline: float = 0.0
+    sent: List[int] = field(default_factory=list)
+
+
+def _watchdog_worker_main(conn, task_fn, initializer, initargs) -> None:
+    """Worker process body: init once, then serve tasks until 'stop'."""
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+    except BaseException as exc:  # noqa: BLE001 - report, don't die silently
+        try:
+            conn.send(("init_error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ready",))
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message[0] == "stop":
+            return
+        _, index, payload = message
+        try:
+            result = task_fn(index, payload)
+        except BaseException as exc:  # noqa: BLE001 - serialized to parent
+            conn.send(("error", index, f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send(("done", index, result))
+
+
+def run_watchdogged(
+    task_fn: Callable[[int, Any], Any],
+    payloads: Sequence[Any],
+    jobs: int,
+    options: Optional[WatchdogOptions] = None,
+    initializer: Optional[Callable] = None,
+    initargs: Tuple = (),
+) -> List[TaskOutcome]:
+    """Run ``task_fn(index, payload)`` for every payload under watch.
+
+    Returns one :class:`TaskOutcome` per payload, in payload order.
+    Raises :class:`WatchdogUnavailable` when no worker process could be
+    brought up at all (callers fall back to serial execution).
+    """
+    options = options or WatchdogOptions()
+    outcomes: Dict[int, TaskOutcome] = {}
+    pending = deque(
+        _Pending(index, payload) for index, payload in enumerate(payloads)
+    )
+    workers: List[_Worker] = []
+    target_workers = max(1, min(jobs, len(pending)))
+
+    def spawn() -> _Worker:
+        parent_conn, child_conn = Pipe()
+        process = Process(
+            target=_watchdog_worker_main,
+            args=(child_conn, task_fn, initializer, initargs),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        workers.append(worker)
+        return worker
+
+    def kill(worker: _Worker) -> None:
+        workers.remove(worker)
+        try:
+            worker.process.terminate()
+            worker.process.join(1.0)
+            if worker.process.is_alive():  # pragma: no cover - last resort
+                worker.process.kill()
+                worker.process.join(1.0)
+        finally:
+            worker.conn.close()
+
+    def fail_attempt(task: _Pending, reason: str, timed_out: bool) -> None:
+        """Requeue a failed attempt, or quarantine it when spent."""
+        task.attempts += 1
+        task.timed_out = task.timed_out or timed_out
+        task.last_error = reason
+        if task.attempts > options.retries:
+            outcomes[task.index] = TaskOutcome(
+                index=task.index,
+                error=reason,
+                timed_out=task.timed_out,
+                attempts=task.attempts,
+                quarantined=True,
+            )
+        else:
+            task.ready_at = time.monotonic() + options.backoff * (
+                2 ** (task.attempts - 1)
+            )
+            pending.append(task)
+
+    try:
+        try:
+            for _ in range(target_workers):
+                spawn()
+        except BaseException as exc:
+            raise WatchdogUnavailable(f"cannot start workers: {exc}") from exc
+
+        while len(outcomes) < len(payloads):
+            now = time.monotonic()
+            # Dispatch ready tasks to ready, idle workers.
+            for worker in workers:
+                if not pending:
+                    break
+                if worker.busy is not None or not worker.ready:
+                    continue
+                position = next(
+                    (
+                        i
+                        for i, task in enumerate(pending)
+                        if task.ready_at <= now
+                    ),
+                    None,
+                )
+                if position is None:
+                    break
+                pending.rotate(-position)
+                task = pending.popleft()
+                pending.rotate(position)
+                try:
+                    worker.conn.send(("task", task.index, task.payload))
+                except (OSError, ValueError):
+                    kill(worker)
+                    spawn()
+                    pending.appendleft(task)
+                    continue
+                worker.busy = task
+                worker.deadline = now + options.task_timeout
+                worker.sent.append(task.index)
+            # Wait for any worker message (bounded by the poll interval).
+            ready_conns = connection.wait(
+                [worker.conn for worker in workers],
+                timeout=options.poll_interval,
+            )
+            for worker in list(workers):
+                if worker.conn not in ready_conns:
+                    continue
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    # The worker died mid-task (hard crash).
+                    task = worker.busy
+                    kill(worker)
+                    spawn()
+                    if task is not None:
+                        fail_attempt(task, "worker process died", False)
+                    elif not worker.ready and not workers_ready(workers):
+                        raise WatchdogUnavailable("workers keep dying")
+                    continue
+                kind = message[0]
+                if kind == "ready":
+                    worker.ready = True
+                elif kind == "init_error":
+                    kill(worker)
+                    raise WatchdogUnavailable(
+                        f"worker initializer failed: {message[1]}"
+                    )
+                elif kind == "done":
+                    task = worker.busy
+                    worker.busy = None
+                    outcomes[message[1]] = TaskOutcome(
+                        index=message[1],
+                        result=message[2],
+                        attempts=(task.attempts if task else 0) + 1,
+                        timed_out=task.timed_out if task else False,
+                    )
+                elif kind == "error":
+                    task = worker.busy
+                    worker.busy = None
+                    if task is not None:
+                        fail_attempt(task, message[2], False)
+            # Enforce deadlines on whatever is still running.
+            now = time.monotonic()
+            for worker in list(workers):
+                task = worker.busy
+                if task is None or now <= worker.deadline:
+                    continue
+                kill(worker)
+                spawn()
+                fail_attempt(
+                    task,
+                    f"task exceeded its {options.task_timeout:g}s timeout",
+                    True,
+                )
+    finally:
+        for worker in list(workers):
+            try:
+                if worker.busy is None and worker.ready:
+                    worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in list(workers):
+            worker.process.join(0.2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            worker.conn.close()
+        workers.clear()
+
+    return [outcomes[index] for index in range(len(payloads))]
+
+
+def workers_ready(workers: List[_Worker]) -> bool:
+    """Is at least one worker past initialization?"""
+    return any(worker.ready for worker in workers)

@@ -1,0 +1,42 @@
+"""Shared fixtures: every test leaves the fault machinery disarmed.
+
+Fault plans are process-global (``faults.ACTIVE``) and the CLI exports
+them to the environment so worker processes inherit them; both must be
+cleared between tests or one test's faults fire in the next.
+"""
+
+import os
+
+import pytest
+
+from repro.robustness import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+    os.environ.pop("REPRO_FAULTS", None)
+    os.environ.pop("REPRO_FAULTS_SEED", None)
+
+
+FAMILY = """
+:- entry(grandmother/2).
+wife(john, jane). wife(tom, pat).
+mother(john, joan). mother(joan, pat). mother(ann, joan).
+girl(jan).
+female(W) :- girl(W).
+female(W) :- wife(_, W).
+grandmother(GC, GM) :- grandparent(GC, GM), female(GM).
+grandparent(GC, GP) :- parent(P, GP), parent(GC, P).
+parent(C, P) :- mother(C, P).
+parent(C, P) :- mother(C, M), wife(P, M).
+"""
+
+
+@pytest.fixture()
+def family_file(tmp_path):
+    path = tmp_path / "family.pl"
+    path.write_text(FAMILY)
+    return str(path)

@@ -1,0 +1,134 @@
+"""CLI resource-exhaustion behaviour: exit codes, timeout markers.
+
+Exit-code contract (docs/ROBUSTNESS.md): 2 for program errors (parse,
+load, depth), 3 for resource exhaustion (deadline, budget caps). A
+``compare`` where one version times out reports a partial result
+instead of dying with the first version's traceback.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.cli import EXIT_ERROR, EXIT_RESOURCE, build_parser, main
+
+STORM = "between(1, 100000000, X), X > 100000000"
+
+
+class TestRunTimeout:
+    def test_exits_resource_code_quickly(self, family_file, capsys):
+        start = time.perf_counter()
+        exit_code = main(["run", family_file, STORM, "--timeout", "0.3"])
+        elapsed = time.perf_counter() - start
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_RESOURCE == 3
+        assert elapsed < 2.0, f"took {elapsed:.2f}s to honour a 0.3s deadline"
+        error_lines = [
+            line for line in captured.err.splitlines()
+            if line.startswith("error:")
+        ]
+        assert len(error_lines) == 1
+        assert "deadline" in error_lines[0]
+
+    def test_generous_timeout_is_inert(self, family_file, capsys):
+        assert main(["run", family_file, "girl(X)", "--timeout", "30"]) == 0
+        assert "jan" in capsys.readouterr().out
+
+    def test_parse_error_keeps_exit_2(self, family_file, tmp_path, capsys):
+        bad = tmp_path / "bad.pl"
+        bad.write_text("p(a :- q.\n")
+        assert main(["run", str(bad), "p(X)"]) == EXIT_ERROR == 2
+
+    def test_depth_blowup_keeps_exit_2(self, tmp_path, capsys):
+        looping = tmp_path / "loop.pl"
+        looping.write_text("spin :- spin.\n")
+        exit_code = main(["run", str(looping), "spin", "--timeout", "30"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_ERROR
+        assert "depth" in captured.err
+
+
+class TestCompareTimeout:
+    def test_partial_result_with_markers(self, family_file, capsys):
+        exit_code = main(
+            ["compare", family_file, STORM, "--timeout", "0.2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_RESOURCE
+        assert "TIMEOUT (partial)" in captured.out
+        assert "incomparable" in captured.out
+        # The surviving metrics still print — no traceback anywhere.
+        assert "original :" in captured.out
+        assert "reordered:" in captured.out
+        assert "Traceback" not in captured.err
+
+    def test_timeout_recorded_in_json(self, family_file, tmp_path, capsys):
+        out = tmp_path / "telemetry.jsonl"
+        main(["compare", family_file, STORM, "--timeout", "0.2",
+              "--json", str(out)])
+        records = [
+            json.loads(line) for line in out.read_text().splitlines()
+        ]
+        timeouts = [r for r in records if r.get("type") == "timeout"]
+        assert {r["run"] for r in timeouts} <= {"original", "reordered"}
+        assert timeouts, "no timeout record written"
+
+    def test_healthy_compare_untouched(self, family_file, capsys):
+        exit_code = main(
+            ["compare", family_file, "grandmother(X, Y)", "--timeout", "30"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "TIMEOUT" not in captured.out
+        assert "identical set" in captured.out
+
+
+class TestReorderTimeout:
+    def test_healthy_reorder_with_timeout(self, family_file, capsys):
+        assert main(["reorder", family_file, "--timeout", "30"]) == 0
+        assert "grandmother" in capsys.readouterr().out
+
+
+class TestFlags:
+    def test_robustness_flags_parse_everywhere(self):
+        parser = build_parser()
+        for command in (["run", "f.pl", "q"], ["compare", "f.pl", "q"],
+                        ["profile", "f.pl", "q"], ["reorder", "f.pl"]):
+            args = parser.parse_args(
+                command + ["--timeout", "1.5", "--faults",
+                           "engine.call:raise@1", "--fault-seed", "2"]
+            )
+            assert args.timeout == 1.5
+            assert args.faults == "engine.call:raise@1"
+            assert args.fault_seed == 2
+
+    def test_profile_task_timeout_flag(self):
+        args = build_parser().parse_args(
+            ["profile", "f.pl", "q", "--task-timeout", "5"]
+        )
+        assert args.task_timeout == 5.0
+
+    def test_pipeline_budget_flags(self):
+        args = build_parser().parse_args(
+            ["reorder", "f.pl", "--phase-timeout", "2",
+             "--astar-node-budget", "9"]
+        )
+        assert args.phase_timeout == 2.0
+        assert args.astar_node_budget == 9
+
+
+class TestFaultExitCodes:
+    def test_engine_raise_fault_maps_to_exit_2(self, family_file, capsys):
+        exit_code = main(["run", family_file, "grandmother(X, Y)",
+                          "--faults", "engine.call:raise@2"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_ERROR
+        assert captured.err.strip() == "error: injected fault at engine.call"
+
+    def test_engine_exhaust_fault_maps_to_exit_3(self, family_file, capsys):
+        exit_code = main(["run", family_file, "grandmother(X, Y)",
+                          "--faults", "engine.call:exhaust@2"])
+        captured = capsys.readouterr()
+        assert exit_code == EXIT_RESOURCE
+        assert "injected budget exhaustion" in captured.err

@@ -1,0 +1,166 @@
+"""Per-predicate failure isolation in the reorder pipeline.
+
+A fault inside one predicate's build must degrade *that predicate
+only* — its source clauses pass through verbatim, the structured
+``degraded`` note appears in the report — while every other predicate's
+output stays byte-identical to a healthy run. Whole-run budget
+exhaustion, by contrast, must abort the run.
+"""
+
+import pytest
+
+from repro.errors import DeadlineExceeded, QueryCancelled
+from repro.prolog import Database, Engine
+from repro.reorder import ReorderOptions, Reorderer
+from repro.robustness import Budget, CancelToken, faults
+
+PROGRAM = """
+:- entry(top/2).
+base(a, b). base(b, c). base(c, d). base(d, e).
+link(X, Y) :- base(X, Y).
+hop(X, Z) :- link(X, Y), link(Y, Z).
+top(X, Z) :- hop(X, Z), base(Z, _).
+"""
+
+
+def reorder(source=PROGRAM, spec=None, **kwargs):
+    if spec is not None:
+        faults.install_from_spec(spec)
+    try:
+        return Reorderer(
+            Database.from_source(source),
+            kwargs.pop("options", None),
+            **kwargs,
+        ).reorder()
+    finally:
+        faults.clear()
+
+
+def _chunks_by_head(source):
+    """Clause texts of a rendered program, grouped by head functor.
+
+    A clause starts at column 0 and continues over indented lines, so
+    multi-line bodies stay attached to their head.
+    """
+    chunks = []
+    current = []
+    for line in source.splitlines():
+        if not line.strip():
+            continue
+        if not line[0].isspace() and current:
+            chunks.append("\n".join(current))
+            current = []
+        current.append(line)
+    if current:
+        chunks.append("\n".join(current))
+    grouped = {}
+    for chunk in chunks:
+        head = chunk.split("(", 1)[0].strip()
+        grouped.setdefault(head, []).append(chunk)
+    return grouped
+
+
+def last_processed_at(source=PROGRAM):
+    """1-based index of the last predicate in processing order (the
+    entry point: no other user predicate references it, so degrading
+    it leaves every other predicate untouched)."""
+    return len(Database.from_source(source).predicates())
+
+
+class TestDegradation:
+    def test_only_faulted_predicate_degrades(self):
+        healthy = reorder()
+        faulted = reorder(spec=f"phase.build:raise@{last_processed_at()}")
+        assert list(faulted.report.degraded) == [("top", 2)]
+        reason = faulted.report.degraded[("top", 2)]
+        assert reason.startswith("FaultInjected")
+
+    def test_other_predicates_byte_identical(self):
+        healthy = _chunks_by_head(reorder().source())
+        faulted = _chunks_by_head(
+            reorder(spec=f"phase.build:raise@{last_processed_at()}").source()
+        )
+        # Every clause of every non-degraded predicate is byte-identical
+        # between the two outputs; only top/2's clauses changed (its
+        # specialized versions in the healthy run, its verbatim source
+        # clauses in the faulted one).
+        for head in set(healthy) | set(faulted):
+            if head.startswith("top"):
+                continue
+            assert healthy.get(head) == faulted.get(head), (
+                f"non-degraded predicate {head!r} changed"
+            )
+        assert healthy.get("top") != faulted.get("top")
+
+    def test_degraded_output_still_answers_correctly(self):
+        original = Engine(Database.from_source(PROGRAM))
+        expected = {
+            (s["X"], s["Z"]) for s in original.ask("top(X, Z)")
+        }
+        faulted = reorder(spec=f"phase.build:raise@{last_processed_at()}")
+        engine = Engine(Database.from_source(faulted.source()))
+        observed = {(s["X"], s["Z"]) for s in engine.ask("top(X, Z)")}
+        assert {(str(a), str(b)) for a, b in observed} == {
+            (str(a), str(b)) for a, b in expected
+        }
+
+    def test_degradation_warning_and_report_shape(self):
+        faulted = reorder(spec="phase.build:exhaust@1")
+        assert len(faulted.report.degraded) == 1
+        ((name, arity),) = faulted.report.degraded
+        line = f"degraded {name}/{arity} to source order:"
+        assert any(line in warning for warning in faulted.report.warnings)
+        assert any(line in note for note in faulted.report.summary().splitlines())
+        payload = faulted.report.to_dict()
+        assert payload["degraded"][0]["reason"].startswith("BudgetExceededError")
+
+    def test_healthy_report_has_no_degraded_key(self):
+        healthy = reorder()
+        assert healthy.report.degraded == {}
+        assert "degraded" not in healthy.report.to_dict()
+
+    def test_exhaust_without_whole_run_budget_degrades(self):
+        # An injected BudgetExceededError with no expired whole-run
+        # budget is a *local* failure: degrade, don't abort.
+        program = reorder(spec="phase.build:exhaust@1")
+        assert len(program.report.degraded) == 1
+
+
+class TestWholeRunBudget:
+    def test_expired_deadline_aborts_the_run(self):
+        with pytest.raises(DeadlineExceeded):
+            reorder(budget=Budget(deadline=0.0))
+
+    def test_cancelled_token_aborts_the_run(self):
+        token = CancelToken()
+        token.cancel("shutting down")
+        with pytest.raises(QueryCancelled, match="shutting down"):
+            reorder(budget=Budget(token=token))
+
+    def test_generous_budget_output_identical_to_unbudgeted(self):
+        assert reorder().source() == reorder(
+            budget=Budget(deadline=300)
+        ).source()
+
+
+class TestAstarNodeBudget:
+    def test_exhausted_search_falls_back_and_stays_correct(self):
+        options = ReorderOptions(exhaustive_limit=1, astar_node_budget=1)
+        database = Database.from_source(PROGRAM)
+        reorderer = Reorderer(database, options)
+        program = reorderer.reorder()
+        assert reorderer.search_counters.astar_budget_exhausted > 0
+        engine = Engine(Database.from_source(program.source()))
+        assert engine.succeeds("top(a, Z)")
+
+    def test_default_has_no_fallback(self):
+        database = Database.from_source(PROGRAM)
+        reorderer = Reorderer(database, ReorderOptions(exhaustive_limit=1))
+        reorderer.reorder()
+        assert reorderer.search_counters.astar_budget_exhausted == 0
+
+    def test_option_reaches_cache_key(self):
+        a = ReorderOptions(astar_node_budget=1).cache_key()
+        b = ReorderOptions().cache_key()
+        c = ReorderOptions(phase_timeout=2.0).cache_key()
+        assert len({a, b, c}) == 3

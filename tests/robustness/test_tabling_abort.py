@@ -1,0 +1,100 @@
+"""Tabling-table consistency after an aborted fixpoint (satellite 4).
+
+When a budget runs out (or a fault fires) mid-evaluation, the leader's
+unwind handler must discard every half-built table: no stale
+``complete`` flag, no partial answer set. The same engine must then
+answer the same query correctly from a fresh producer run.
+"""
+
+import pytest
+
+from repro.errors import BudgetExceededError, FaultInjected
+from repro.prolog import Database, Engine
+from repro.robustness import Budget, faults
+
+PATHS = """
+:- table path/2.
+edge(a, b). edge(b, c). edge(c, d).
+path(X, Y) :- path(X, Z), edge(Z, Y).
+path(X, Y) :- edge(X, Y).
+"""
+
+ALL_PATHS = {
+    ("a", "b"), ("a", "c"), ("a", "d"),
+    ("b", "c"), ("b", "d"), ("c", "d"),
+}
+
+
+def engine():
+    return Engine(Database.from_source(PATHS))
+
+
+def pairs(eng):
+    return {(str(s["X"]), str(s["Y"])) for s in eng.ask("path(X, Y)")}
+
+
+def abort_with_budget(eng):
+    with pytest.raises(BudgetExceededError):
+        eng.ask("path(X, Y)", budget=Budget(calls=4))
+
+
+class TestBudgetAbort:
+    def test_no_table_survives_the_abort(self):
+        eng = engine()
+        abort_with_budget(eng)
+        assert len(eng.tables) == 0
+
+    def test_no_stale_complete_flag(self):
+        eng = engine()
+        abort_with_budget(eng)
+        assert not any(
+            table.complete for table in eng.tables.tables.values()
+        )
+
+    def test_requery_runs_a_fresh_producer(self):
+        eng = engine()
+        abort_with_budget(eng)
+        misses_before = eng.metrics.table_misses
+        assert pairs(eng) == ALL_PATHS
+        # The variant was re-entered cold: a fresh miss, then sealed.
+        assert eng.metrics.table_misses > misses_before
+        assert any(table.complete for table in eng.tables.tables.values())
+
+    def test_requery_answers_match_a_clean_engine(self):
+        eng = engine()
+        abort_with_budget(eng)
+        assert pairs(eng) == pairs(engine())
+
+
+class TestFaultAbort:
+    def test_completion_fault_discards_and_recovers(self):
+        eng = engine()
+        faults.install_from_spec("tabling.complete:raise@1")
+        with pytest.raises(FaultInjected):
+            eng.ask("path(X, Y)")
+        faults.clear()
+        assert len(eng.tables) == 0
+        assert pairs(eng) == ALL_PATHS
+
+    def test_completion_exhaust_discards_and_recovers(self):
+        eng = engine()
+        faults.install_from_spec("tabling.complete:exhaust@1")
+        with pytest.raises(BudgetExceededError):
+            eng.ask("path(X, Y)")
+        faults.clear()
+        assert len(eng.tables) == 0
+        assert pairs(eng) == ALL_PATHS
+
+
+class TestDeadlineAbort:
+    def test_deadline_mid_fixpoint_leaves_store_requeryable(self):
+        # An already-expired deadline: the leader opens its evaluation,
+        # the fixpoint's per-round check trips, the discard handler
+        # drops the half-built table.
+        eng = engine()
+        from repro.errors import DeadlineExceeded
+
+        with pytest.raises(DeadlineExceeded):
+            eng.ask("path(X, Y)", budget=Budget(deadline=0.0))
+        assert len(eng.tables) == 0
+        assert pairs(eng) == ALL_PATHS

@@ -1,0 +1,95 @@
+"""The supervised worker pool: per-task deadlines, retry, quarantine.
+
+Task functions live at module level so worker processes can unpickle
+them under the spawn/fork start methods alike.
+"""
+
+import time
+
+import pytest
+
+from repro.robustness import (
+    TaskOutcome,
+    WatchdogOptions,
+    WatchdogUnavailable,
+    run_watchdogged,
+)
+
+FAST = WatchdogOptions(task_timeout=0.25, retries=1, backoff=0.01)
+
+
+def _square(index, payload):
+    return payload * payload
+
+
+def _boom(index, payload):
+    raise ValueError(f"boom {payload}")
+
+
+def _sleepy(index, payload):
+    if payload == "hang":
+        time.sleep(30)
+    return payload
+
+
+def _bad_init():
+    raise RuntimeError("initializer exploded")
+
+
+class TestHappyPath:
+    def test_results_in_payload_order(self):
+        outcomes = run_watchdogged(_square, [1, 2, 3, 4, 5], jobs=3)
+        assert all(o.ok for o in outcomes)
+        assert [o.result for o in outcomes] == [1, 4, 9, 16, 25]
+        assert all(o.attempts == 1 for o in outcomes)
+
+    def test_any_jobs_value_is_deterministic(self):
+        serial = run_watchdogged(_square, list(range(8)), jobs=1)
+        wide = run_watchdogged(_square, list(range(8)), jobs=4)
+        assert [o.result for o in serial] == [o.result for o in wide]
+
+    def test_single_payload(self):
+        (outcome,) = run_watchdogged(_square, [6], jobs=4)
+        assert outcome.result == 36 and outcome.index == 0
+
+
+class TestFailures:
+    def test_crashing_task_retried_then_quarantined(self):
+        (outcome,) = run_watchdogged(_boom, ["x"], jobs=1, options=FAST)
+        assert outcome.quarantined and not outcome.ok
+        assert outcome.attempts == 2  # first try + one retry
+        assert "boom x" in outcome.error
+        assert not outcome.timed_out
+
+    def test_hung_worker_killed_within_twice_the_timeout(self):
+        options = WatchdogOptions(task_timeout=0.3, retries=0, backoff=0.01)
+        start = time.monotonic()
+        (outcome,) = run_watchdogged(_sleepy, ["hang"], jobs=1, options=options)
+        elapsed = time.monotonic() - start
+        assert outcome.quarantined and outcome.timed_out
+        assert "0.3s timeout" in outcome.error
+        # The acceptance bound: kill within 2x the task timeout (plus
+        # process spawn/teardown overhead).
+        assert elapsed < 2 * 0.3 + 1.0, f"kill took {elapsed:.2f}s"
+
+    def test_hang_does_not_poison_neighbours(self):
+        outcomes = run_watchdogged(
+            _sleepy, ["a", "hang", "b", "c"], jobs=2, options=FAST
+        )
+        by_index = {o.index: o for o in outcomes}
+        assert by_index[0].result == "a"
+        assert by_index[2].result == "b"
+        assert by_index[3].result == "c"
+        assert by_index[1].quarantined and by_index[1].timed_out
+        # A timed-out task burns every allowed attempt before quarantine.
+        assert by_index[1].attempts == FAST.retries + 1
+
+    def test_failing_initializer_raises_unavailable(self):
+        with pytest.raises(WatchdogUnavailable, match="initializer"):
+            run_watchdogged(_square, [1, 2], jobs=2, initializer=_bad_init)
+
+
+class TestOutcomeShape:
+    def test_ok_property(self):
+        assert TaskOutcome(index=0, result=1).ok
+        assert not TaskOutcome(index=0, quarantined=True).ok
