@@ -273,7 +273,12 @@ def command_run(args: argparse.Namespace) -> int:
             write_jsonl,
         )
 
-        records = [profile_header(command="run", file=args.file, query=args.query)]
+        records = [
+            profile_header(
+                command="run", file=args.file, query=args.query,
+                dropped=bus.dropped, sampled_rate=1.0,
+            )
+        ]
         records.append(metrics_record(metrics))
         records.append(solutions_record(solutions))
         records.extend(event_records(bus))
@@ -409,14 +414,32 @@ def command_compare(args: argparse.Namespace) -> int:
             write_jsonl,
         )
 
+        from .observability import degenerate_record
+
         records = [
-            profile_header(command="compare", file=args.file, query=args.query,
-                           method=args.method)
+            profile_header(
+                command="compare", file=args.file, query=args.query,
+                method=args.method,
+                dropped=original_bus.dropped + new_bus.dropped,
+                sampled_rate=1.0,
+            )
         ]
         records.append(metrics_record(original, run="original"))
         records.append(solutions_record(original_solutions, run="original"))
         records.append(metrics_record(new, run="reordered"))
         records.append(solutions_record(new_solutions, run="reordered"))
+        for run_name, metrics_snapshot, hit in (
+            ("original", original, original_timeout),
+            ("reordered", new, new_timeout),
+        ):
+            if not hit and metrics_snapshot.calls == 0:
+                records.append(
+                    degenerate_record(
+                        "zero calls; ratio is undefined",
+                        run=run_name,
+                        calls=0,
+                    )
+                )
         for run_name, hit in (
             ("original", original_timeout), ("reordered", new_timeout)
         ):
@@ -451,6 +474,15 @@ def command_profile(args: argparse.Namespace) -> int:
     the goal-search counters, the reorder report, engine metrics, the
     solution count, calibration-drift records, and the raw event
     stream. A human summary goes to stderr.
+
+    With ``--follow`` the run uses the sampled streaming recorder
+    instead of the exhaustive event bus: a live per-predicate summary
+    refreshes on stderr while the query runs, drift comes from the
+    continuous :class:`DriftMonitor`, and the JSONL stream carries
+    ``stream``/``sample`` records instead of raw events. ``--trace``
+    additionally writes a Chrome/Perfetto trace-event file from the
+    pipeline spans plus the Byrd boxes (bus windows, or sampled boxes
+    under ``--follow``).
     """
     from .analysis.calibration import CalibrationOptions, EmpiricalCalibrator
     from .observability import (
@@ -504,50 +536,128 @@ def command_profile(args: argparse.Namespace) -> int:
         )
     spans.ensure(PIPELINE_PHASES)
     # 3. The instrumented run itself (on the original program: that is
-    #    what the model's predictions describe).
+    #    what the model's predictions describe). ``--follow`` swaps the
+    #    exhaustive event bus for the sampled streaming recorder and
+    #    refreshes a live summary while the query runs.
     engine = Engine(database, table_all=args.table_all, budget=budget)
-    bus = attach(engine)
-    try:
-        solutions, metrics = engine.run(args.query)
-    finally:
-        database.events = None
-    # 4. Predicted-vs-observed drift, reusing the event stream.
-    reporter = DriftReporter(
-        database, DriftOptions(cost_factor=args.drift_factor)
-    )
-    drift = reporter.report(bus=bus)
+    bus = None
+    recorder = None
+    if args.follow:
+        import threading
+
+        from .observability.streaming import attach_recorder
+
+        recorder = attach_recorder(engine)
+        stop = threading.Event()
+
+        def _tick() -> None:
+            while not stop.wait(args.follow_interval):
+                for line in recorder.summary_lines():
+                    print(f"% follow  : {line}", file=sys.stderr)
+
+        ticker = threading.Thread(target=_tick, daemon=True)
+        ticker.start()
+        try:
+            solutions, metrics = engine.run(args.query)
+        finally:
+            stop.set()
+            ticker.join(timeout=1.0)
+    else:
+        bus = attach(engine)
+        try:
+            solutions, metrics = engine.run(args.query)
+        finally:
+            database.events = None
+    # 4. Predicted-vs-observed drift: replayed from the event stream,
+    #    or fed continuously from the streaming aggregates.
+    drift = []
+    drift_events = []
+    if recorder is not None:
+        from .observability.streaming.monitor import DriftMonitor
+
+        monitor = DriftMonitor(
+            database, DriftOptions(cost_factor=args.drift_factor)
+        )
+        drift_events = monitor.feed(recorder.aggregates)
+    else:
+        reporter = DriftReporter(
+            database, DriftOptions(cost_factor=args.drift_factor)
+        )
+        drift = reporter.report(bus=bus)
 
     print(f"% profile : {args.file} ?- {args.query}", file=sys.stderr)
     print(f"% answers : {len(solutions)} solution(s), {metrics.calls} calls",
           file=sys.stderr)
-    _print_profile_summary(bus, metrics)
+    if bus is not None:
+        _print_profile_summary(bus, metrics)
+    else:
+        for line in recorder.summary_lines():
+            print(f"% stream  : {line}", file=sys.stderr)
     print("% pipeline spans:", file=sys.stderr)
     for line in spans.format().splitlines():
         print(f"%{line}", file=sys.stderr)
-    flagged = [record for record in drift if record.flagged]
-    print(
-        f"% drift   : {len(flagged)}/{len(drift)} (predicate, mode) pairs "
-        f"flagged (factor {args.drift_factor:g})",
-        file=sys.stderr,
-    )
-    for record in drift[: args.drift_top]:
-        print(f"%   {record.format()}", file=sys.stderr)
+    if recorder is not None:
+        print(
+            f"% drift   : {len(drift_events)} (predicate, mode) pair(s) "
+            f"crossed the threshold (factor {args.drift_factor:g})",
+            file=sys.stderr,
+        )
+        for event in drift_events[: args.drift_top]:
+            scc = ", ".join(event.scc)
+            print(
+                f"%   {event.indicator[0]}/{event.indicator[1]} {event.mode}: "
+                f"{'; '.join(event.reasons)} [scc: {scc}]",
+                file=sys.stderr,
+            )
+    else:
+        flagged = [record for record in drift if record.flagged]
+        print(
+            f"% drift   : {len(flagged)}/{len(drift)} (predicate, mode) pairs "
+            f"flagged (factor {args.drift_factor:g})",
+            file=sys.stderr,
+        )
+        for record in drift[: args.drift_top]:
+            print(f"%   {record.format()}", file=sys.stderr)
 
     if args.json:
-        records = [
-            profile_header(command="profile", file=args.file, query=args.query)
-        ]
+        if recorder is not None:
+            header = profile_header(
+                command="profile", file=args.file, query=args.query,
+                dropped=recorder.dropped,
+                sampled_rate=recorder.sampled_rate(),
+            )
+        else:
+            header = profile_header(
+                command="profile", file=args.file, query=args.query,
+                dropped=bus.dropped, sampled_rate=1.0,
+            )
+        records = [header]
         records.extend(spans.to_records())
         records.append(reorderer.search_counters.to_record())
         records.append(reorderer.context.counters_record())
         records.extend(report_records(program.report))
         records.append(metrics_record(metrics))
         records.append(solutions_record(solutions))
-        records.extend(record.to_record() for record in drift)
-        records.extend(event_records(bus))
+        if recorder is not None:
+            records.extend(recorder.aggregates.to_records())
+            records.extend(sample.to_record() for sample in recorder.samples())
+            records.extend(event.to_record() for event in drift_events)
+        else:
+            records.extend(record.to_record() for record in drift)
+            records.extend(event_records(bus))
         count = write_jsonl(records, args.json)
         if args.json != "-":
             print(f"% wrote {count} records to {args.json}", file=sys.stderr)
+    if args.trace:
+        from .observability.streaming.perfetto import write_trace
+
+        count = write_trace(
+            args.trace,
+            spans=spans,
+            bus=bus,
+            samples=recorder.samples() if recorder is not None else None,
+        )
+        print(f"% wrote {count} trace events to {args.trace}", file=sys.stderr)
     return 0
 
 
@@ -648,6 +758,17 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("query")
     profile.add_argument("--json", metavar="PATH", default=None,
                          help="write telemetry as JSONL to PATH ('-' = stdout)")
+    profile.add_argument("--follow", action="store_true",
+                         help="sampled streaming mode: live per-predicate "
+                              "summary on stderr while the query runs "
+                              "(bounded memory, safe to leave on)")
+    profile.add_argument("--follow-interval", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="refresh period of the --follow summary "
+                              "(default 2)")
+    profile.add_argument("--trace", metavar="PATH", default=None,
+                         help="write a Chrome/Perfetto trace-event JSON file "
+                              "(load in ui.perfetto.dev)")
     profile.add_argument("--drift-factor", type=float, default=3.0,
                          help="flag estimates off by this factor (default 3)")
     profile.add_argument("--drift-top", type=int, default=10,

@@ -9,14 +9,19 @@ Four layers, all optional and zero-overhead when unused:
   reordering-pipeline phases;
 * :mod:`.drift`  — predicted-vs-observed statistics per (predicate,
   mode), flagging where the Markov model needs calibration;
+* :mod:`.streaming` — the continuous layer: sampling ring-buffer
+  recorder, mergeable per-predicate aggregates, live drift monitoring,
+  Perfetto export (safe to leave attached under sustained load);
 * :mod:`.export` — JSONL serialization of all of the above.
 
 ``repro profile FILE QUERY --json out.jsonl`` drives everything from
 the command line; docs/OBSERVABILITY.md documents the record schema.
 
-Note: :mod:`.drift` is intentionally not imported here — it depends on
-the engine, which itself imports :mod:`.events`; import it as
-``from repro.observability.drift import DriftReporter``.
+Note: :mod:`.drift` and :mod:`.streaming.monitor` are intentionally
+not imported here — they depend on the engine/model layers, which
+themselves import :mod:`.events`; import them as
+``from repro.observability.drift import DriftReporter`` and
+``from repro.observability.streaming.monitor import DriftMonitor``.
 """
 
 from .events import (
@@ -32,8 +37,10 @@ from .events import (
     attach,
     detach,
 )
+from .events import DriftEvent
 from .export import (
     SCHEMA_VERSION,
+    degenerate_record,
     event_records,
     metrics_record,
     profile_header,
@@ -54,12 +61,14 @@ __all__ = [
     "PredicateTimeEvent",
     "TableEvent",
     "CacheEvent",
+    "DriftEvent",
     "attach",
     "detach",
     "PIPELINE_PHASES",
     "Span",
     "SpanRecorder",
     "SCHEMA_VERSION",
+    "degenerate_record",
     "profile_header",
     "event_records",
     "metrics_record",

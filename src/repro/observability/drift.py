@@ -48,9 +48,40 @@ __all__ = [
     "DriftRecord",
     "DriftReporter",
     "collect_observations",
+    "compare_estimates",
 ]
 
 Indicator = Tuple[str, int]
+
+
+def compare_estimates(
+    observed_cost: float,
+    observed_prob: float,
+    predicted: Optional[GoalStats],
+    options: DriftOptions,
+) -> Tuple[Optional[float], Optional[float], List[str]]:
+    """Score one observed-vs-predicted pair against drift thresholds.
+
+    Returns ``(cost_ratio, prob_delta, reasons)`` — ``reasons`` is
+    nonempty exactly when the pair counts as drifted. Shared by the
+    post-hoc :class:`DriftReporter` and the continuous
+    :class:`~repro.observability.streaming.monitor.DriftMonitor`, so
+    both surfaces flag identically. A ``predicted`` of None means the
+    model never enumerated this mode — always flagged.
+    """
+    if predicted is None:
+        return None, None, ["mode observed at runtime but illegal for the model"]
+    # +1 smoothing keeps tiny costs from generating huge ratios.
+    ratio = (observed_cost + 1.0) / (predicted.cost + 1.0)
+    prob_delta = observed_prob - predicted.prob
+    reasons = []
+    factor = options.cost_factor
+    if ratio >= factor or ratio <= 1.0 / factor:
+        direction = "under" if ratio > 1.0 else "over"
+        reasons.append(f"cost {direction}estimated x{max(ratio, 1 / ratio):.1f}")
+    if abs(prob_delta) > options.prob_tolerance:
+        reasons.append(f"success probability off by {prob_delta:+.2f}")
+    return ratio, prob_delta, reasons
 
 
 @dataclass
@@ -263,27 +294,12 @@ class DriftReporter:
         predicted = self.model.predicate_stats(
             indicator, parse_mode_string(mode_text)
         )
-        if predicted is None:
-            return DriftRecord(
-                indicator=indicator,
-                mode_text=mode_text,
-                observed=observation,
-                predicted=None,
-                cost_ratio=None,
-                prob_delta=None,
-                flagged=True,
-                reasons=["mode observed at runtime but illegal for the model"],
-            )
-        # +1 smoothing keeps tiny costs from generating huge ratios.
-        ratio = (observation.mean_cost + 1.0) / (predicted.cost + 1.0)
-        prob_delta = observation.success_rate - predicted.prob
-        reasons = []
-        factor = self.options.cost_factor
-        if ratio >= factor or ratio <= 1.0 / factor:
-            direction = "under" if ratio > 1.0 else "over"
-            reasons.append(f"cost {direction}estimated x{max(ratio, 1/ratio):.1f}")
-        if abs(prob_delta) > self.options.prob_tolerance:
-            reasons.append(f"success probability off by {prob_delta:+.2f}")
+        ratio, prob_delta, reasons = compare_estimates(
+            observation.mean_cost,
+            observation.success_rate,
+            predicted,
+            self.options,
+        )
         return DriftRecord(
             indicator=indicator,
             mode_text=mode_text,

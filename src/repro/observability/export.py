@@ -9,10 +9,17 @@ Every record is one flat JSON object with a ``type`` discriminator:
 * ``search``  — goal-search internals (:class:`repro.reorder.goal_search.SearchCounters`);
 * ``report``  — the reorderer's decisions and warnings;
 * ``drift``   — one calibration-drift comparison (see :mod:`.drift`);
+* ``stream``  — one streaming per-(predicate, mode) aggregate (see
+  :mod:`.streaming.aggregate`);
+* ``sample``  — one sampled Byrd box (see :mod:`.streaming.recorder`);
+* ``degenerate`` — a run produced no usable signal (e.g. zero calls);
 * ``solutions`` — answer count (and optional rendered answers).
 
-The schema is documented in docs/OBSERVABILITY.md; benchmark
-trajectories (BENCH_*.json) can be distilled from these streams.
+Schema version 2 adds the streaming record types and the
+``dropped``/``sampled_rate`` header fields (how much of the stream the
+bounded ring retained, and at what sampling rate). The schema is
+documented in docs/OBSERVABILITY.md; benchmark trajectories
+(BENCH_*.json) can be distilled from these streams.
 """
 
 from __future__ import annotations
@@ -26,18 +33,25 @@ __all__ = [
     "event_records",
     "metrics_record",
     "solutions_record",
+    "degenerate_record",
     "report_records",
     "records_to_jsonl",
     "write_jsonl",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 Record = Dict[str, object]
 
 
 def profile_header(**fields: object) -> Record:
-    """The stream's leading record (file, query, schema version...)."""
+    """The stream's leading record (file, query, tool version...).
+
+    Callers with bounded collection pass ``dropped`` (events/samples
+    evicted before export) and ``sampled_rate`` (fraction of calls the
+    recorder sampled, 1.0 for exhaustive instrumentation) so consumers
+    can tell a complete stream from a decimated one up front.
+    """
     record: Record = {"type": "profile", "schema": SCHEMA_VERSION}
     record.update(fields)
     return record
@@ -80,6 +94,23 @@ def solutions_record(
         record["run"] = run
     if render:
         record["answers"] = [repr(solution) for solution in solutions]
+    return record
+
+
+def degenerate_record(
+    reason: str, run: Optional[str] = None, **fields: object
+) -> Record:
+    """A structured marker that a run yielded no usable signal.
+
+    Emitted (for example) by ``repro compare`` when a side made zero
+    calls — a ratio over it would be meaningless, and downstream
+    tooling needs a machine-readable marker, not just the
+    human-readable ``ratio: n/a`` line.
+    """
+    record: Record = {"type": "degenerate", "reason": reason}
+    if run is not None:
+        record["run"] = run
+    record.update(fields)
     return record
 
 

@@ -216,6 +216,11 @@ class Engine:
         #: Optional event bus (see :mod:`repro.observability.events`);
         #: None keeps the uninstrumented fast path.
         self.events: Optional[EventBus] = None
+        #: Optional streaming recorder (see
+        #: :mod:`repro.observability.streaming.recorder`): the sampled,
+        #: bounded, always-on channel. Consulted only when tracer and
+        #: event bus are both off; None keeps the fast path.
+        self.recorder = None
         #: Bound for length/2 open enumeration.
         self.max_list_length = 10_000
         #: Table every user predicate, not just ``:- table`` ones.
@@ -319,12 +324,53 @@ class Engine:
         tracer = self.tracer
         bus = self.events
         if tracer is None and bus is None:
-            # Disabled-instrumentation fast path: delegate directly.
-            # Nothing below this line (mode strings, events,
-            # timestamps) is constructed when both are off.
-            yield from iterator
+            recorder = self.recorder
+            if recorder is None:
+                # Disabled-instrumentation fast path: delegate directly.
+                # Nothing below this line (mode strings, events,
+                # timestamps) is constructed when everything is off.
+                yield from iterator
+                return
+            # Sampled streaming path, decided inline so an unsampled
+            # call costs one set test plus a stride check on the call
+            # counter ``_charge_call`` already maintains — only sampled
+            # boxes pay for a token object and timestamps, and only
+            # rare-phase predicates reach recorder code at all.
+            if indicator in recorder.hot:
+                sampled = not self.metrics.calls % recorder.sample_every
+            else:
+                sampled = recorder.admit_cold(indicator, self.metrics)
+            if sampled:
+                yield from self._record_boxed(iterator, args, indicator, depth)
+            else:
+                yield from iterator
             return
         yield from self._solve_boxed(iterator, goal, args, indicator, depth)
+
+    def _record_boxed(
+        self,
+        iterator: Iterator[None],
+        args: Tuple[Term, ...],
+        indicator: Indicator,
+        depth: int,
+    ) -> Iterator[None]:
+        """Byrd box for the sampled streaming path (no event objects).
+
+        The recorder's pause/resume calls track the exit/redo windows so
+        the closed box's cost — 1 + calls while active — matches the
+        drift reporter's replay semantics without any event stream.
+        """
+        recorder = self.recorder
+        box = recorder.open_box(
+            indicator, _runtime_mode(args), depth, self.metrics
+        )
+        try:
+            for _ in iterator:
+                recorder.pause_box(box)
+                yield
+                recorder.resume_box(box)
+        finally:
+            recorder.close_box(box)
 
     def _solve_boxed(
         self,
@@ -670,6 +716,11 @@ class Engine:
         return solutions, self.metrics.snapshot() - before
 
 
+#: Rendered mode strings keyed by the per-argument var-ness pattern;
+#: bounded by the distinct patterns a program exhibits (≤ 2**arity).
+_MODE_CACHE: Dict[Tuple[bool, ...], str] = {}
+
+
 def _runtime_mode(args: Tuple[Term, ...]) -> str:
     """The runtime calling mode, rendered like ``(+, -)``.
 
@@ -679,10 +730,9 @@ def _runtime_mode(args: Tuple[Term, ...]) -> str:
     """
     if not args:
         return "()"
-    return (
-        "("
-        + ", ".join(
-            "-" if isinstance(deref(arg), Var) else "+" for arg in args
-        )
-        + ")"
-    )
+    pattern = tuple(isinstance(deref(arg), Var) for arg in args)
+    text = _MODE_CACHE.get(pattern)
+    if text is None:
+        text = "(" + ", ".join("-" if free else "+" for free in pattern) + ")"
+        _MODE_CACHE[pattern] = text
+    return text

@@ -11,13 +11,20 @@ Tracing is how the reproduction was debugged, and it is part of the
 substrate a Prolog user expects; it also doubles as an execution-order
 oracle in the tests (the reordered program's trace shows the new goal
 order directly).
+
+Retention is a ring buffer (most recent ``limit`` events kept,
+eviction counted) rather than the historical first-``limit``-then-stop
+policy: when something goes wrong deep into a long run, the *end* of
+the trace is the part worth keeping. Truncation stays explicit either
+way — ``truncated``/``dropped`` and the :meth:`format` overflow footer
+make a cut trace impossible to mistake for a complete one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
+from ..observability.streaming.ring import RingBuffer
 from .terms import Term
 from .writer import term_to_string
 
@@ -29,37 +36,60 @@ Tracer = Callable[[str, int, Term], None]
 PORTS = ("call", "exit", "redo", "fail")
 
 
-@dataclass(frozen=True)
 class TraceEvent:
     """One port crossing, with the goal rendered at event time."""
 
-    port: str
-    depth: int
-    goal_text: str
+    __slots__ = ("port", "depth", "goal_text")
+
+    def __init__(self, port: str, depth: int, goal_text: str):
+        self.port = port
+        self.depth = depth
+        self.goal_text = goal_text
 
     def format(self) -> str:
         """One indented trace line."""
         return f"{'  ' * self.depth}{self.port:<5} {self.goal_text}"
 
+    def __repr__(self) -> str:
+        return f"TraceEvent({self.port!r}, {self.depth!r}, {self.goal_text!r})"
 
-@dataclass
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TraceEvent)
+            and self.port == other.port
+            and self.depth == other.depth
+            and self.goal_text == other.goal_text
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.port, self.depth, self.goal_text))
+
+
 class CollectingTracer:
-    """Collects up to ``limit`` events, then *counts* the overflow.
+    """Keeps the most recent ``limit`` events; *counts* the overflow.
 
-    Truncation is explicit: ``truncated``/``dropped`` expose whether and
-    how much of the trace is missing, and :meth:`format` appends an
-    overflow line — so a trace-based test oracle can never mistake a
-    truncated trace for a complete one.
+    Backed by
+    :class:`~repro.observability.streaming.ring.RingBuffer`, so a
+    tracer left attached for hours still holds the latest window
+    instead of a stale prefix. Truncation is explicit:
+    ``truncated``/``dropped`` expose whether and how much of the trace
+    is missing, and :meth:`format` appends an overflow line — so a
+    trace-based test oracle can never mistake a truncated trace for a
+    complete one.
     """
 
-    limit: int = 10_000
-    events: List[TraceEvent] = field(default_factory=list)
-    #: Optional filter: only record goals of these predicate names.
-    only_predicates: Optional[set] = None
-    #: Events that matched the filter but arrived past ``limit``.
-    dropped: int = 0
+    def __init__(
+        self,
+        limit: int = 10_000,
+        only_predicates: Optional[set] = None,
+    ):
+        self.limit = limit
+        #: Optional filter: only record goals of these predicate names.
+        self.only_predicates = only_predicates
+        self._ring: RingBuffer = RingBuffer(limit)
 
     def __call__(self, port: str, depth: int, goal: Term) -> None:
+        """Record one port crossing (the engine's tracer callback)."""
         if self.only_predicates is not None:
             from .terms import functor_indicator
 
@@ -69,19 +99,26 @@ class CollectingTracer:
                 return
             if name not in self.only_predicates:
                 return
-        if len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(TraceEvent(port, depth, term_to_string(goal)))
+        self._ring.append(TraceEvent(port, depth, term_to_string(goal)))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return self._ring.to_list()
+
+    @property
+    def dropped(self) -> int:
+        """Events that matched the filter but were evicted past ``limit``."""
+        return self._ring.dropped
 
     @property
     def truncated(self) -> bool:
         """Did any event overflow the limit?"""
-        return self.dropped > 0
+        return self._ring.truncated
 
     def format(self) -> str:
         """The whole trace as indented lines (overflow surfaced)."""
-        text = "\n".join(event.format() for event in self.events)
+        text = "\n".join(event.format() for event in self._ring)
         if self.truncated:
             overflow = f"... {self.dropped} more event(s) dropped (limit {self.limit})"
             text = f"{text}\n{overflow}" if text else overflow
@@ -89,12 +126,12 @@ class CollectingTracer:
 
     def ports(self) -> List[str]:
         """Just the port sequence (handy for assertions)."""
-        return [event.port for event in self.events]
+        return [event.port for event in self._ring]
 
     def lines(self, port: Optional[str] = None) -> List[str]:
         """Goal texts of all events, optionally filtered by port."""
         return [
             event.goal_text
-            for event in self.events
+            for event in self._ring
             if port is None or event.port == port
         ]

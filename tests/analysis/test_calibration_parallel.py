@@ -63,6 +63,53 @@ class TestMeasurePairs:
         assert results[0].solutions == 4.0
 
 
+def aggregate_signature(aggregates):
+    """Everything deterministic about aggregates: wall-time histograms
+    vary run to run, the call/box/cost accounting must not."""
+    return (
+        dict(aggregates.total_calls),
+        {
+            key: (
+                aggregate.boxes,
+                aggregate.successes,
+                aggregate.solutions,
+                aggregate.cost.buckets,
+                aggregate.cost.total,
+            )
+            for key, aggregate in aggregates.items()
+        },
+    )
+
+
+class TestCollectAggregates:
+    def test_sample_runs_feed_the_aggregates(self):
+        calibrator = EmpiricalCalibrator(
+            Database.from_source(FACTS),
+            CalibrationOptions(collect_aggregates=True),
+        )
+        calibrator.measure_pairs(all_pairs(calibrator.database))
+        assert calibrator.aggregates.total_calls
+        assert calibrator.aggregates.sampled_boxes() > 0
+
+    def test_disabled_by_default(self):
+        calibrator = EmpiricalCalibrator(Database.from_source(FACTS))
+        calibrator.measure_pairs(all_pairs(calibrator.database))
+        assert not calibrator.aggregates.total_calls
+
+    def test_serial_and_parallel_merge_identically(self):
+        options = CalibrationOptions(collect_aggregates=True)
+        pairs = all_pairs(Database.from_source(FACTS))
+        serial = EmpiricalCalibrator(Database.from_source(FACTS), options)
+        serial.measure_pairs(pairs)
+        parallel = EmpiricalCalibrator(Database.from_source(FACTS), options)
+        parallel.measure_pairs(pairs, jobs=2)
+        # Workers ship partial aggregates back as payloads merged in
+        # task order: the fold must equal the serial accounting.
+        assert aggregate_signature(serial.aggregates) == aggregate_signature(
+            parallel.aggregates
+        )
+
+
 class TestFailureSurfacing:
     def test_failure_warnings_lines(self):
         database = Database.from_source(DIVERGING)

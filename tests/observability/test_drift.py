@@ -2,11 +2,13 @@
 
 import json
 
+from repro.markov.goal_stats import GoalStats
 from repro.observability import attach
 from repro.observability.drift import (
     DriftOptions,
     DriftReporter,
     collect_observations,
+    compare_estimates,
 )
 from repro.prolog import Database, Engine
 
@@ -133,3 +135,38 @@ class TestDriftReporter:
         )
         records = DriftReporter(database).report(query="p(X)")
         assert "DRIFT" in records[0].format()
+
+
+class TestDriftEdgeCases:
+    def test_predicate_never_called_produces_no_record(self):
+        # unused/1 is defined but the query never reaches it: drift is
+        # about observed behaviour, so it must not appear at all (and
+        # in particular must not be flagged as "never ran").
+        database = Database.from_source("p(1).\nunused(x).")
+        records = DriftReporter(database).report(query="p(X)")
+        assert [r.indicator for r in records] == [("p", 1)]
+
+    def test_zero_predicted_cost_does_not_divide_by_zero(self):
+        # +1 smoothing: a zero-cost prediction vs. a zero-cost
+        # observation is a perfect match, not a crash or a flag.
+        predicted = GoalStats(cost=0.0, solutions=1.0, prob=1.0)
+        ratio, prob_delta, reasons = compare_estimates(
+            0.0, 1.0, predicted, DriftOptions()
+        )
+        assert ratio == 1.0
+        assert prob_delta == 0.0
+        assert reasons == []
+        # And a modest observed cost over a zero prediction stays
+        # finite, flagged only past the smoothed factor.
+        ratio, _, reasons = compare_estimates(
+            5.0, 1.0, predicted, DriftOptions(cost_factor=3.0)
+        )
+        assert ratio == 6.0
+        assert any("underestimated" in reason for reason in reasons)
+
+    def test_mode_never_enumerated_by_model_is_always_flagged(self):
+        ratio, prob_delta, reasons = compare_estimates(
+            3.0, 1.0, None, DriftOptions()
+        )
+        assert ratio is None and prob_delta is None
+        assert reasons == ["mode observed at runtime but illegal for the model"]

@@ -1,0 +1,193 @@
+"""Tests for the continuous drift feed: ``StatsStore.observe``'s EWMA
+and watermark semantics, and the ``DriftMonitor`` folding streaming
+aggregates into the store and naming drifted recursion groups."""
+
+import pytest
+
+from repro.markov.goal_stats import GoalStats
+from repro.markov.stats_store import StatsStore
+from repro.observability.drift import DriftOptions
+from repro.observability.events import EventBus
+from repro.observability.streaming import StreamingRecorder, attach_recorder
+from repro.observability.streaming.monitor import DriftMonitor
+from repro.prolog import Engine
+from repro.reorder.pipeline import AnalysisContext
+
+KEY = (("p", 1), (("-",),))
+
+
+class TestStatsStoreObserve:
+    def test_first_observation_is_stored_verbatim(self):
+        store = StatsStore()
+        observed = store.observe(KEY, GoalStats(10.0, 2.0, 1.0), weight=4.0)
+        assert observed.stats.cost == 10.0
+        assert observed.weight == 4.0
+        assert store.observed(KEY) is observed
+
+    def test_equal_mark_blends_by_support_weighted_ewma(self):
+        store = StatsStore()
+        store.observe(KEY, GoalStats(10.0, 1.0, 1.0), weight=1.0, decay=0.5)
+        blended = store.observe(
+            KEY, GoalStats(20.0, 1.0, 1.0), weight=1.0, decay=0.5
+        )
+        # alpha = 1 - (1 - 0.5)**1 = 0.5
+        assert blended.stats.cost == pytest.approx(15.0)
+        assert blended.weight == 2.0
+        # Heavier support pulls harder: alpha = 1 - 0.5**2 = 0.75.
+        store2 = StatsStore()
+        store2.observe(KEY, GoalStats(10.0, 1.0, 1.0), weight=1.0, decay=0.5)
+        heavy = store2.observe(
+            KEY, GoalStats(20.0, 1.0, 1.0), weight=2.0, decay=0.5
+        )
+        assert heavy.stats.cost == pytest.approx(17.5)
+
+    def test_newer_mark_replaces_instead_of_blending(self):
+        store = StatsStore()
+        store.observe(KEY, GoalStats(10.0, 1.0, 1.0), weight=50.0, mark=1)
+        replaced = store.observe(KEY, GoalStats(99.0, 1.0, 1.0), weight=1.0, mark=2)
+        # The predicate was edited: the old blend is void, not averaged.
+        assert replaced.stats.cost == 99.0
+        assert replaced.weight == 1.0
+
+    def test_older_mark_is_ignored(self):
+        store = StatsStore()
+        store.observe(KEY, GoalStats(10.0, 1.0, 1.0), weight=2.0, mark=5)
+        stale = store.observe(KEY, GoalStats(99.0, 1.0, 1.0), weight=9.0, mark=4)
+        assert stale.stats.cost == 10.0
+        assert store.observed(KEY).weight == 2.0
+
+    def test_adopt_observed_promotes_supported_blends(self):
+        store = StatsStore()
+        store.observe(KEY, GoalStats(10.0, 1.0, 1.0), weight=3.0)
+        thin_key = (("q", 0), ())
+        store.observe(thin_key, GoalStats(5.0, 1.0, 1.0), weight=0.5)
+        adopted = store.adopt_observed(min_weight=1.0)
+        assert adopted == [KEY]
+        known, stats = store.lookup(KEY)
+        assert known and stats.cost == 10.0
+        assert not store.lookup(thin_key)[0]
+
+    def test_invalidate_drops_observed_tier_too(self):
+        store = StatsStore()
+        store.observe(KEY, GoalStats(10.0, 1.0, 1.0))
+        store.invalidate([("p", 1)])
+        assert store.observed(KEY) is None
+
+
+def fed_monitor(source, query, **monitor_kwargs):
+    """Run ``query`` under a StreamingRecorder and feed one batch."""
+    engine = Engine.from_source(source)
+    recorder = attach_recorder(engine, StreamingRecorder())
+    engine.ask(query)
+    monitor = DriftMonitor(engine.database, **monitor_kwargs)
+    events = monitor.feed(recorder.aggregates)
+    return engine, monitor, events
+
+
+class TestDriftMonitor:
+    OVERESTIMATED = """
+    :- cost(p/1, [-], 500, 1.0, 2).
+    p(1).
+    p(2).
+    """
+
+    def test_declared_cost_overestimate_fires(self):
+        _, monitor, events = fed_monitor(self.OVERESTIMATED, "p(X)")
+        assert len(events) == 1
+        event = events[0]
+        assert event.indicator == ("p", 1)
+        assert event.scc == ("p/1",)
+        assert any("overestimated" in reason for reason in event.reasons)
+        assert monitor.drifted_predicates() == {("p", 1)}
+
+    def test_store_receives_the_observed_feed(self):
+        _, monitor, _ = fed_monitor(self.OVERESTIMATED, "p(X)")
+        entries = list(monitor.store.observed_items())
+        assert len(entries) == 1
+        (key, observed), = entries
+        assert key[0] == ("p", 1)
+        assert observed.weight == 1.0  # one sampled box behind the blend
+        assert observed.stats.solutions == pytest.approx(2.0)
+
+    def test_events_are_edge_triggered(self):
+        engine = Engine.from_source(self.OVERESTIMATED)
+        recorder = attach_recorder(engine, StreamingRecorder())
+        engine.ask("p(X)")
+        monitor = DriftMonitor(engine.database)
+        assert monitor.feed(recorder.aggregates)
+        # Still drifted in the second batch: no re-fire.
+        assert monitor.feed(recorder.aggregates) == []
+        monitor.reset()
+        assert monitor.feed(recorder.aggregates)
+
+    def test_min_invocations_gates_thin_aggregates(self):
+        _, monitor, events = fed_monitor(
+            self.OVERESTIMATED,
+            "p(X)",
+            options=DriftOptions(min_invocations=100),
+        )
+        assert events == []
+        assert monitor.drifted_predicates() == set()
+
+    def test_events_also_reach_the_bus(self):
+        bus = EventBus()
+        _, _, events = fed_monitor(self.OVERESTIMATED, "p(X)", bus=bus)
+        assert [event.kind for event in bus.events] == ["drift"]
+        record = bus.events[0].to_record()
+        assert record["type"] == "event"
+        assert record["kind"] == "drift"
+        assert record["scc"] == ["p/1"]
+
+    def test_builtins_are_not_watched(self):
+        source = ":- cost(p/1, [-], 500, 1.0, 2).\np(X) :- X = 1."
+        _, monitor, events = fed_monitor(source, "p(X)")
+        assert all(event.indicator == ("p", 1) for event in events)
+        drifted = monitor.drifted_predicates()
+        assert ("=", 2) not in drifted
+
+
+class TestAcceptanceEndToEnd:
+    """The PR's acceptance path: a live run's aggregates round-trip
+    through ``StatsStore.observe`` into a ``DriftEvent`` naming the
+    drifted SCC, which ``AnalysisContext.apply_drift`` invalidates."""
+
+    SOURCE = """
+    :- cost(path/2, [+, -], 500, 1.0, 1).
+    edge(a, b).
+    edge(b, c).
+    edge(c, d).
+    path(X, Y) :- edge(X, Y).
+    path(X, Y) :- edge(X, Z), path(Z, Y).
+    """
+
+    def test_stream_to_scc_invalidation(self):
+        engine = Engine.from_source(self.SOURCE)
+        recorder = attach_recorder(engine, StreamingRecorder())
+        engine.ask("path(a, X)")
+
+        monitor = DriftMonitor(engine.database)
+        events = monitor.feed(recorder.aggregates)
+
+        # The live feed landed in the observed tier of the store...
+        observed_keys = [key for key, _ in monitor.store.observed_items()]
+        assert any(key[0] == ("path", 2) for key in observed_keys)
+
+        # ...and the drift event names path/2's recursion component.
+        path_events = [e for e in events if e.indicator == ("path", 2)]
+        assert path_events
+        assert path_events[0].scc == ("path/2",)
+
+        # The monitor's invalidation closure matches what the pipeline
+        # would invalidate for an edit to the same predicates.
+        closure = monitor.invalidation()
+        assert ("path", 2) in closure
+
+        context = AnalysisContext(engine.database)
+        affected = context.apply_drift(monitor.drifted_predicates())
+        assert ("path", 2) in affected
+        assert affected == monitor.invalidation()
+        assert context.last_dirty == frozenset(monitor.drifted_predicates())
+        # edge/2 is a callee, not a caller: only invalidated if it
+        # itself drifted, never dragged in by path/2 alone.
+        if ("edge", 2) not in monitor.drifted_predicates():
+            assert ("edge", 2) not in affected

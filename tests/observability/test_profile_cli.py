@@ -122,3 +122,67 @@ class TestCompareJson:
         records = load_jsonl(out)
         runs = {r.get("run") for r in records if r["type"] == "metrics"}
         assert runs == {"original", "reordered"}
+
+    def test_zero_call_run_emits_degenerate_record(self, program_file, tmp_path):
+        # A control-construct-only query charges no calls on either
+        # side: the ratio is undefined, and the export must say so
+        # with a machine-readable marker instead of silence.
+        out = str(tmp_path / "compare.jsonl")
+        main(["compare", program_file, "true", "--json", out])
+        records = load_jsonl(out)
+        degenerate = [r for r in records if r["type"] == "degenerate"]
+        assert {r["run"] for r in degenerate} == {"original", "reordered"}
+        for record in degenerate:
+            assert record["calls"] == 0
+            assert "zero calls" in record["reason"]
+
+    def test_normal_compare_has_no_degenerate_record(self, program_file, tmp_path):
+        out = str(tmp_path / "compare.jsonl")
+        main(["compare", program_file, QUERY, "--json", out])
+        assert not [
+            r for r in load_jsonl(out) if r["type"] == "degenerate"
+        ]
+
+
+class TestProfileFollowAndTrace:
+    def test_follow_streams_aggregates_and_samples(self, program_file, tmp_path):
+        out = str(tmp_path / "follow.jsonl")
+        assert (
+            main([
+                "profile", program_file, QUERY,
+                "--follow", "--follow-interval", "0.05",
+                "--json", out, "--no-calibrate",
+            ])
+            == 0
+        )
+        records = load_jsonl(out)
+        types = {r["type"] for r in records}
+        assert {"stream", "sample"} <= types
+        header = records[0]
+        assert header["type"] == "profile"
+        # Schema-2 header: sampling accounting is always present.
+        assert header["schema"] == 2
+        assert "dropped" in header and "sampled_rate" in header
+        streams = [r for r in records if r["type"] == "stream"]
+        assert all("/" in r["predicate"] for r in streams)
+        assert all("total_calls" in r for r in streams)
+        samples = [r for r in records if r["type"] == "sample"]
+        assert all("cost" in r and "mode" in r for r in samples)
+
+    def test_trace_export_is_loadable_perfetto_json(self, program_file, tmp_path):
+        out = str(tmp_path / "profile.jsonl")
+        trace = str(tmp_path / "trace.json")
+        assert (
+            main([
+                "profile", program_file, QUERY,
+                "--json", out, "--trace", trace, "--no-calibrate",
+            ])
+            == 0
+        )
+        with open(trace) as handle:
+            document = json.load(handle)
+        assert document["traceEvents"]
+        names = {event["name"] for event in document["traceEvents"]}
+        # Both pipeline spans and engine boxes land in one trace.
+        assert "goal search" in names
+        assert any("/" in name for name in names)
