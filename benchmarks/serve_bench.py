@@ -1,0 +1,316 @@
+"""Load-generator benchmark for ``repro serve``: latency + throughput.
+
+Not a paper artefact: this guards the serving layer the way
+``engine_bench.py`` guards the resolution hot path. It starts a real
+server (ephemeral TCP port, thread-pool backend), drives it with
+blocking client threads at fixed concurrency, and reports per-workload
+throughput with p50/p99 request latency.
+
+Usage::
+
+    # Refresh the committed baseline after an intentional change:
+    PYTHONPATH=src python benchmarks/serve_bench.py --output BENCH_serve.json
+
+    # CI gate — fail on >4x throughput regression or any drift in the
+    # deterministic counters (request/solution/rejection/generation):
+    PYTHONPATH=src python benchmarks/serve_bench.py \
+        --check BENCH_serve.json --tolerance 4.0
+
+Workloads:
+
+``query_throughput``
+    8 client threads x 25 queries each against a fixed snapshot —
+    the pure read path (admission, snapshot pin, engine, render).
+``mixed_with_updates``
+    The same read load while a writer publishes 10 generations
+    underneath it — snapshot isolation on the hot path.
+``shed_load``
+    A deliberately saturated server (1 slot, zero queue, both occupied
+    by long-running queries): 10 probes must all be shed immediately
+    with ``rejected`` — measures the rejection fast path and pins the
+    load-shedding contract.
+
+Deterministic counters (request totals, per-query solution counts,
+rejection counts, final generation) are compared exactly by
+``--check``; throughput is machine-dependent and compared as a ratio
+against ``--tolerance``. Latency quantiles are recorded for humans and
+trend dashboards, not gated.
+"""
+
+import argparse
+import json
+import platform
+import sys
+import threading
+import time
+
+from repro.prolog import Database
+from repro.serve import ServeClient, ServeOptions, ServerThread
+from repro.serve.protocol import encode
+
+SCHEMA = "repro-serve-bench/1"
+
+CONCURRENCY = 8
+QUERIES_PER_CLIENT = 25
+QUERY = "spin(A, B, C, D)"
+LIMIT = 200
+UPDATE_COUNT = 10
+SHED_PROBES = 10
+
+PROGRAM = (
+    "\n".join(f"d({i})." for i in range(10))
+    + "\nspin(A, B, C, D) :- d(A), d(B), d(C), d(D)."
+    + "\nslow :- spin(_, _, _, _), spin(_, _, _, _), fail.\n"
+)
+
+
+def percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, int(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _drive_readers(address, clients, queries_each):
+    """``clients`` threads, ``queries_each`` queries each; returns
+    (latencies_seconds, responses)."""
+    latencies = []
+    responses = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+
+    def worker():
+        with ServeClient(address) as client:
+            barrier.wait(timeout=30.0)
+            for _ in range(queries_each):
+                started = time.perf_counter()
+                response = client.query(QUERY, limit=LIMIT)
+                elapsed = time.perf_counter() - started
+                with lock:
+                    latencies.append(elapsed)
+                    responses.append(response)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    return latencies, responses, elapsed
+
+
+def _summarize(latencies, responses, elapsed, deterministic):
+    latencies = sorted(latencies)
+    return {
+        "requests": len(responses),
+        "ops_per_sec": round(len(responses) / elapsed, 1) if elapsed else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 2),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 2),
+        "deterministic": deterministic,
+    }
+
+
+def workload_query_throughput():
+    server = ServerThread(
+        Database.from_source(PROGRAM),
+        ServeOptions(port=0, max_inflight=CONCURRENCY,
+                     max_queue=CONCURRENCY * 4, default_timeout=60.0),
+    )
+    address = server.start()
+    try:
+        latencies, responses, elapsed = _drive_readers(
+            address, CONCURRENCY, QUERIES_PER_CLIENT
+        )
+        stats = server.server.stats()
+    finally:
+        server.stop()
+    deterministic = {
+        "requests": len(responses),
+        "ok": sum(1 for r in responses if r["status"] == "ok"),
+        "solutions_each": sorted({r.get("count") for r in responses}),
+        "rejected": stats["rejected"],
+        "generation": stats["generation"],
+    }
+    return _summarize(latencies, responses, elapsed, deterministic)
+
+
+def workload_mixed_with_updates():
+    server = ServerThread(
+        Database.from_source(PROGRAM),
+        ServeOptions(port=0, max_inflight=CONCURRENCY,
+                     max_queue=CONCURRENCY * 4, default_timeout=60.0),
+    )
+    address = server.start()
+    try:
+        updates_done = []
+
+        def writer():
+            with ServeClient(address) as client:
+                for n in range(UPDATE_COUNT):
+                    result = client.update(asserts=[f"patch{n}(x)."])
+                    updates_done.append(result["status"])
+                    time.sleep(0.01)  # spread publishes across the run
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        latencies, responses, elapsed = _drive_readers(
+            address, CONCURRENCY, QUERIES_PER_CLIENT
+        )
+        writer_thread.join()
+        stats = server.server.stats()
+    finally:
+        server.stop()
+    deterministic = {
+        "requests": len(responses),
+        "ok": sum(1 for r in responses if r["status"] == "ok"),
+        "solutions_each": sorted({r.get("count") for r in responses}),
+        "updates_ok": sum(1 for status in updates_done if status == "ok"),
+        "generation": stats["generation"],
+    }
+    return _summarize(latencies, responses, elapsed, deterministic)
+
+
+def workload_shed_load():
+    """Saturate one slot + zero queue, then measure the rejection path."""
+    import socket
+
+    server = ServerThread(
+        Database.from_source(PROGRAM),
+        ServeOptions(port=0, max_inflight=1, max_queue=0,
+                     default_timeout=30.0, drain_timeout=0.5),
+    )
+    address = server.start()
+    host, _, port = address.rpartition(":")
+    hog = socket.create_connection((host, int(port)))
+    try:
+        hog.sendall(encode({
+            "op": "query", "id": "hog", "query": "slow", "timeout": 30.0,
+        }))
+        time.sleep(0.3)  # the hog owns the only slot now
+        latencies = []
+        responses = []
+        with ServeClient(address) as probe_client:
+            for _ in range(SHED_PROBES):
+                started = time.perf_counter()
+                response = probe_client.query(QUERY, limit=LIMIT)
+                latencies.append(time.perf_counter() - started)
+                responses.append(response)
+        elapsed = sum(latencies)
+        stats = server.server.stats()
+    finally:
+        hog.close()
+        server.stop()
+    deterministic = {
+        "requests": len(responses),
+        "rejected_responses": sum(
+            1 for r in responses if r["status"] == "rejected"
+        ),
+        "rejected_total": stats["rejected"],
+    }
+    return _summarize(latencies, responses, elapsed, deterministic)
+
+
+WORKLOADS = {
+    "query_throughput": workload_query_throughput,
+    "mixed_with_updates": workload_mixed_with_updates,
+    "shed_load": workload_shed_load,
+}
+
+#: Workloads whose throughput the gate compares. ``shed_load`` is
+#: excluded: its 10 sub-millisecond probes make the req/s figure pure
+#: scheduling noise — only its deterministic rejection counters gate.
+GATED_THROUGHPUT = ("query_throughput", "mixed_with_updates")
+
+
+def run_all(names):
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "concurrency": CONCURRENCY,
+        "workloads": {name: WORKLOADS[name]() for name in names},
+    }
+
+
+def check(results, baseline, tolerance):
+    """Failure strings comparing a fresh run against the baseline:
+    deterministic counters exactly, throughput as a ratio."""
+    failures = []
+    if baseline.get("schema") != SCHEMA:
+        failures.append(
+            f"baseline schema {baseline.get('schema')!r} != {SCHEMA!r}"
+            " (regenerate with --output)"
+        )
+        return failures
+    for name, base in baseline.get("workloads", {}).items():
+        fresh = results["workloads"].get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        if (
+            name in GATED_THROUGHPUT
+            and fresh["ops_per_sec"] * tolerance < base["ops_per_sec"]
+        ):
+            failures.append(
+                f"{name}: {fresh['ops_per_sec']} req/s is >{tolerance}x "
+                f"below baseline {base['ops_per_sec']} req/s"
+            )
+        for key, expected in base["deterministic"].items():
+            actual = fresh["deterministic"].get(key)
+            if actual != expected:
+                failures.append(
+                    f"{name}: deterministic[{key}] = {actual} != baseline "
+                    f"{expected}"
+                )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", metavar="PATH",
+                        help="write results as JSON to PATH")
+    parser.add_argument("--check", metavar="PATH",
+                        help="compare against the baseline JSON at PATH; "
+                             "exit 1 on failure")
+    parser.add_argument("--tolerance", type=float, default=4.0,
+                        help="allowed throughput regression factor for "
+                             "--check (default 4.0; serving latency is "
+                             "noisier than the engine loop)")
+    parser.add_argument("--workload", action="append",
+                        choices=sorted(WORKLOADS),
+                        help="run only this workload (repeatable; "
+                             "default: all)")
+    args = parser.parse_args(argv)
+
+    names = args.workload or sorted(WORKLOADS)
+    results = run_all(names)
+    for name in names:
+        entry = results["workloads"][name]
+        print(
+            f"{name:22s} {entry['ops_per_sec']:>8.1f} req/s  "
+            f"p50={entry['p50_ms']:.1f}ms p99={entry['p99_ms']:.1f}ms  "
+            f"({entry['requests']} requests)"
+        )
+
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        with open(args.check) as handle:
+            baseline = json.load(handle)
+        failures = check(results, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"FAIL {failure}", file=sys.stderr)
+            return 1
+        print(f"check against {args.check} passed (tolerance {args.tolerance}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

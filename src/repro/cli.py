@@ -14,6 +14,9 @@ input and ... receive a reordered, improved program as output"):
 * ``profile FILE QUERY`` — run a query fully instrumented (event bus,
   pipeline spans, search counters, calibration drift) and export the
   telemetry as JSONL (see docs/OBSERVABILITY.md);
+* ``serve FILE`` — long-lived concurrent query server with snapshot
+  isolation and admission control (see docs/SERVING.md);
+* ``client ADDRESS OP`` — one request against a running server;
 * ``tables [N ...]`` — regenerate the paper's tables.
 
 ``run``, ``compare`` and ``reorder`` accept ``--profile`` (human
@@ -41,7 +44,10 @@ from .prolog import Database, Engine, indicator_str, term_to_string
 from .reorder import ReorderOptions, Reorderer
 from .robustness import Budget
 
-__all__ = ["main", "build_parser", "EXIT_ERROR", "EXIT_RESOURCE"]
+__all__ = [
+    "main", "build_parser", "EXIT_ERROR", "EXIT_RESOURCE",
+    "EXIT_UNAVAILABLE",
+]
 
 #: Exit code for parse/load/run-time errors (the historical one).
 EXIT_ERROR = 2
@@ -50,6 +56,26 @@ EXIT_ERROR = 2
 #: family). Distinct from :data:`EXIT_ERROR` so callers can tell "the
 #: program is wrong" from "the program ran out of time".
 EXIT_RESOURCE = 3
+#: Exit code for "this server cannot take the work right now": the
+#: admission controller shed the request (queue full / draining), or
+#: ``repro client`` could not reach the server at all. Distinct from
+#: :data:`EXIT_RESOURCE` because the work was never attempted — a
+#: retry (or another replica) is the right response, not a bigger
+#: budget. Mirrored as literals in ``repro.serve.protocol.STATUS_EXIT``
+#: (pinned against this table by ``tests/serve/test_protocol.py``).
+EXIT_UNAVAILABLE = 4
+
+#: The exit-code taxonomy, in ``repro --help`` form (docs/ROBUSTNESS.md
+#: carries the full prose table).
+EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success
+  1  mismatch: compare/verify found differing answer sets
+  2  error: parse, load, or run-time failure
+  3  resource: a --timeout deadline or budget ran out
+  4  unavailable: the server shed the request (admission queue full or
+     draining) or was unreachable; retry or try another replica
+"""
 
 
 def _load(path: str, indexing: bool = True) -> Database:
@@ -688,6 +714,89 @@ def command_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_serve(args: argparse.Namespace) -> int:
+    """``serve FILE``: run the concurrent query server until drained.
+
+    See docs/SERVING.md for the protocol, snapshot semantics, and
+    admission tuning. SIGINT/SIGTERM start a graceful drain.
+    """
+    import asyncio
+
+    from .serve import QueryServer, ServeOptions
+
+    database = _load(args.file)
+    options = ServeOptions(
+        host=args.host,
+        port=args.port,
+        unix_path=args.unix,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_timeout=args.default_timeout,
+        max_solutions=args.max_solutions,
+        max_calls=args.max_calls,
+        grace=args.grace,
+        drain_timeout=args.drain_timeout,
+        log_path=args.log,
+        table_all=args.table_all,
+    )
+    server = QueryServer(database, options)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"serving {args.file} on {server.address} "
+            f"(generation {server.store.generation}, "
+            f"max {options.max_inflight} in flight + "
+            f"{options.max_queue} queued)",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    asyncio.run(_run())
+    stats = server.stats()
+    print(
+        f"drained: {stats['completed']} completed, "
+        f"{stats['rejected']} rejected, "
+        f"final generation {stats['generation']}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def command_client(args: argparse.Namespace) -> int:
+    """``client ADDRESS OP``: one request against a running server.
+
+    Prints the response as one JSON line; the exit code follows the
+    response status (0 ok, 2 error, 3 timeout/exhausted/cancelled, 4
+    rejected/unavailable — :data:`EXIT_UNAVAILABLE` also covers an
+    unreachable server).
+    """
+    import json
+
+    from .serve import ServeClient, status_exit_code
+
+    with ServeClient(args.address) as client:
+        if args.op == "query":
+            if not args.text:
+                print("error: query needs a query string", file=sys.stderr)
+                return EXIT_ERROR
+            response = client.query(
+                args.text, limit=args.limit, timeout=args.timeout
+            )
+        elif args.op == "update":
+            if not (args.assert_ or args.retract):
+                print("error: update needs --assert and/or --retract",
+                      file=sys.stderr)
+                return EXIT_ERROR
+            response = client.update(args.assert_, args.retract)
+        elif args.op == "ping":
+            response = client.ping()
+        else:
+            response = client.stats()
+    print(json.dumps(response, sort_keys=True))
+    return status_exit_code(str(response.get("status", "error")))
+
+
 def command_tables(args: argparse.Namespace) -> int:
     """``tables [N ...]``: regenerate the paper's tables/figures."""
     from .experiments import figure1, figure2, table1, table2, table3, table4
@@ -711,6 +820,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Prolog program reordering (Gooley & Wah, ICDE 1988)",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -808,6 +919,71 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("mode", help="calling mode, e.g. '(-,+)' or 'ui'")
     explain.set_defaults(handler=command_explain)
 
+    serve = commands.add_parser(
+        "serve",
+        help="concurrent query server (snapshot isolation, admission "
+             "control; see docs/SERVING.md)",
+    )
+    serve.add_argument("file")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind host (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7878,
+                       help="TCP port; 0 = ephemeral (default 7878)")
+    serve.add_argument("--unix", metavar="PATH", default=None,
+                       help="serve on a UNIX socket instead of TCP")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrent executing requests (default 8)")
+    serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                       help="admitted-but-waiting requests before load is "
+                            "shed with status 'rejected' (default 16)")
+    serve.add_argument("--default-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="per-request deadline unless the request "
+                            "overrides it (default 30)")
+    serve.add_argument("--max-solutions", type=int, default=10_000,
+                       metavar="N",
+                       help="default per-request solution cap (default 10000)")
+    serve.add_argument("--max-calls", type=int, default=None, metavar="N",
+                       help="per-request predicate-call budget (default none)")
+    serve.add_argument("--grace", type=float, default=0.5, metavar="SECONDS",
+                       help="extra wall time past the deadline before the "
+                            "watchdog abandons a wedged request (default 0.5)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds in-flight requests get to finish after "
+                            "SIGINT/SIGTERM (default 5)")
+    serve.add_argument("--log", metavar="PATH", default=None,
+                       help="append request lifecycle events as JSONL")
+    serve.add_argument("--faults", metavar="SPEC", default=None,
+                       help="inject deterministic faults (site serve.request; "
+                            "see docs/ROBUSTNESS.md)")
+    serve.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                       help="seed for --faults trigger positions (default 0)")
+    _add_table_flag(serve)
+    serve.set_defaults(handler=command_serve)
+
+    client = commands.add_parser(
+        "client", help="send one request to a running repro server"
+    )
+    client.add_argument("address",
+                        help="host:port, unix:/path, or a bare socket path")
+    client.add_argument("op", choices=["query", "update", "ping", "stats"])
+    client.add_argument("text", nargs="?", default=None,
+                        help="the query string (op query)")
+    client.add_argument("--limit", type=int, default=None,
+                        help="solution cap for this query")
+    client.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="deadline for this query")
+    client.add_argument("--assert", dest="assert_", action="append",
+                        metavar="CLAUSES", default=None,
+                        help="program text to add (repeatable; op update)")
+    client.add_argument("--retract", action="append", metavar="SPEC",
+                        default=None,
+                        help="name/arity or a clause to remove (repeatable; "
+                             "op update)")
+    client.set_defaults(handler=command_client)
+
     tables = commands.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("which", nargs="*", choices=["1", "2", "3", "4", "fig"],
                         help="which tables (default: all + figures)")
@@ -845,6 +1021,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return EXIT_RESOURCE
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        # A ServerUnavailable from ``client``/``serve`` means "retry or
+        # try another replica", not "the program is wrong" — resolved
+        # lazily so plain commands never import the serving layer.
+        serve_client = sys.modules.get("repro.serve.client")
+        if serve_client is not None and isinstance(
+            exc, serve_client.ServerUnavailable
+        ):
+            return EXIT_UNAVAILABLE
         return EXIT_ERROR
 
 

@@ -42,6 +42,7 @@ __all__ = [
     "DegradedEvent",
     "FaultEvent",
     "DriftEvent",
+    "RequestEvent",
     "EventBus",
     "attach",
     "detach",
@@ -258,6 +259,35 @@ class DriftEvent(Event):
         record["reasons"] = list(self.reasons)
         record["scc"] = list(self.scc)
         return record
+
+
+@dataclass
+class RequestEvent(Event):
+    """One lifecycle transition of a server request (``repro serve``).
+
+    ``action`` is one of ``admitted`` (an execution slot was granted,
+    possibly after queueing), ``started`` (engine work began),
+    ``completed`` (a response was written; ``status`` says which kind),
+    ``rejected`` (admission control shed it — queue full or draining),
+    or ``cancelled`` (a deadline watchdog or drain cancelled it
+    in-flight). ``generation`` is the snapshot generation the request
+    was pinned to at admission (-1 before pinning); ``queue_depth`` and
+    ``inflight`` are the admission controller's counters at emission
+    time, so a JSONL stream of these events reconstructs the server's
+    load curve. ``seconds`` is admission-to-response latency, recorded
+    on terminal actions only.
+    """
+
+    kind = "request"
+
+    action: str
+    request_id: str
+    op: str
+    generation: int
+    queue_depth: int
+    inflight: int
+    status: Optional[str] = None
+    seconds: Optional[float] = None
 
 
 class EventBus:

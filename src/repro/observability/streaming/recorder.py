@@ -239,10 +239,14 @@ class StreamingRecorder:
         read, so the hot path never maintains totals of its own.
         """
         totals = self._aggregates.total_calls
-        for binding in self._bindings:
+        # Snapshot both the binding list and each per-predicate counter
+        # dict: under ``repro serve`` engines mutate their metrics on
+        # worker threads while the event loop reads the aggregates, and
+        # iterating a dict being resized raises.
+        for binding in list(self._bindings):
             metrics = binding.metrics
             base = binding.by_predicate_base
-            for indicator, count in metrics.calls_by_predicate.items():
+            for indicator, count in list(metrics.calls_by_predicate.items()):
                 previous = base.get(indicator, 0)
                 if count != previous:
                     totals[indicator] = (
@@ -381,9 +385,18 @@ def attach_recorder(engine, recorder: Optional[StreamingRecorder] = None) -> Str
     binds the engine's metrics, which is what makes the recorder's
     call accounting (``calls``, per-predicate totals, ``sampled_rate``)
     exact; one recorder may be attached to several engines (e.g. the
-    calibrator's sample engines) and accounts them all.
+    calibrator's sample engines, a server's per-request engines) and
+    accounts them all.
+
+    Idempotent: re-attaching the same recorder is a no-op (``bind``
+    already dedupes by metrics identity), and attaching a *different*
+    recorder first detaches the old one so an engine is never left
+    double-instrumented with a stale binding.
     """
     recorder = recorder if recorder is not None else StreamingRecorder()
+    previous = getattr(engine, "recorder", None)
+    if previous is not None and previous is not recorder:
+        detach_recorder(engine)
     recorder.bind(engine.metrics)
     engine.recorder = recorder
     return recorder
@@ -394,8 +407,17 @@ def detach_recorder(engine) -> Optional[StreamingRecorder]:
 
     The engine's outstanding calls are folded into the recorder's
     totals before its metrics stop being tracked.
+
+    Idempotent and exception-safe by design: a second detach returns
+    None without touching anything, and ``unbind`` on a metrics object
+    that was never (or is no longer) bound is a no-op — so callers can
+    (and should) put this in a ``finally`` around request execution,
+    where it runs once whether the request completed, faulted, or was
+    cancelled mid-query. A recorder must never outlive its binding to
+    a dead engine's metrics: the binding would silently keep folding a
+    stale baseline into the aggregates on every :meth:`~StreamingRecorder.sync`.
     """
-    recorder = engine.recorder
+    recorder = getattr(engine, "recorder", None)
     engine.recorder = None
     if recorder is not None:
         recorder.unbind(engine.metrics)

@@ -476,6 +476,24 @@ class Database:
         other._predicate_marks = dict.fromkeys(other._predicates, 0)
         return other
 
+    def snapshot(self) -> "Database":
+        """A generation-preserving copy for snapshot-isolated readers.
+
+        Unlike :meth:`copy` (which models "consulted from scratch" and
+        resets every watermark), a snapshot keeps :attr:`generation`
+        and the per-predicate marks intact, so generation-scoped
+        consumers (the serving layer's :class:`repro.serve.Snapshot`
+        handles, the incremental pipeline) can compare two snapshots'
+        :meth:`predicate_marks` directly. Clause objects are shared —
+        they are immutable in use (execution always renames or
+        instantiates from skeletons) — so the copy is O(predicates),
+        cheap enough to take per update.
+        """
+        other = self.copy()
+        other.generation = self.generation
+        other._predicate_marks = dict(self._predicate_marks)
+        return other
+
     def __contains__(self, indicator: Indicator) -> bool:
         return indicator in self._predicates
 

@@ -10,6 +10,10 @@ production code declares::
     tabling.complete     the tabling fixpoint loop
     phase.build          ReorderPipeline, per-predicate build
     calibration.worker   the parallel-calibration worker task
+    serve.request        QueryServer request execution (worker thread,
+                         before the engine runs — a ``hang`` here
+                         simulates a wedged request the serve-side
+                         deadline watchdog must answer for)
 
 Each site supports three fault **kinds**:
 
@@ -56,6 +60,7 @@ FAULT_SITES = (
     "tabling.complete",
     "phase.build",
     "calibration.worker",
+    "serve.request",
 )
 
 FAULT_KINDS = ("raise", "hang", "exhaust")

@@ -1,0 +1,68 @@
+"""``repro serve``: a concurrent query server over a shared program.
+
+The serving layer turns the single-shot CLI engine into a long-lived
+process: many concurrent queries over one database, snapshot-isolated
+from live updates, behind bounded admission control. The pieces:
+
+* :mod:`~repro.serve.snapshots` — immutable program generations and the
+  copy-on-write store that builds and atomically publishes them;
+* :mod:`~repro.serve.protocol` — the newline-delimited JSON wire format
+  and the response-status / exit-code taxonomy;
+* :mod:`~repro.serve.admission` — bounded concurrency + bounded queue,
+  shedding load instead of queueing unboundedly;
+* :mod:`~repro.serve.executor` — the backend interface engine work runs
+  on (thread pool now; the watchdog process pool can slot in later);
+* :mod:`~repro.serve.server` — the asyncio server tying it together;
+* :mod:`~repro.serve.client` — a small blocking client for the CLI,
+  tests, and the load-generator benchmark.
+
+See docs/SERVING.md for the protocol and operational guidance.
+"""
+
+from .admission import AdmissionController, AdmissionDecision
+from .client import ServeClient, ServerUnavailable, parse_address
+from .executor import Executor, ThreadedExecutor
+from .protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    STATUS_CANCELLED,
+    STATUS_ERROR,
+    STATUS_EXHAUSTED,
+    STATUS_EXIT,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    STATUS_UNAVAILABLE,
+    status_exit_code,
+)
+from .server import QueryServer, ServeOptions, ServerThread
+from .snapshots import Snapshot, SnapshotStore, UpdateResult
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "Executor",
+    "ThreadedExecutor",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "STATUS_CANCELLED",
+    "STATUS_ERROR",
+    "STATUS_EXHAUSTED",
+    "STATUS_EXIT",
+    "STATUS_OK",
+    "STATUS_REJECTED",
+    "STATUS_TIMEOUT",
+    "STATUS_UNAVAILABLE",
+    "status_exit_code",
+    "QueryServer",
+    "ServeOptions",
+    "ServerThread",
+    "ServeClient",
+    "ServerUnavailable",
+    "parse_address",
+    "Snapshot",
+    "SnapshotStore",
+    "UpdateResult",
+]

@@ -1,0 +1,142 @@
+"""A small blocking client for the ``repro serve`` protocol.
+
+Used by ``repro client`` (one-shot CLI requests), the serve test suite,
+and ``benchmarks/serve_bench.py``'s load generator. Deliberately plain
+``socket`` + ``makefile`` line I/O — the client needs no concurrency of
+its own, and keeping it synchronous means benchmark worker threads
+exercise the *server's* concurrency rather than the client's.
+
+Addresses take three spellings::
+
+    host:port          TCP (``localhost:7878``)
+    unix:/path/sock    UNIX socket, explicit scheme
+    /path/sock         UNIX socket, bare absolute path
+
+Connection failures (refused, missing socket file, reset mid-request)
+raise :class:`ServerUnavailable`, which the CLI maps to
+``EXIT_UNAVAILABLE`` — the same exit code as an admission rejection,
+because both mean "this replica cannot take the work right now".
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+from .protocol import encode
+
+__all__ = ["ServerUnavailable", "ServeClient", "parse_address"]
+
+
+class ServerUnavailable(ReproError):
+    """The server could not be reached (or vanished mid-request)."""
+
+
+def parse_address(address: str):
+    """``(family, target)`` for an address spelling (see module doc)."""
+    if address.startswith("unix:"):
+        return socket.AF_UNIX, address[len("unix:"):]
+    if address.startswith("/"):
+        return socket.AF_UNIX, address
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ServerUnavailable(
+            f"bad server address {address!r} (want host:port or a "
+            f"UNIX-socket path)"
+        )
+    return socket.AF_INET, (host or "127.0.0.1", int(port))
+
+
+class ServeClient:
+    """One blocking connection; requests are sent and awaited in order."""
+
+    def __init__(self, address: str, connect_timeout: float = 5.0):
+        self.address = address
+        family, target = parse_address(address)
+        try:
+            self._sock = socket.socket(family, socket.SOCK_STREAM)
+            self._sock.settimeout(connect_timeout)
+            self._sock.connect(target)
+            self._sock.settimeout(None)
+        except OSError as exc:
+            raise ServerUnavailable(
+                f"cannot reach server at {address}: {exc}"
+            ) from exc
+        self._reader = self._sock.makefile("rb")
+        self._sequence = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one request and block for its response."""
+        import json
+
+        self._sequence += 1
+        message.setdefault("id", self._sequence)
+        try:
+            self._sock.sendall(encode(message))
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServerUnavailable(
+                f"connection to {self.address} lost: {exc}"
+            ) from exc
+        if not line:
+            raise ServerUnavailable(
+                f"server at {self.address} closed the connection"
+            )
+        return json.loads(line.decode("utf-8"))
+
+    # -- operations -------------------------------------------------------
+
+    def query(
+        self,
+        query: str,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+        **extra: object,
+    ) -> Dict[str, object]:
+        """Run one query; ``limit``/``timeout`` override server defaults
+        when given (the server's own defaults apply when omitted)."""
+        message: Dict[str, object] = {"op": "query", "query": query}
+        if limit is not None:
+            message["limit"] = limit
+        if timeout is not None:
+            message["timeout"] = timeout
+        message.update(extra)
+        return self.request(message)
+
+    def update(
+        self,
+        asserts: Optional[List[str]] = None,
+        retracts: Optional[List[str]] = None,
+    ) -> Dict[str, object]:
+        """Publish the next program generation (assert/retract chunks)."""
+        message: Dict[str, object] = {"op": "update"}
+        if asserts:
+            message["assert"] = list(asserts)
+        if retracts:
+            message["retract"] = list(retracts)
+        return self.request(message)
+
+    def ping(self) -> Dict[str, object]:
+        """Liveness probe; the response carries the current generation."""
+        return self.request({"op": "ping"})
+
+    def stats(self) -> Dict[str, object]:
+        """Fetch the server's admission/load counters."""
+        return self.request({"op": "stats"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent; errors are swallowed)."""
+        try:
+            self._reader.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,66 @@
+"""The serving backend interface: where admitted engine work runs.
+
+The event loop must never run a query itself — engine execution is
+arbitrarily long, and one slow request would freeze every connection.
+Admitted work therefore goes through an :class:`Executor`, a minimal
+awaitable-submission interface with exactly the surface the server
+needs. The default backend is a thread pool
+(:class:`ThreadedExecutor`): engine state is fully per-request (a fresh
+:class:`~repro.prolog.engine.Engine` over a pinned snapshot, its own
+trail/metrics/tables), so threads need no locking, and cooperative
+:class:`~repro.robustness.Budget` checks keep even a runaway query
+cancellable.
+
+The interface is deliberately narrow so the supervised worker pool in
+:mod:`repro.robustness.watchdog` can slot in later as a multi-process
+backend (serialize the snapshot's source text + the query, run in a
+watchdogged subprocess, kill on deadline instead of waiting for a
+cooperative check) without the server changing shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from typing import Any, Callable, Optional
+
+__all__ = ["Executor", "ThreadedExecutor"]
+
+
+class Executor:
+    """Abstract backend: run one callable off the event loop."""
+
+    async def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Execute ``fn(*args)`` off-loop; return (or raise) its result."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources; no new :meth:`run` calls after."""
+
+
+class ThreadedExecutor(Executor):
+    """Thread-pool backend (the default, single-process).
+
+    ``max_workers`` should be at least the server's ``max_inflight`` —
+    a smaller pool would silently re-queue admitted requests behind the
+    admission controller's back and distort its latency accounting.
+    """
+
+    def __init__(self, max_workers: int = 8):
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+
+    async def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the pool without blocking the loop."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, partial(fn, *args))
+
+    def shutdown(self) -> None:
+        """Release the pool without waiting for abandoned threads.
+
+        A request answered at its deadline may leave a thread still
+        unwinding cooperatively; it must not block process exit.
+        """
+        self._pool.shutdown(wait=False)

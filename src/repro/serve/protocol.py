@@ -1,0 +1,128 @@
+"""The wire protocol of ``repro serve``: newline-delimited JSON.
+
+One request per line, one response per line, over TCP or a UNIX
+socket. Requests are JSON objects with an ``op`` discriminator::
+
+    {"op": "query",  "id": "1", "query": "p(X)", "limit": 10, "timeout": 2.0}
+    {"op": "update", "id": "2", "assert": ["fact(a)."], "retract": ["fact/1"]}
+    {"op": "ping",   "id": "3"}
+    {"op": "stats",  "id": "4"}
+
+``id`` is an opaque client-chosen correlation token echoed back on the
+response (the server processes a connection's requests concurrently, so
+responses may arrive out of order). Every response carries ``status``:
+
+* ``ok``          — the request completed; payload fields follow;
+* ``error``       — bad request / program error (parse failure,
+  unknown predicate, uncaught ball, ...);
+* ``timeout``     — the request's wall-clock deadline expired;
+* ``exhausted``   — a non-deadline budget (calls/steps) ran out;
+* ``cancelled``   — the request was cancelled (drain, disconnect);
+* ``rejected``    — admission control shed the request (queue full);
+* ``unavailable`` — the server is draining and takes no new work.
+
+:data:`STATUS_EXIT` maps each status to the CLI exit-code taxonomy
+(``repro.cli``): 0 success, 2 error, 3 resource
+(``EXIT_RESOURCE``), 4 unavailable (``EXIT_UNAVAILABLE`` — admission
+rejection and unreachable-server failures share it, so a load balancer
+can treat both as "try another replica"). The numbers are duplicated
+here as literals so the protocol layer never imports the CLI;
+``tests/serve/test_protocol.py`` pins the two tables against each other.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_EXHAUSTED",
+    "STATUS_CANCELLED",
+    "STATUS_REJECTED",
+    "STATUS_UNAVAILABLE",
+    "STATUS_EXIT",
+    "OPS",
+    "encode",
+    "decode_line",
+    "error_response",
+    "status_exit_code",
+]
+
+PROTOCOL_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUS_EXHAUSTED = "exhausted"
+STATUS_CANCELLED = "cancelled"
+STATUS_REJECTED = "rejected"
+STATUS_UNAVAILABLE = "unavailable"
+
+#: Request operations the server understands.
+OPS = ("query", "update", "ping", "stats")
+
+#: Response status -> process exit code (see repro.cli EXIT_* constants).
+STATUS_EXIT: Dict[str, int] = {
+    STATUS_OK: 0,
+    STATUS_ERROR: 2,
+    STATUS_TIMEOUT: 3,
+    STATUS_EXHAUSTED: 3,
+    STATUS_CANCELLED: 3,
+    STATUS_REJECTED: 4,
+    STATUS_UNAVAILABLE: 4,
+}
+
+
+class ProtocolError(ReproError):
+    """A request line the server could not interpret."""
+
+
+def encode(message: Dict[str, object]) -> bytes:
+    """One message as a newline-terminated JSON line (UTF-8)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one request line; raises :class:`ProtocolError` on garbage.
+
+    Validation is shallow on purpose — per-op field checking happens in
+    the server so errors can be answered on the connection (with the
+    offending ``id`` echoed back) instead of dropping it.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable request line: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {OPS})")
+    return message
+
+
+def error_response(
+    request_id: Optional[object],
+    status: str,
+    error: str,
+    **fields: object,
+) -> Dict[str, object]:
+    """A non-``ok`` response carrying a human-readable ``error``."""
+    response: Dict[str, object] = {"id": request_id, "status": status,
+                                   "error": error}
+    response.update(fields)
+    return response
+
+
+def status_exit_code(status: str) -> int:
+    """The CLI exit code for a response status (unknown -> error, 2)."""
+    return STATUS_EXIT.get(status, STATUS_EXIT[STATUS_ERROR])

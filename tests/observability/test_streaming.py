@@ -326,3 +326,58 @@ class TestStreamingRecorderEngine:
         lines = recorder.summary_lines()
         assert "calls=2" in lines[0]
         assert any("f/1" in line for line in lines[1:])
+
+
+class TestAttachDetachLifecycle:
+    """Attach/detach must be idempotent and exception-safe: the serve
+    layer detaches in a ``finally`` around every request, whether the
+    request completed, faulted, or was cancelled mid-query."""
+
+    def test_detach_twice_is_a_noop(self):
+        engine = Engine.from_source("f(1).")
+        recorder = attach_recorder(engine, StreamingRecorder())
+        run_queries(engine, "f(X)", times=2)
+        assert detach_recorder(engine) is recorder
+        # The second detach (e.g. an outer finally) touches nothing.
+        assert detach_recorder(engine) is None
+        assert recorder.calls == 2
+
+    def test_detach_never_attached_returns_none(self):
+        engine = Engine.from_source("f(1).")
+        assert detach_recorder(engine) is None
+
+    def test_detach_in_finally_after_midquery_exception(self):
+        engine = Engine.from_source("f(1).\nboom(X) :- undefined_pred(X).")
+        recorder = attach_recorder(engine, StreamingRecorder())
+        try:
+            try:
+                engine.ask("f(X), boom(X)")
+            finally:
+                detach_recorder(engine)
+        except Exception:
+            pass
+        # The calls charged before the blow-up were folded in, and the
+        # recorder no longer tracks the dead engine's metrics.
+        assert engine.recorder is None
+        assert recorder.calls >= 1
+        before = recorder.calls
+        engine.ask("f(X)")
+        assert recorder.calls == before
+
+    def test_attaching_a_different_recorder_detaches_the_old_one(self):
+        engine = Engine.from_source("f(1).")
+        first = attach_recorder(engine, StreamingRecorder())
+        run_queries(engine, "f(X)", times=2)
+        second = attach_recorder(engine, StreamingRecorder())
+        run_queries(engine, "f(X)", times=3)
+        # No double instrumentation, no stale binding: each recorder
+        # accounts exactly the calls made while it was attached.
+        assert first.calls == 2
+        assert second.calls == 3
+        assert engine.recorder is second
+
+    def test_unbind_unknown_metrics_is_a_noop(self):
+        recorder = StreamingRecorder()
+        engine = Engine.from_source("f(1).")
+        recorder.unbind(engine.metrics)  # never bound: nothing happens
+        assert recorder.calls == 0

@@ -1,0 +1,58 @@
+"""Shared serve fixtures: programs, live servers, disarmed faults."""
+
+import os
+
+import pytest
+
+from repro.prolog import Database
+from repro.robustness import faults
+from repro.serve import ServeOptions, ServerThread
+
+#: A finite relation plus tunable-cost generators, all at shallow
+#: recursion depth: ``spin/4`` yields 10^4 solutions (use ``limit`` to
+#: dial per-request work), and ``slow/0`` searches 10^8 combinations —
+#: effectively unbounded, so deadline/cancellation paths always win.
+PROGRAM = (
+    "\n".join(f"d({i})." for i in range(10))
+    + """
+parent(a, b). parent(b, c). parent(c, d). parent(d, e).
+anc(X, Y) :- parent(X, Y).
+anc(X, Y) :- parent(X, Z), anc(Z, Y).
+spin(A, B, C, D) :- d(A), d(B), d(C), d(D).
+slow :- spin(_, _, _, _), spin(_, _, _, _), fail.
+"""
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+    os.environ.pop("REPRO_FAULTS", None)
+    os.environ.pop("REPRO_FAULTS_SEED", None)
+
+
+@pytest.fixture()
+def database():
+    return Database.from_source(PROGRAM)
+
+
+@pytest.fixture()
+def server_factory(database):
+    """Start ``ServerThread`` servers on ephemeral ports; always stop."""
+    started = []
+
+    def factory(db=None, **option_kwargs):
+        option_kwargs.setdefault("port", 0)
+        option_kwargs.setdefault("default_timeout", 10.0)
+        thread = ServerThread(
+            db if db is not None else database, ServeOptions(**option_kwargs)
+        )
+        started.append(thread)
+        thread.start()
+        return thread
+
+    yield factory
+    for thread in started:
+        thread.stop()

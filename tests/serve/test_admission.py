@@ -1,0 +1,136 @@
+"""Admission controller: bounded concurrency, bounded queue, FIFO
+grants, immediate shed, cancellation safety."""
+
+import asyncio
+
+from repro.serve import AdmissionController
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestSlots:
+    def test_admits_up_to_max_inflight_without_queueing(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=3, max_queue=2)
+            decisions = [await admission.acquire() for _ in range(3)]
+            assert all(d.admitted and not d.queued for d in decisions)
+            assert admission.inflight == 3
+            assert admission.queued == 0
+
+        run(scenario())
+
+    def test_release_frees_a_slot(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=0)
+            await admission.acquire()
+            admission.release()
+            decision = await admission.acquire()
+            assert decision.admitted
+            assert admission.completed_total == 1
+
+        run(scenario())
+
+    def test_peak_inflight_high_water_mark(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=4, max_queue=0)
+            for _ in range(4):
+                await admission.acquire()
+            for _ in range(4):
+                admission.release()
+            await admission.acquire()
+            assert admission.peak_inflight == 4
+
+        run(scenario())
+
+
+class TestQueueing:
+    def test_saturated_arrival_waits_then_runs(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=2)
+            await admission.acquire()
+            waiter = asyncio.ensure_future(admission.acquire())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            assert admission.queued == 1
+            admission.release()
+            decision = await waiter
+            assert decision.admitted and decision.queued
+
+        run(scenario())
+
+    def test_grants_are_fifo(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=4)
+            await admission.acquire()
+            order = []
+
+            async def wait(tag):
+                await admission.acquire()
+                order.append(tag)
+
+            waiters = [asyncio.ensure_future(wait(tag)) for tag in "abc"]
+            await asyncio.sleep(0)
+            for _ in range(3):
+                admission.release()
+                await asyncio.sleep(0)
+            await asyncio.gather(*waiters)
+            assert order == ["a", "b", "c"]
+
+        run(scenario())
+
+    def test_full_queue_sheds_immediately(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=1)
+            await admission.acquire()
+            queued = asyncio.ensure_future(admission.acquire())
+            await asyncio.sleep(0)
+            decision = await admission.acquire()  # returns at once
+            assert not decision.admitted
+            assert decision.queue_depth == 1
+            assert admission.rejected_total == 1
+            admission.release()
+            assert (await queued).admitted
+
+        run(scenario())
+
+    def test_zero_queue_rejects_at_capacity(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=0)
+            await admission.acquire()
+            decision = await admission.acquire()
+            assert not decision.admitted
+
+        run(scenario())
+
+
+class TestCancellation:
+    def test_cancelled_waiter_is_skipped_at_grant_time(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=1, max_queue=4)
+            await admission.acquire()
+            doomed = asyncio.ensure_future(admission.acquire())
+            survivor = asyncio.ensure_future(admission.acquire())
+            await asyncio.sleep(0)
+            doomed.cancel()
+            await asyncio.sleep(0)
+            admission.release()
+            decision = await survivor
+            assert decision.admitted
+            assert admission.inflight == 1
+
+        run(scenario())
+
+    def test_counters_snapshot_shape(self):
+        async def scenario():
+            admission = AdmissionController(max_inflight=2, max_queue=3)
+            await admission.acquire()
+            snapshot = admission.snapshot()
+            assert snapshot == {
+                "inflight": 1, "queued": 0, "peak_inflight": 1,
+                "max_inflight": 2, "max_queue": 3,
+                "admitted": 1, "rejected": 0, "completed": 0,
+            }
+
+        run(scenario())

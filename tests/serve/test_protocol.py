@@ -1,0 +1,91 @@
+"""Wire-format and status/exit-code taxonomy tests."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_ERROR, EXIT_RESOURCE, EXIT_UNAVAILABLE
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    STATUS_CANCELLED,
+    STATUS_ERROR,
+    STATUS_EXHAUSTED,
+    STATUS_EXIT,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    STATUS_UNAVAILABLE,
+    decode_line,
+    encode,
+    error_response,
+    status_exit_code,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self):
+        message = {"op": "query", "id": "q1", "query": "anc(a, X)", "limit": 3}
+        assert decode_line(encode(message)) == message
+
+    def test_encode_is_one_line(self):
+        line = encode({"op": "ping", "note": "multi\nline\ntext"})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_garbage_bytes_raise(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json\n")
+
+    def test_non_object_raises(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1, 2]\n")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_line(b'{"op": "explode"}\n')
+
+    def test_missing_op_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b'{"query": "f(X)"}\n')
+
+    def test_error_response_shape(self):
+        response = error_response("id-9", STATUS_REJECTED, "full", generation=3)
+        assert response == {
+            "id": "id-9", "status": STATUS_REJECTED, "error": "full",
+            "generation": 3,
+        }
+        json.dumps(response)  # must stay JSON-serializable
+
+
+class TestExitCodeTaxonomy:
+    """STATUS_EXIT duplicates the CLI constants as literals (so the
+    protocol layer never imports the CLI); pin the two tables against
+    each other so they cannot drift apart."""
+
+    def test_every_status_has_an_exit_code(self):
+        statuses = {
+            STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT, STATUS_EXHAUSTED,
+            STATUS_CANCELLED, STATUS_REJECTED, STATUS_UNAVAILABLE,
+        }
+        assert set(STATUS_EXIT) == statuses
+
+    def test_pinned_against_cli_constants(self):
+        assert STATUS_EXIT[STATUS_OK] == 0
+        assert STATUS_EXIT[STATUS_ERROR] == EXIT_ERROR
+        assert STATUS_EXIT[STATUS_TIMEOUT] == EXIT_RESOURCE
+        assert STATUS_EXIT[STATUS_EXHAUSTED] == EXIT_RESOURCE
+        assert STATUS_EXIT[STATUS_CANCELLED] == EXIT_RESOURCE
+        assert STATUS_EXIT[STATUS_REJECTED] == EXIT_UNAVAILABLE
+        assert STATUS_EXIT[STATUS_UNAVAILABLE] == EXIT_UNAVAILABLE
+
+    def test_exit_constants_are_distinct(self):
+        assert len({0, 1, EXIT_ERROR, EXIT_RESOURCE, EXIT_UNAVAILABLE}) == 5
+
+    def test_unknown_status_maps_to_error(self):
+        assert status_exit_code("who-knows") == EXIT_ERROR
+
+    def test_ops_catalog(self):
+        assert OPS == ("query", "update", "ping", "stats")
+        assert PROTOCOL_VERSION == 1

@@ -1,0 +1,87 @@
+"""The ``serve.request`` fault site: wedged or exploding requests are
+contained to their own response, at their own deadline."""
+
+import threading
+import time
+
+from repro.robustness import faults
+from repro.serve import ServeClient
+
+
+class TestHungRequest:
+    def test_hang_is_answered_at_the_deadline_not_after_the_hang(
+        self, server_factory
+    ):
+        """A request wedged in a 3s hang, under a 0.3s deadline, must be
+        answered by the watchdog at ~deadline+grace — and a concurrent
+        request on another connection must complete normally while the
+        wedged thread is still sleeping."""
+        faults.install_from_spec("serve.request:hang:3.0@1")
+        thread = server_factory(
+            max_inflight=4, default_timeout=0.3, grace=0.2, drain_timeout=0.5
+        )
+        address = thread.server.address
+        wedged = {}
+
+        def victim():
+            with ServeClient(address) as client:
+                started = time.perf_counter()
+                wedged["response"] = client.query("anc(a, X)")
+                wedged["elapsed"] = time.perf_counter() - started
+
+        runner = threading.Thread(target=victim)
+        runner.start()
+        time.sleep(0.1)  # the victim is inside the injected hang now
+        with ServeClient(address) as client:
+            healthy = client.query("anc(a, X)")
+        assert healthy["status"] == "ok"
+        assert healthy["count"] == 4
+        runner.join(timeout=10.0)
+        assert wedged["response"]["status"] == "timeout"
+        assert "abandoned" in wedged["response"]["error"]
+        # Answered at deadline + grace, far before the 3s hang ends.
+        assert wedged["elapsed"] < 2.0
+        # The plan actually tripped (once: the healthy request ran with
+        # the rule already consumed).
+        assert faults.ACTIVE.trips == [("serve.request", "hang")]
+
+    def test_watchdog_emits_a_cancelled_event_and_frees_the_slot(
+        self, server_factory
+    ):
+        faults.install_from_spec("serve.request:hang:3.0@1")
+        thread = server_factory(
+            max_inflight=1, max_queue=0, default_timeout=0.3, grace=0.2,
+            drain_timeout=0.5,
+        )
+        address = thread.server.address
+        with ServeClient(address) as client:
+            assert client.query("anc(a, X)")["status"] == "timeout"
+            # The wedged thread still sleeps, but its admission slot was
+            # released with the response: the next request runs now.
+            assert client.query("anc(a, X)")["status"] == "ok"
+        events = [e for e in thread.server.events if e.kind == "request"]
+        assert [e.action for e in events if e.status == "timeout"] == [
+            "cancelled"
+        ]
+        assert thread.server.admission.inflight == 0
+
+
+class TestRaisingRequest:
+    def test_injected_raise_is_one_error_response(self, server_factory):
+        faults.install_from_spec("serve.request:raise@1")
+        with ServeClient(server_factory().server.address) as client:
+            response = client.query("anc(a, X)")
+            assert response["status"] == "error"
+            assert "injected fault" in response["error"]
+            # The connection and the server survive.
+            assert client.query("anc(a, X)")["status"] == "ok"
+
+    def test_injected_exhaustion_maps_to_exhausted(self, server_factory):
+        faults.install_from_spec("serve.request:exhaust@1")
+        with ServeClient(server_factory().server.address) as client:
+            response = client.query("anc(a, X)")
+            assert response["status"] == "exhausted"
+            assert client.query("anc(a, X)")["status"] == "ok"
+
+    def test_site_is_in_the_catalog(self):
+        assert "serve.request" in faults.FAULT_SITES

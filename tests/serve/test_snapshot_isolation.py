@@ -1,0 +1,168 @@
+"""Snapshot-isolation property: a reader admitted at generation G sees
+exactly what a serial run against G's program would see, no matter how
+many writers publish past it mid-query.
+
+Two layers:
+
+* a deterministic store-level test that interleaves a reader's
+  solution pulls with concurrent generation publishes (threads, no
+  sockets), and
+* a hypothesis property over random update schedules driven through
+  the real server, checking every response against a serial oracle for
+  the generation the response reports.
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prolog import Database, Engine, term_to_string
+from repro.serve import ServeClient, SnapshotStore
+
+
+def base_source(facts):
+    return (
+        "".join(f"item({n}).\n" for n in sorted(facts))
+        + "pair(X, Y) :- item(X), item(Y).\n"
+    )
+
+
+class TestStoreLevelIsolation:
+    def test_reader_pinned_mid_enumeration(self):
+        """Pull one solution, let writers advance three generations,
+        pull the rest: the answer set is the pinned generation's."""
+        store = SnapshotStore(Database.from_source(base_source({1, 2, 3})))
+        pinned = store.current
+        engine = Engine(pinned.database)
+        solutions = engine.solve("pair(X, Y)")
+        first = next(solutions)
+        assert first is not None
+
+        published = threading.Event()
+
+        def writer():
+            for n in (10, 11, 12):
+                store.publish(
+                    store.build(store.current, asserts=[f"item({n})."])
+                )
+            published.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        thread.join(timeout=10.0)
+        assert published.is_set()
+        assert store.generation == 3
+        rest = list(solutions)
+        # 3 items -> 9 pairs total, regardless of the 3 items added
+        # to later generations while we were enumerating.
+        assert 1 + len(rest) == 9
+
+    def test_concurrent_readers_on_distinct_generations(self):
+        store = SnapshotStore(Database.from_source(base_source({1})))
+        generations = [store.current]
+        for n in (2, 3):
+            generations.append(
+                store.publish(
+                    store.build(store.current, asserts=[f"item({n})."])
+                )
+            )
+        results = {}
+        lock = threading.Lock()
+
+        def reader(snapshot):
+            count = Engine(snapshot.database).count_solutions("pair(X, Y)")
+            with lock:
+                results[snapshot.generation] = count
+
+        threads = [
+            threading.Thread(target=reader, args=(snapshot,))
+            for snapshot in generations
+            for _ in range(2)  # each generation read twice, concurrently
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert results == {0: 1, 1: 4, 2: 9}
+
+
+class TestServerLevelIsolation:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        updates=st.lists(
+            st.integers(min_value=10, max_value=99),
+            min_size=1, max_size=4, unique=True,
+        ),
+        readers=st.integers(min_value=2, max_value=6),
+    )
+    def test_every_response_matches_a_serial_run_of_its_generation(
+        self, updates, readers
+    ):
+        from repro.serve import ServeOptions, ServerThread
+
+        initial = {1, 2, 3}
+        database = Database.from_source(base_source(initial))
+        # The oracle: item-set per generation, as the writer will
+        # publish them (updates apply in submission order on one
+        # connection, so generation g holds the first g updates).
+        items_at = {0: set(initial)}
+        for generation, item in enumerate(updates, start=1):
+            items_at[generation] = items_at[generation - 1] | {item}
+
+        thread = ServerThread(
+            database,
+            ServeOptions(port=0, max_inflight=readers + 1, max_queue=32,
+                         default_timeout=30.0),
+        )
+        address = thread.start()
+        responses = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def reader_worker():
+            with ServeClient(address) as client:
+                while not stop.is_set():
+                    response = client.query("pair(X, Y)")
+                    with lock:
+                        responses.append(response)
+
+        try:
+            workers = [
+                threading.Thread(target=reader_worker)
+                for _ in range(readers)
+            ]
+            for worker in workers:
+                worker.start()
+            with ServeClient(address) as writer:
+                for item in updates:
+                    result = writer.update(asserts=[f"item({item})."])
+                    assert result["status"] == "ok"
+            stop.set()
+            for worker in workers:
+                worker.join(timeout=60.0)
+        finally:
+            stop.set()
+            thread.stop()
+
+        assert responses, "readers never completed a query"
+        for response in responses:
+            assert response["status"] == "ok"
+            generation = response["generation"]
+            expected_items = items_at[generation]
+            # A serial engine over generation g's exact program,
+            # rendered the same way the server renders bindings.
+            oracle = Engine(
+                Database.from_source(base_source(expected_items))
+            )
+            expected = sorted(
+                (
+                    term_to_string(solution.bindings["X"]),
+                    term_to_string(solution.bindings["Y"]),
+                )
+                for solution in oracle.ask("pair(X, Y)")
+            )
+            got = sorted(
+                (s["X"], s["Y"]) for s in response["solutions"]
+            )
+            assert got == expected
+            assert response["count"] == len(expected_items) ** 2

@@ -1,0 +1,127 @@
+"""Snapshot store semantics: build off to the side, publish atomically,
+never mutate a published generation."""
+
+import pytest
+
+from repro.errors import PrologSyntaxError
+from repro.prolog import Engine
+from repro.serve import SnapshotStore
+
+
+def count(database, query):
+    return Engine(database).count_solutions(query)
+
+
+@pytest.fixture()
+def store(database):
+    return SnapshotStore(database)
+
+
+class TestBuildAndPublish:
+    def test_initial_generation_is_zero(self, store):
+        assert store.generation == 0
+        assert store.current.generation == 0
+
+    def test_assert_builds_next_generation(self, store):
+        result = store.build(store.current, asserts=["parent(e, f)."])
+        assert result.asserted == 1
+        assert result.retracted == 0
+        assert result.snapshot.generation == 1
+        # Not yet published: readers still see generation 0.
+        assert store.generation == 0
+        store.publish(result)
+        assert store.generation == 1
+
+    def test_published_database_reflects_update(self, store):
+        base_count = count(store.current.database, "parent(X, Y)")
+        store.publish(store.build(store.current, asserts=["parent(e, f)."]))
+        assert count(store.current.database, "parent(X, Y)") == base_count + 1
+
+    def test_base_snapshot_is_untouched_by_the_build(self, store):
+        base = store.current
+        before = count(base.database, "parent(X, Y)")
+        store.publish(
+            store.build(base, asserts=["parent(x, y). parent(y, z)."])
+        )
+        # The pinned generation-0 database never changes.
+        assert count(base.database, "parent(X, Y)") == before
+        assert base.generation == 0
+
+    def test_retract_by_indicator_removes_whole_predicate(self, store):
+        from repro.errors import ExistenceError
+
+        result = store.build(store.current, retracts=["parent/2"])
+        assert result.retracted == 4
+        store.publish(result)
+        assert ("parent", 2) not in store.current.database.predicates()
+        # Calling the removed predicate is now an existence error, like
+        # any other unknown predicate.
+        with pytest.raises(ExistenceError):
+            count(store.current.database, "parent(X, Y)")
+
+    def test_retract_by_clause_removes_structural_matches(self, store):
+        result = store.build(store.current, retracts=["parent(a, b)."])
+        assert result.retracted == 1
+        store.publish(result)
+        assert count(store.current.database, "parent(a, X)") == 0
+        assert count(store.current.database, "parent(b, X)") == 1
+
+    def test_retract_matching_nothing_counts_zero(self, store):
+        result = store.build(store.current, retracts=["parent(zz, qq)."])
+        assert result.retracted == 0
+        store.publish(result)
+        assert store.generation == 1
+
+    def test_mixed_update_applies_retracts_then_asserts(self, store):
+        result = store.build(
+            store.current,
+            asserts=["parent(a, b2)."],
+            retracts=["parent(a, b)."],
+        )
+        store.publish(result)
+        assert count(store.current.database, "parent(a, X)") == 1
+
+    def test_syntax_error_leaves_current_generation_standing(self, store):
+        with pytest.raises(PrologSyntaxError):
+            store.build(store.current, asserts=["parent(broken"])
+        assert store.generation == 0
+
+    def test_stale_publish_is_rejected_loudly(self, store):
+        base = store.current
+        first = store.build(base, asserts=["parent(e, f)."])
+        second = store.build(base, asserts=["parent(e, g)."])
+        store.publish(first)
+        with pytest.raises(RuntimeError, match="stale"):
+            store.publish(second)
+        # The winning update is still in place.
+        assert store.generation == 1
+
+    def test_generations_chain(self, store):
+        for n in range(3):
+            store.publish(
+                store.build(store.current, asserts=[f"extra{n}(x)."])
+            )
+        assert store.generation == 3
+        marks = store.current.marks
+        assert ("extra2", 1) in marks
+
+
+class TestSnapshotHandle:
+    def test_marks_frozen_at_publication(self, store):
+        base = store.current
+        frozen = dict(base.marks)
+        store.publish(store.build(base, asserts=["parent(q, r)."]))
+        # The pinned handle's watermark map is the one captured at its
+        # own publication, untouched by the later generation.
+        assert base.marks == frozen
+        assert ("parent", 2) in base.marks
+
+    def test_queries_on_old_and_new_snapshots_coexist(self, store):
+        old = store.current
+        store.publish(store.build(old, asserts=["parent(e, f)."]))
+        new = store.current
+        assert count(old.database, "anc(a, X)") == 4
+        assert count(new.database, "anc(a, X)") == 5
+        # Interleave again to prove neither engine run disturbed either.
+        assert count(old.database, "anc(a, X)") == 4
+        assert count(new.database, "anc(a, X)") == 5
