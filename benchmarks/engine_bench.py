@@ -32,13 +32,35 @@ Workloads (all run on the default compiled engine):
     dispatch rather than clause resolution.
 ``unindexed_join``
     A two-literal join over unindexed facts — clause tries plus real
-    backtracking.
+    backtracking. The engine's bulk scan plans short-circuit the
+    fingerprint rejects while charging identical counters.
+``unindexed_join_legacy``
+    The same join with scan plans disabled: the pre-plan per-clause
+    loop. Its counters must be byte-identical to ``unindexed_join``
+    (the plan is a pure speedup), which ``--check`` enforces in-run.
+``indexed_join``
+    The same join with multi-argument indexing on — backtracking all
+    but disappears (``--check`` demands a >=10x drop in-run).
+``bound_second_arg_lookup``
+    A lookup bound only in the *second* argument — the case
+    first-argument indexing cannot help; the multi-argument index
+    probes the position-1 buckets instead of scanning.
+``datalog_closure``
+    Transitive closure on a cycle, evaluated bottom-up
+    (``eval_strategy="bottomup"``) on a fresh engine per repetition so
+    every repetition pays the full semi-naive materialization.
+``datalog_closure_tabled``
+    The same closure on the tabled top-down engine, also fresh per
+    repetition — the comparator for the in-run gate that bottom-up
+    materialization beats tabled SLD by >=3x.
 
 The JSON schema (``repro-engine-bench/1``) stores, per workload, the
 measured ``ops_per_sec``, the number of solutions, and the engine
 metrics charged by one execution. Counters are deterministic, so
 ``--check`` compares them exactly; throughput is machine-dependent, so
-it is compared as a ratio against ``--tolerance``.
+it is compared as a ratio against ``--tolerance``. ``--check`` also
+applies the machine-independent *relative* gates above, which compare
+workloads of the same fresh run against each other.
 """
 
 import argparse
@@ -47,7 +69,7 @@ import platform
 import sys
 import time
 
-from repro.prolog import Engine, parse_term
+from repro.prolog import Database, Engine, parse_term
 
 SCHEMA = "repro-engine-bench/1"
 
@@ -66,6 +88,7 @@ COUNTER_KEYS = (
 FACT_COUNT = 5_000
 CHAIN_LENGTH = 24
 JOIN_FACTS = 500
+CLOSURE_NODES = 60
 
 
 def _facts_engine(indexing):
@@ -102,12 +125,62 @@ def workload_arith_chain():
     )
 
 
-def workload_unindexed_join():
+def _join_engine(indexing, scan_plans=True):
     source = "\n".join(f"edge({i}, {(i + 1) % JOIN_FACTS})." for i in range(JOIN_FACTS))
     source += "\njoin(A, C) :- edge(A, B), edge(B, C).\n"
     engine = Engine.from_source(source)
-    engine.database.indexing = False
-    return engine, parse_term("join(1, C)"), 1
+    engine.database.indexing = indexing
+    engine.database.scan_plans = scan_plans
+    return engine
+
+
+def workload_unindexed_join():
+    return _join_engine(False), parse_term("join(1, C)"), 1
+
+
+def workload_unindexed_join_legacy():
+    return _join_engine(False, scan_plans=False), parse_term("join(1, C)"), 1
+
+
+def workload_indexed_join():
+    return _join_engine(True), parse_term("join(1, C)"), 1
+
+
+def workload_bound_second_arg_lookup():
+    # rec(I, v{I mod 97}): position 1 holds 97 distinct values, so the
+    # multi-argument index narrows 5000 clauses to ~52 candidates.
+    expected = sum(1 for i in range(FACT_COUNT) if i % 97 == 42)
+    return _facts_engine(True), parse_term("rec(V, v42)"), expected
+
+
+def _closure_database():
+    # Two out-edges per node: every closure fact is derivable many
+    # ways, so duplicate derivations dominate — cheap dict-dedup
+    # bottom-up, full SLD resolution machinery per duplicate top-down.
+    source = "\n".join(
+        f"edge({i}, {(i + d) % CLOSURE_NODES})."
+        for i in range(CLOSURE_NODES)
+        for d in (1, 2)
+    )
+    source += "\npath(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n"
+    return Database.from_source(source)
+
+
+def workload_datalog_closure():
+    database = _closure_database()
+    # A fresh engine per repetition: the bottom-up dispatcher caches
+    # materialized relations per engine, so this times the full
+    # semi-naive fixpoint every time, not one fixpoint plus probes.
+    factory = lambda: Engine(database, eval_strategy="bottomup")
+    return factory, parse_term("path(0, X)"), CLOSURE_NODES, "fresh_engine"
+
+
+def workload_datalog_closure_tabled():
+    database = _closure_database()
+    # Tables are engine-private too, so the comparator pays the full
+    # tabled top-down evaluation per repetition — like for like.
+    factory = lambda: Engine(database, table_all=True)
+    return factory, parse_term("path(0, X)"), CLOSURE_NODES, "fresh_engine"
 
 
 WORKLOADS = {
@@ -116,12 +189,30 @@ WORKLOADS = {
     "deep_conjunction": workload_deep_conjunction,
     "arith_chain": workload_arith_chain,
     "unindexed_join": workload_unindexed_join,
+    "unindexed_join_legacy": workload_unindexed_join_legacy,
+    "indexed_join": workload_indexed_join,
+    "bound_second_arg_lookup": workload_bound_second_arg_lookup,
+    "datalog_closure": workload_datalog_closure,
+    "datalog_closure_tabled": workload_datalog_closure_tabled,
 }
 
 
 def run_workload(name, min_seconds):
-    """Run one workload: counters from a single pass, then a timing loop."""
-    engine, goal, expected = WORKLOADS[name]()
+    """Run one workload: counters from a single pass, then a timing loop.
+
+    A workload may return ``(engine, goal, expected)`` for the usual
+    reuse-one-engine loop, or ``(factory, goal, expected,
+    "fresh_engine")`` to construct a fresh engine per repetition (the
+    materialization/tabling workloads, whose caches would otherwise
+    make every repetition after the first a no-op).
+    """
+    spec = WORKLOADS[name]()
+    factory = None
+    if len(spec) == 4:
+        factory, goal, expected, _ = spec
+        engine = factory()
+    else:
+        engine, goal, expected = spec
 
     before = engine.metrics.snapshot()
     solutions = sum(1 for _ in engine.solve(goal))
@@ -137,6 +228,8 @@ def run_workload(name, min_seconds):
     start = time.perf_counter()
     deadline = start + min_seconds
     while True:
+        if factory is not None:
+            engine = factory()
         for _ in engine.solve(goal):
             pass
         runs += 1
@@ -201,6 +294,69 @@ def check(results, baseline, tolerance):
     return failures
 
 
+def relative_gates(results):
+    """Machine-independent gates comparing workloads of one fresh run.
+
+    Unlike the baseline comparison (whose throughput leg depends on the
+    machine that wrote the baseline), these ratios pit two workloads of
+    the *same* run against each other, so they hold anywhere:
+
+    - scan plans must make ``unindexed_join`` >=5x faster than the
+      per-clause-loop ``unindexed_join_legacy`` while charging
+      byte-identical counters (the optimization is invisible to the
+      cost model);
+    - multi-argument indexing must cut ``indexed_join`` backtracks to
+      <=1/10 of the unindexed scan's;
+    - bottom-up ``datalog_closure`` must beat the tabled top-down
+      comparator by >=3x, with identical answer counts.
+
+    Gates whose workloads were not part of this run are skipped, so
+    ``--workload``-filtered runs still check cleanly.
+    """
+    failures = []
+    workloads = results["workloads"]
+
+    join = workloads.get("unindexed_join")
+    legacy = workloads.get("unindexed_join_legacy")
+    if join and legacy:
+        if join["ops_per_sec"] < 5.0 * legacy["ops_per_sec"]:
+            failures.append(
+                f"unindexed_join: {join['ops_per_sec']} ops/s is not >=5x "
+                f"the legacy per-clause loop ({legacy['ops_per_sec']} ops/s)"
+            )
+        if join["metrics"] != legacy["metrics"]:
+            failures.append(
+                f"unindexed_join: counters {join['metrics']} diverge from "
+                f"legacy loop {legacy['metrics']} (scan plans must be "
+                "counter-neutral)"
+            )
+
+    indexed = workloads.get("indexed_join")
+    if indexed and join:
+        if indexed["metrics"]["backtracks"] * 10 > join["metrics"]["backtracks"]:
+            failures.append(
+                f"indexed_join: {indexed['metrics']['backtracks']} backtracks "
+                f"is not <=1/10 of unindexed "
+                f"({join['metrics']['backtracks']})"
+            )
+
+    closure = workloads.get("datalog_closure")
+    tabled = workloads.get("datalog_closure_tabled")
+    if closure and tabled:
+        if closure["ops_per_sec"] < 3.0 * tabled["ops_per_sec"]:
+            failures.append(
+                f"datalog_closure: {closure['ops_per_sec']} ops/s bottom-up "
+                f"is not >=3x tabled top-down "
+                f"({tabled['ops_per_sec']} ops/s)"
+            )
+        if closure["solutions"] != tabled["solutions"]:
+            failures.append(
+                f"datalog_closure: {closure['solutions']} bottom-up answers "
+                f"!= {tabled['solutions']} tabled answers"
+            )
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -252,6 +408,7 @@ def main(argv=None):
         with open(args.check) as handle:
             baseline = json.load(handle)
         failures = check(results, baseline, args.tolerance)
+        failures += relative_gates(results)
         if failures:
             for failure in failures:
                 print(f"FAIL {failure}", file=sys.stderr)

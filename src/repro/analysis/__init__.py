@@ -27,6 +27,7 @@ from .modes import (
 )
 from .recursion import recursion_groups, recursive_predicates, strongly_connected_components
 from .semifixity import SemifixityAnalysis
+from .stratify import ClauseInfo, Stratification, StratumInfo, analyze_clause, stratify
 
 __all__ = [
     "BUILTIN_TABLE",
@@ -34,11 +35,14 @@ __all__ = [
     "BuiltinProfile",
     "CalibrationOptions",
     "CallGraph",
+    "ClauseInfo",
     "EmpiricalCalibrator",
     "CostDeclaration",
     "Declarations",
     "DomainAnalysis",
     "FixityAnalysis",
+    "Stratification",
+    "StratumInfo",
     "Inst",
     "Mode",
     "ModeInference",
@@ -46,6 +50,7 @@ __all__ = [
     "ModePair",
     "SemifixityAnalysis",
     "all_input_modes",
+    "analyze_clause",
     "apply_output",
     "argument_inst",
     "bind_head_states",
@@ -65,6 +70,7 @@ __all__ = [
     "recursion_groups",
     "recursive_predicates",
     "side_effect_builtins",
+    "stratify",
     "strongly_connected_components",
     "structural_descent_positions",
 ]

@@ -113,6 +113,15 @@ def _add_table_flag(parser: argparse.ArgumentParser) -> None:
                              "see docs/TABLING.md)")
 
 
+def _add_eval_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--eval", choices=["topdown", "bottomup", "auto"],
+                        default="topdown", dest="eval_strategy",
+                        help="evaluation strategy: topdown SLD (default), "
+                             "bottomup semi-naive for datalog-eligible "
+                             "strata, or auto per-stratum cost-model choice "
+                             "(see docs/EVALUATION.md)")
+
+
 def _add_robustness_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="wall-clock deadline; expiry exits with code "
@@ -264,7 +273,10 @@ def command_run(args: argparse.Namespace) -> int:
     """``run FILE QUERY``: execute a query, printing answers + calls."""
     database = _load(args.file)
     engine = Engine(
-        database, table_all=args.table_all, budget=_deadline_budget(args)
+        database,
+        table_all=args.table_all,
+        budget=_deadline_budget(args),
+        eval_strategy=getattr(args, "eval_strategy", "topdown"),
     )
     bus = None
     if args.profile or args.json:
@@ -354,21 +366,28 @@ def command_compare(args: argparse.Namespace) -> int:
     report = None
     spans = None
     search = None
+    strategy = getattr(args, "eval_strategy", "topdown")
     if args.method == "warren":
         from .baselines.warren import WarrenReorderer
 
         reordered_database = WarrenReorderer(database).reorder_program()
-        new_engine = Engine(reordered_database, table_all=args.table_all)
+        new_engine = Engine(
+            reordered_database, table_all=args.table_all, eval_strategy=strategy
+        )
     else:
         reorderer = Reorderer(
             database, _options_from_args(args), budget=_deadline_budget(args)
         )
         program = reorderer.reorder()
-        new_engine = program.engine(table_all=args.table_all)
+        new_engine = program.engine(
+            table_all=args.table_all, eval_strategy=strategy
+        )
         report, spans, search = (
             program.report, reorderer.spans, reorderer.search_counters
         )
-    original_engine = Engine(database, table_all=args.table_all)
+    original_engine = Engine(
+        database, table_all=args.table_all, eval_strategy=strategy
+    )
     original_bus = new_bus = None
     if args.profile or args.json:
         from .observability import attach
@@ -738,6 +757,7 @@ def command_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         log_path=args.log,
         table_all=args.table_all,
+        eval_strategy=getattr(args, "eval_strategy", "topdown"),
     )
     server = QueryServer(database, options)
 
@@ -844,6 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("query")
     _add_profile_flags(run)
     _add_table_flag(run)
+    _add_eval_flag(run)
     _add_robustness_flags(run)
     run.set_defaults(handler=command_run)
 
@@ -858,6 +879,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_reorder_flags(compare)
     _add_profile_flags(compare)
     _add_table_flag(compare)
+    _add_eval_flag(compare)
     _add_robustness_flags(compare)
     compare.set_defaults(handler=command_compare)
 
@@ -960,6 +982,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-seed", type=int, default=0, metavar="N",
                        help="seed for --faults trigger positions (default 0)")
     _add_table_flag(serve)
+    _add_eval_flag(serve)
     serve.set_defaults(handler=command_serve)
 
     client = commands.add_parser(

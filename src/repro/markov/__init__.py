@@ -1,6 +1,7 @@
 """The Markov-chain cost model (paper §VI): absorbing chains over clause
 bodies, closed-form formulas, and the whole-program cost propagation."""
 
+from .backend import BackendChoice, bottomup_cost_estimate, choose_backend
 from .chain import (
     AllSolutionsResult,
     ChainResult,
@@ -28,6 +29,7 @@ from .stats_store import StatsStore
 
 __all__ = [
     "AllSolutionsResult",
+    "BackendChoice",
     "ChainResult",
     "CostModel",
     "GoalStats",
@@ -37,6 +39,8 @@ __all__ = [
     "all_solutions_cost_closed_form",
     "all_solutions_matrix",
     "all_solutions_visits_closed_form",
+    "bottomup_cost_estimate",
+    "choose_backend",
     "clamp_probability",
     "evaluate_sequence",
     "expected_cost_until_failure",

@@ -1,0 +1,101 @@
+"""Per-stratum backend selection: top-down SLD vs bottom-up semi-naive.
+
+The paper's ``p``/``c`` framework decides which *order* to run subgoals
+in; this module generalizes it to which *evaluator* to run a stratum
+with. A stratum's bottom-up cost is bounded by its materialization
+work — every derivable fact is derived a constant number of times under
+the semi-naive discipline — while the top-down cost of an all-free call
+is the cost model's exhaustive-exploration estimate, which for a
+recursive stratum re-derives shared subgoals exponentially often
+unless tabled. :func:`choose_backend` compares the two (when top-down
+stats exist) and falls back to a structural rule — recursive eligible
+strata go bottom-up — when the model has nothing calibrated, which is
+also what the engine's ``--eval=auto`` dispatcher uses at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BackendChoice", "bottomup_cost_estimate", "choose_backend"]
+
+
+@dataclass(frozen=True)
+class BackendChoice:
+    """One stratum's verdict: the backend plus the reasoning trail."""
+
+    #: ``"bottomup"`` or ``"topdown"``.
+    backend: str
+    #: One-line human-readable justification.
+    reason: str
+    #: Estimated exhaustive top-down cost (predicate calls), if known.
+    topdown_cost: Optional[float] = None
+    #: Estimated materialization cost (derivation attempts).
+    bottomup_cost: Optional[float] = None
+
+
+def bottomup_cost_estimate(
+    fact_count: int, rule_count: int, recursive: bool
+) -> float:
+    """Derivation-attempt bound for materializing one stratum.
+
+    Semi-naive evaluation derives each fact once per rule that can
+    produce it; recursive strata pay an extra delta-propagation factor
+    (each fact re-enters the join once as a delta tuple). Deliberately
+    coarse — the point is the *order of magnitude* against the
+    top-down estimate, the same spirit as the paper's ``p/c`` numbers.
+    """
+    base = float(max(fact_count, 1)) * float(rule_count + 1)
+    return base * (2.0 if recursive else 1.0)
+
+
+def choose_backend(
+    *,
+    eligible: bool,
+    recursive: bool,
+    fact_count: int = 0,
+    rule_count: int = 0,
+    topdown=None,
+) -> BackendChoice:
+    """Pick the evaluator for one stratum.
+
+    ``topdown`` is the cost model's :class:`~repro.markov.GoalStats`
+    for an all-free call of the stratum's entry predicate (or None when
+    nothing is calibrated/declared). Ineligible strata always stay
+    top-down; eligible recursive strata always go bottom-up (the
+    materialization is finite, the SLD expansion need not be); the
+    non-recursive middle ground is decided by comparing cost estimates.
+    """
+    if not eligible:
+        return BackendChoice("topdown", "stratum not datalog-eligible")
+    bottomup = bottomup_cost_estimate(fact_count, rule_count, recursive)
+    if recursive:
+        return BackendChoice(
+            "bottomup",
+            "recursive eligible stratum: materialization bounds re-derivation",
+            topdown_cost=None if topdown is None else topdown.cost,
+            bottomup_cost=bottomup,
+        )
+    if topdown is not None:
+        estimated = topdown.cost * max(1.0, topdown.solutions)
+        if estimated > bottomup:
+            return BackendChoice(
+                "bottomup",
+                f"estimated top-down cost {estimated:.1f} exceeds "
+                f"materialization bound {bottomup:.1f}",
+                topdown_cost=estimated,
+                bottomup_cost=bottomup,
+            )
+        return BackendChoice(
+            "topdown",
+            f"estimated top-down cost {estimated:.1f} within "
+            f"materialization bound {bottomup:.1f}",
+            topdown_cost=estimated,
+            bottomup_cost=bottomup,
+        )
+    return BackendChoice(
+        "topdown",
+        "non-recursive stratum with no calibrated stats: SLD is demand-driven",
+        bottomup_cost=bottomup,
+    )

@@ -37,6 +37,7 @@ __all__ = [
     "UnifyEvent",
     "PredicateTimeEvent",
     "TableEvent",
+    "StratumEvent",
     "CacheEvent",
     "BudgetEvent",
     "DegradedEvent",
@@ -103,7 +104,11 @@ class IndexEvent(Event):
 
     ``hit`` means a bound key selected a bucket; ``candidates`` is how
     many clauses survived out of ``total`` stored ones (a hit that does
-    not narrow still reports ``candidates == total``).
+    not narrow still reports ``candidates == total``). Under
+    multi-argument indexing a hit additionally reports which argument
+    ``position`` (0-based) won the selectivity contest and the achieved
+    ``selectivity`` (``candidates / total``, lower is better); both stay
+    ``None`` on misses and on the fixed single-position index modes.
     """
 
     kind = "index"
@@ -112,6 +117,8 @@ class IndexEvent(Event):
     hit: bool
     candidates: int
     total: int
+    position: Optional[int] = None
+    selectivity: Optional[float] = None
 
 
 @dataclass
@@ -161,6 +168,36 @@ class TableEvent(Event):
     action: str
     indicator: Indicator
     answers: int
+
+
+@dataclass
+class StratumEvent(Event):
+    """One stratum materialized by the bottom-up (semi-naive) backend.
+
+    Emitted once per recursion component the dispatcher evaluates
+    bottom-up (:mod:`repro.prolog.bottomup`): ``predicates`` names the
+    component as ``name/arity`` strings, ``backend`` is the evaluator
+    that ran it (currently always ``bottomup`` — strata left to SLD
+    resolution emit nothing), ``rounds`` the number of semi-naive
+    iterations to fixpoint, ``delta_sizes`` the new-fact count per
+    round, and ``facts`` the materialized relation size summed over the
+    component's predicates.
+    """
+
+    kind = "stratum"
+
+    predicates: Tuple[str, ...]
+    backend: str
+    rounds: int
+    delta_sizes: List[int]
+    facts: int
+
+    def to_record(self) -> Dict[str, object]:
+        """The event as one flat JSONL-ready dict (lists stay JSON-native)."""
+        record = super().to_record()
+        record["predicates"] = list(self.predicates)
+        record["delta_sizes"] = list(self.delta_sizes)
+        return record
 
 
 @dataclass

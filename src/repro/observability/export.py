@@ -135,6 +135,7 @@ def report_records(report) -> List[Record]:
             "recursive": payload["recursive"],
             "semifixed": payload["semifixed"],
             "tabled": payload.get("tabled", []),
+            "backends": payload.get("backends", []),
         }
     )
     return records

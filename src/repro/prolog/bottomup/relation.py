@@ -1,0 +1,94 @@
+"""Indexed ground-fact relations for the bottom-up evaluator.
+
+A :class:`Relation` is a deduplicated set of ground fact tuples with
+lazy per-column hash indexes — the storage the semi-naive evaluator
+joins over. Terms have identity semantics in this codebase
+(:class:`~repro.prolog.terms.Atom` is interned, ``Struct`` has no
+structural ``__eq__``), so facts are keyed by :func:`ground_key`, a
+canonical hashable encoding of a ground term: set membership, column
+probes, and duplicate elimination all become O(1) dict operations on
+those keys instead of structural unification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..terms import Atom, Struct, Term, deref
+
+__all__ = ["ground_key", "Relation"]
+
+#: One stored fact: (per-column key tuple, per-column term tuple).
+Fact = Tuple[Tuple, Tuple[Term, ...]]
+
+
+def ground_key(term: Term):
+    """A canonical hashable key for a *ground* term.
+
+    Atoms key as themselves (interned: hash/eq by name), numbers as
+    ``(type, value)`` so ``1`` and ``1.0`` stay distinct, compounds as
+    ``(name, arg-key tuple)``. The families cannot collide: an ``Atom``
+    equals only atoms, a ``(type, value)`` pair never equals a
+    ``(str, tuple)`` pair. Mirrors (and extends to full depth) the
+    shallow :func:`~repro.prolog.database.first_arg_key` fingerprint.
+    """
+    term = deref(term)
+    if isinstance(term, Atom):
+        return term
+    if isinstance(term, Struct):
+        return (term.name, tuple(ground_key(arg) for arg in term.args))
+    return (type(term), term)
+
+
+class Relation:
+    """A set of ground facts of one arity, with per-column indexes.
+
+    Facts are stored in insertion (derivation) order; indexes are built
+    lazily the first time a column is probed and maintained
+    incrementally on later inserts.
+    """
+
+    __slots__ = ("arity", "_facts", "_indexes")
+
+    def __init__(self, arity: int):
+        self.arity = arity
+        self._facts: Dict[Tuple, Tuple[Term, ...]] = {}
+        self._indexes: Dict[int, Dict[object, List[Fact]]] = {}
+
+    def add(self, args: Tuple[Term, ...], key: Optional[Tuple] = None) -> bool:
+        """Insert one ground fact; False when it was already present."""
+        if key is None:
+            key = tuple(ground_key(arg) for arg in args)
+        if key in self._facts:
+            return False
+        self._facts[key] = args
+        for column, buckets in self._indexes.items():
+            buckets.setdefault(key[column], []).append((key, args))
+        return True
+
+    def contains(self, key: Tuple) -> bool:
+        """Membership by canonical key (negative-literal checks)."""
+        return key in self._facts
+
+    def tuples(self) -> Iterable[Tuple[Term, ...]]:
+        """All fact argument tuples, in derivation order."""
+        return self._facts.values()
+
+    def items(self) -> Iterable[Fact]:
+        """All (key, args) pairs, in derivation order."""
+        return self._facts.items()
+
+    def probe(self, column: int, key) -> List[Fact]:
+        """Facts whose ``column`` carries ``key`` (hash-join probe)."""
+        buckets = self._indexes.get(column)
+        if buckets is None:
+            buckets = {}
+            for fact_key, fact_args in self._facts.items():
+                buckets.setdefault(fact_key[column], []).append(
+                    (fact_key, fact_args)
+                )
+            self._indexes[column] = buckets
+        return buckets.get(key, [])
+
+    def __len__(self) -> int:
+        return len(self._facts)

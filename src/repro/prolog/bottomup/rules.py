@@ -1,0 +1,137 @@
+"""Datalog rule compilation for the semi-naive evaluator.
+
+An eligible clause (see :mod:`repro.analysis.stratify`) is compiled
+once into a :class:`Rule`: every distinct variable becomes a dense
+integer *slot* (the same idea as the top-down compiler's skeleton
+slots), and every literal argument becomes either a slot number or a
+precomputed :func:`~.relation.ground_key` constant. Join evaluation
+then never touches the general unifier — matching a literal against a
+fact is key comparison plus slot binding, and a bound slot or constant
+column gives the hash-join probe column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..terms import Struct, Term, Var, deref, functor_indicator
+from .relation import ground_key
+
+__all__ = ["Literal", "Rule", "compile_rule"]
+
+Indicator = Tuple[str, int]
+
+
+class Literal:
+    """One body literal as slot/constant column specs.
+
+    ``slots[p]`` is the variable slot read/bound at position ``p`` (or
+    ``None`` for a ground argument); ``const_keys[p]`` is the ground
+    argument's canonical key (or ``None`` for a variable).
+    """
+
+    __slots__ = ("indicator", "positive", "slots", "const_keys")
+
+    def __init__(
+        self,
+        indicator: Indicator,
+        positive: bool,
+        slots: Tuple[Optional[int], ...],
+        const_keys: Tuple[Optional[object], ...],
+    ):
+        self.indicator = indicator
+        self.positive = positive
+        self.slots = slots
+        self.const_keys = const_keys
+
+
+class Rule:
+    """One compiled datalog rule: head projection + body literals.
+
+    ``head_slots``/``head_consts`` mirror the literal encoding but keep
+    the constant *terms* (not just keys) so derived facts can be stored
+    as real term tuples; ``positives``/``negatives`` are the body
+    literals, negatives always evaluated last (range restriction
+    guarantees their slots are bound by then).
+    """
+
+    __slots__ = (
+        "head_indicator",
+        "head_slots",
+        "head_consts",
+        "head_const_keys",
+        "positives",
+        "negatives",
+        "slot_count",
+    )
+
+    def __init__(self, head_indicator: Indicator):
+        self.head_indicator = head_indicator
+        self.head_slots: Tuple[Optional[int], ...] = ()
+        self.head_consts: Tuple[Optional[Term], ...] = ()
+        self.head_const_keys: Tuple[Optional[object], ...] = ()
+        self.positives: List[Literal] = []
+        self.negatives: List[Literal] = []
+        self.slot_count = 0
+
+
+def _arg_specs(
+    term: Term, slots: Dict[int, int]
+) -> Tuple[List[Optional[int]], List[Optional[Term]], List[Optional[object]]]:
+    """Decompose a literal's arguments into (slot, const, const-key)
+    columns, allocating new slots for first-seen variables."""
+    slot_columns: List[Optional[int]] = []
+    const_columns: List[Optional[Term]] = []
+    key_columns: List[Optional[object]] = []
+    args = term.args if isinstance(term, Struct) else ()
+    for arg in args:
+        arg = deref(arg)
+        if isinstance(arg, Var):
+            slot = slots.get(id(arg))
+            if slot is None:
+                slot = len(slots)
+                slots[id(arg)] = slot
+            slot_columns.append(slot)
+            const_columns.append(None)
+            key_columns.append(None)
+        else:
+            slot_columns.append(None)
+            const_columns.append(arg)
+            key_columns.append(ground_key(arg))
+    return slot_columns, const_columns, key_columns
+
+
+def compile_rule(info) -> Rule:
+    """Compile one analyzed clause (:class:`~repro.analysis.stratify.ClauseInfo`)."""
+    head = deref(info.clause.head)
+    rule = Rule(functor_indicator(head))
+    slots: Dict[int, int] = {}
+    for literal in info.positives:
+        literal = deref(literal)
+        slot_columns, _consts, key_columns = _arg_specs(literal, slots)
+        rule.positives.append(
+            Literal(
+                functor_indicator(literal),
+                True,
+                tuple(slot_columns),
+                tuple(key_columns),
+            )
+        )
+    for literal in info.negatives:
+        literal = deref(literal)
+        slot_columns, _consts, key_columns = _arg_specs(literal, slots)
+        rule.negatives.append(
+            Literal(
+                functor_indicator(literal),
+                False,
+                tuple(slot_columns),
+                tuple(key_columns),
+            )
+        )
+    # Range restriction guarantees head variables were all seen above.
+    head_slot_columns, head_consts, head_keys = _arg_specs(head, slots)
+    rule.head_slots = tuple(head_slot_columns)
+    rule.head_consts = tuple(head_consts)
+    rule.head_const_keys = tuple(head_keys)
+    rule.slot_count = len(slots)
+    return rule

@@ -1,0 +1,269 @@
+"""Semi-naive fixpoint evaluation of one recursion component.
+
+The classic delta discipline (Warren's bottom-up recipe, PAPERS.md):
+facts and non-recursive derivations seed the *delta* relations; each
+round re-evaluates only the recursive rules, once per in-component
+literal position with that literal restricted to the previous round's
+delta and every other literal joined against the full relations; newly
+derived facts (deduplicated by canonical key) become the next delta.
+The loop reaches fixpoint when a round derives nothing new — finite,
+because eligible strata are datalog (no new terms are ever built, so
+the Herbrand base is bounded by the stored constants).
+
+Joins are hash joins on bound columns: each literal is matched by
+probing its relation's lazy column index on the first constant or
+already-bound column (falling back to a scan only for literals with no
+bound column), and positive literals are greedily ordered so a literal
+with a bound probe column runs as early as possible — the same
+bound-argument-first intuition the paper's reorderer applies top-down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .relation import Relation, ground_key
+from .rules import Literal, Rule
+
+__all__ = ["StratumStats", "evaluate_component"]
+
+Indicator = Tuple[str, int]
+
+
+@dataclass
+class StratumStats:
+    """What one component's materialization did.
+
+    ``rounds`` counts the seeding pass plus every semi-naive iteration
+    (the final, empty round included); ``delta_sizes`` is the new-fact
+    count per round (index 0 = seeding); ``facts`` the total facts
+    materialized across the component's predicates.
+    """
+
+    rounds: int = 0
+    delta_sizes: List[int] = field(default_factory=list)
+    facts: int = 0
+
+
+def _order_positives(
+    positives: Sequence[Literal], first: Optional[int]
+) -> List[int]:
+    """Greedy join order over positive-literal positions.
+
+    Starts from ``first`` (the delta literal, when given), then
+    repeatedly picks the literal whose columns are most constrained by
+    constants or already-bound slots — giving the hash join a probe
+    column whenever one exists. Ties break toward source order.
+    """
+    order: List[int] = []
+    bound: Set[int] = set()
+    remaining = [i for i in range(len(positives)) if i != first]
+    if first is not None:
+        order.append(first)
+        bound.update(s for s in positives[first].slots if s is not None)
+    while remaining:
+        best = None
+        best_score = -1
+        for index in remaining:
+            literal = positives[index]
+            score = 0
+            for position, slot in enumerate(literal.slots):
+                if slot is None or slot in bound:
+                    score += 1
+            if score > best_score:
+                best, best_score = index, score
+        order.append(best)
+        remaining.remove(best)
+        bound.update(s for s in positives[best].slots if s is not None)
+    return order
+
+
+def _match(
+    literal: Literal,
+    fact,
+    env_terms: List,
+    env_keys: List,
+    bound: List[int],
+) -> bool:
+    """Match one fact against a literal under the current bindings.
+
+    Binds first-occurrence slots in place (recording them in ``bound``
+    for the caller's undo); the caller must undo ``bound`` past its
+    entry mark when this returns False, because a repeated-variable
+    mismatch can happen after earlier columns already bound slots.
+    """
+    key, args = fact
+    slots = literal.slots
+    const_keys = literal.const_keys
+    for position in range(len(slots)):
+        slot = slots[position]
+        if slot is None:
+            if key[position] != const_keys[position]:
+                return False
+        else:
+            existing = env_keys[slot]
+            if existing is None:
+                env_keys[slot] = key[position]
+                env_terms[slot] = args[position]
+                bound.append(slot)
+            elif existing != key[position]:
+                return False
+    return True
+
+
+def _candidates(
+    literal: Literal, relation: Relation, env_keys: List, override
+):
+    """The fact source for one literal: the delta override, a hash
+    probe on the first bound column, or a full scan."""
+    if override is not None:
+        return override
+    slots = literal.slots
+    for position in range(len(slots)):
+        slot = slots[position]
+        if slot is None:
+            return relation.probe(position, literal.const_keys[position])
+        key = env_keys[slot]
+        if key is not None:
+            return relation.probe(position, key)
+    return relation.items()
+
+
+def _negative_blocked(
+    rule: Rule, relations: Dict[Indicator, Relation], env_keys: List
+) -> bool:
+    """True when some negated literal's (fully bound) key is present."""
+    for literal in rule.negatives:
+        key = tuple(
+            literal.const_keys[position] if slot is None else env_keys[slot]
+            for position, slot in enumerate(literal.slots)
+        )
+        relation = relations.get(literal.indicator)
+        if relation is not None and relation.contains(key):
+            return True
+    return False
+
+
+def _derivations(
+    rule: Rule,
+    relations: Dict[Indicator, Relation],
+    delta_position: Optional[int],
+    delta_facts,
+) -> Iterator[Tuple[Tuple, Tuple]]:
+    """Yield (key, args) head instances of one rule.
+
+    ``delta_position`` (a positive-literal index) restricts that
+    literal to ``delta_facts`` — the semi-naive round discipline; None
+    evaluates the rule naively (the seeding pass).
+    """
+    order = _order_positives(rule.positives, delta_position)
+    env_terms: List = [None] * rule.slot_count
+    env_keys: List = [None] * rule.slot_count
+    count = len(order)
+
+    def solve(step: int) -> Iterator[None]:
+        if step == count:
+            if not _negative_blocked(rule, relations, env_keys):
+                yield
+            return
+        index = order[step]
+        literal = rule.positives[index]
+        relation = relations[literal.indicator]
+        override = delta_facts if index == delta_position else None
+        bound: List[int] = []
+        mark = 0
+        for fact in _candidates(literal, relation, env_keys, override):
+            if _match(literal, fact, env_terms, env_keys, bound):
+                yield from solve(step + 1)
+            while len(bound) > mark:
+                slot = bound.pop()
+                env_keys[slot] = None
+                env_terms[slot] = None
+        return
+
+    head_slots = rule.head_slots
+    head_consts = rule.head_consts
+    head_const_keys = rule.head_const_keys
+    width = len(head_slots)
+    for _ in solve(0):
+        key = tuple(
+            head_const_keys[p] if head_slots[p] is None else env_keys[head_slots[p]]
+            for p in range(width)
+        )
+        args = tuple(
+            head_consts[p] if head_slots[p] is None else env_terms[head_slots[p]]
+            for p in range(width)
+        )
+        yield key, args
+
+
+def evaluate_component(
+    component: Sequence[Indicator],
+    facts: Sequence[Tuple[Indicator, Tuple]],
+    rules: Sequence[Rule],
+    relations: Dict[Indicator, Relation],
+    charge=None,
+) -> StratumStats:
+    """Materialize one component's relations to fixpoint, in place.
+
+    ``relations`` must already hold every lower stratum this component
+    reads; entries for the component's own predicates are created here.
+    ``charge`` (a zero-argument callable, typically the active budget's
+    ``charge_step``) is invoked once per round so runaway fixpoints hit
+    the same budget discipline as the top-down engine.
+    """
+    members = set(component)
+    for indicator in component:
+        relations.setdefault(indicator, Relation(indicator[1]))
+    stats = StratumStats()
+    delta: Dict[Indicator, List] = {indicator: [] for indicator in component}
+
+    def record(indicator: Indicator, key: Tuple, args: Tuple) -> bool:
+        relation = relations[indicator]
+        if relation.add(args, key):
+            delta[indicator].append((key, args))
+            return True
+        return False
+
+    seeded = 0
+    for indicator, args in facts:
+        key = tuple(ground_key(arg) for arg in args)
+        if record(indicator, key, args):
+            seeded += 1
+    recursive_rules: List[Tuple[Rule, List[int]]] = []
+    for rule in rules:
+        scc_positions = [
+            index
+            for index, literal in enumerate(rule.positives)
+            if literal.indicator in members
+        ]
+        if scc_positions:
+            recursive_rules.append((rule, scc_positions))
+        else:
+            for key, args in _derivations(rule, relations, None, None):
+                if record(rule.head_indicator, key, args):
+                    seeded += 1
+    stats.rounds = 1
+    stats.delta_sizes.append(seeded)
+    stats.facts = seeded
+    if charge is not None:
+        charge()
+    while recursive_rules and any(delta.values()):
+        previous = delta
+        delta = {indicator: [] for indicator in component}
+        derived = 0
+        for rule, scc_positions in recursive_rules:
+            for position in scc_positions:
+                source = previous.get(rule.positives[position].indicator)
+                if not source:
+                    continue
+                for key, args in _derivations(rule, relations, position, source):
+                    if record(rule.head_indicator, key, args):
+                        derived += 1
+        stats.rounds += 1
+        stats.delta_sizes.append(derived)
+        stats.facts += derived
+        if charge is not None:
+            charge()
+    return stats

@@ -26,9 +26,9 @@ into a :class:`CompiledClause` skeleton where
 * conjunction chains are flattened at compile time into a goal list,
   letting the engine run one flat loop instead of a nested
   ``_solve_conjunction`` generator ladder;
-* the head's **fingerprint** (its first argument's index key, shared
-  with ``Database._index``) is cached so calls whose bound first
-  argument cannot match skip unification entirely.
+* the head's per-argument **fingerprints** (the index keys shared with
+  the database's bucket indexes) are cached so calls whose bound
+  arguments cannot match skip unification entirely.
 
 Compiled skeletons are cached per predicate on the
 :class:`~repro.prolog.database.Database` and invalidated wholesale via
@@ -173,9 +173,14 @@ class CompiledClause:
       direct bind, no general unification), ``(1, term)`` a shared
       ground argument, ``(2, slot)`` a repeated variable, ``(3, code)``
       a compound containing variables, built then unified.
-    * ``head_key`` — the head's first-argument index key (the same
-      fingerprint ``Database._index`` buckets on), ``None`` when the
-      head has no arguments or its first argument is a variable.
+    * ``head_keys`` — per-argument index keys (the same fingerprints
+      ``Database``'s bucket indexes use), ``None`` per variable
+      argument; the engine rejects an attempt when *any* bound call
+      argument's key conflicts with the head's concrete key at that
+      position.
+    * ``head_key`` — ``head_keys[0]`` (the classic first-argument
+      fingerprint), kept as a convenience alias; ``None`` when the head
+      has no arguments or its first argument is a variable.
     * ``goals`` — the flattened body as ``(code, const)`` pairs, in
       execution order; empty for facts. Compile-time ``true`` atoms are
       dropped (the solver never charged or traced them anyway).
@@ -185,7 +190,7 @@ class CompiledClause:
     argument by argument against the caller's argument tuple.
     """
 
-    __slots__ = ("var_names", "head_args", "head_key", "goals")
+    __slots__ = ("var_names", "head_args", "head_key", "head_keys", "goals")
 
     def __init__(self, head: Term, body: Term):
         slots: Dict[int, int] = {}
@@ -220,8 +225,10 @@ class CompiledClause:
             # the fingerprint helper is fetched lazily to avoid a cycle.
             from .database import first_arg_key
 
-            self.head_key = first_arg_key(head.args[0])
+            self.head_keys = tuple(first_arg_key(arg) for arg in head.args)
+            self.head_key = self.head_keys[0]
         else:
+            self.head_keys = ()
             self.head_key = None
 
     def unify_head(self, goal_args, trail, occurs_check: bool = False):

@@ -1,4 +1,4 @@
-"""Clause database with optional first-argument indexing.
+"""Clause database with optional multi-argument indexing.
 
 The paper (§III-A) notes that clause indexing "can have the same effect"
 as clause reordering for head-match filtering, but "unless the engine
@@ -179,23 +179,50 @@ class Database:
     that argument are attempted (a variable head argument matches any
     key). ``index_argument`` selects the position:
 
-    * ``1`` (default) — classic first-argument indexing, what the
-      paper's engines (C-Prolog, SB-Prolog-style) do;
-    * ``"auto"`` — per predicate, the most *selective* argument (most
-      distinct keys among the heads) — the paper's §III-A "proper
-      arguments" engine, used by the indexing ablation.
+    * ``"multi"`` (default) — multi-argument discrimination indexing:
+      the database keeps one bucket index per argument position (built
+      lazily, only for positions a call actually binds) and each call
+      is answered from the most *selective* bucket among its bound
+      arguments — the generalization of the paper's §III-A "proper
+      arguments" engine to per-call instantiation modes;
+    * ``1`` (or any 1-based position) — classic first-argument
+      indexing, what the paper's engines (C-Prolog, SB-Prolog-style)
+      do;
+    * ``"auto"`` — per predicate, one fixed most-selective argument
+      (most distinct keys among the heads), used by the indexing
+      ablation.
+
+    ``scan_plans=True`` additionally lets the compiled engine bulk-skip
+    fingerprint-rejected clauses on *unnarrowed* scans (``indexing=False``
+    or an unindexable call) without a per-clause Python loop; the
+    skipped clauses' counters are still charged exactly as if each had
+    been attempted (see :meth:`scan_plan`).
     """
 
-    def __init__(self, indexing: bool = True, index_argument: Union[int, str] = 1):
+    def __init__(
+        self,
+        indexing: bool = True,
+        index_argument: Union[int, str] = "multi",
+        scan_plans: bool = True,
+    ):
         self.indexing = indexing
-        if index_argument != "auto" and (
+        if index_argument not in ("auto", "multi") and (
             not isinstance(index_argument, int) or index_argument < 1
         ):
             raise ValueError(f"bad index_argument: {index_argument!r}")
         self.index_argument = index_argument
+        #: Bulk fast-reject plans enabled (an ablation knob, like
+        #: :attr:`indexing`: ``benchmarks/engine_bench.py`` measures the
+        #: unindexed-scan speedup by toggling it).
+        self.scan_plans = scan_plans
         self._predicates: Dict[Indicator, List[Clause]] = {}
         self._index: Dict[Indicator, Dict[Optional[Tuple], List[Clause]]] = {}
         self._index_position: Dict[Indicator, int] = {}
+        #: Multi-argument mode: per predicate, per argument position,
+        #: key -> clauses buckets; positions are indexed lazily.
+        self._multi_index: Dict[Indicator, Dict[int, Dict[Optional[Tuple], List[Clause]]]] = {}
+        #: Cached bulk fast-reject plans per predicate (see scan_plan).
+        self._scan_plans: Dict[Indicator, Dict] = {}
         #: Compiled skeletons per predicate (see
         #: :mod:`repro.prolog.compile`), invalidated wholesale whenever
         #: :attr:`generation` moves past :attr:`_compiled_generation`.
@@ -227,9 +254,15 @@ class Database:
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def from_source(cls, source: str, indexing: bool = True) -> "Database":
-        """Build a database from Prolog source text."""
-        database = cls(indexing=indexing)
+    def from_source(
+        cls, source: str, indexing: bool = True, **kwargs
+    ) -> "Database":
+        """Build a database from Prolog source text.
+
+        ``kwargs`` forward to the constructor (``index_argument``,
+        ``scan_plans``).
+        """
+        database = cls(indexing=indexing, **kwargs)
         database.consult(source)
         return database
 
@@ -307,6 +340,8 @@ class Database:
         self._predicate_marks[clause.indicator] = self.generation
         self._index.pop(clause.indicator, None)  # invalidate
         self._index_position.pop(clause.indicator, None)
+        self._multi_index.pop(clause.indicator, None)
+        self._scan_plans.pop(clause.indicator, None)
 
     def replace_predicate(self, indicator: Indicator, clauses: List[Clause]) -> None:
         """Replace all clauses of a predicate (used by the reorderer)."""
@@ -318,6 +353,8 @@ class Database:
         self._predicate_marks[indicator] = self.generation
         self._index.pop(indicator, None)
         self._index_position.pop(indicator, None)
+        self._multi_index.pop(indicator, None)
+        self._scan_plans.pop(indicator, None)
 
     def remove_predicate(self, indicator: Indicator) -> None:
         """Delete a predicate and its index entries."""
@@ -326,6 +363,8 @@ class Database:
         self._predicate_marks.pop(indicator, None)
         self._index.pop(indicator, None)
         self._index_position.pop(indicator, None)
+        self._multi_index.pop(indicator, None)
+        self._scan_plans.pop(indicator, None)
 
     # -- queries ---------------------------------------------------------
 
@@ -391,6 +430,8 @@ class Database:
             return clauses
         goal = deref(goal)
         assert isinstance(goal, Struct)
+        if self.index_argument == "multi":
+            return self._matching_multi(indicator, goal, clauses)
         buckets = self._index.get(indicator)
         if buckets is None:
             buckets = self._build_index(indicator, clauses)
@@ -416,6 +457,126 @@ class Database:
                 IndexEvent(indicator, True, len(result), len(clauses))
             )
         return result
+
+    def _matching_multi(
+        self, indicator: Indicator, goal: Struct, clauses: List[Clause]
+    ) -> List[Clause]:
+        """Multi-argument lookup: the most selective bound position wins.
+
+        Every bound call argument probes that position's bucket index
+        (built lazily on first probe); the smallest candidate set is
+        returned, with variable-headed clauses merged back in source
+        order. A call with no bound argument reports an index miss and
+        scans every clause, exactly like the single-position modes.
+        """
+        positions = self._multi_index.get(indicator)
+        if positions is None:
+            positions = {}
+            self._multi_index[indicator] = positions
+        total = len(clauses)
+        best = None
+        best_size = total + 1
+        best_position = -1
+        for position, arg in enumerate(goal.args):
+            key = _first_arg_key(arg)
+            if key is None:
+                continue
+            buckets = positions.get(position)
+            if buckets is None:
+                buckets = self._build_position_index(clauses, position)
+                positions[position] = buckets
+            matched = buckets.get(key)
+            unindexed = buckets.get(None)
+            size = (len(matched) if matched else 0) + (
+                len(unindexed) if unindexed else 0
+            )
+            if size < best_size:
+                best = (matched, unindexed)
+                best_size = size
+                best_position = position
+                if size == 0:
+                    break
+        if best is None:  # no bound argument: every clause may match
+            if self.events is not None:
+                self.events.emit(IndexEvent(indicator, False, total, total))
+            return clauses
+        matched, unindexed = best
+        if matched is None:
+            result: List[Clause] = unindexed or []
+        elif not unindexed:
+            result = matched
+        else:
+            # Merge variable-headed clauses back in source order.
+            result = sorted(matched + unindexed, key=lambda c: c.index)
+        if self.events is not None:
+            self.events.emit(
+                IndexEvent(
+                    indicator,
+                    True,
+                    len(result),
+                    total,
+                    position=best_position,
+                    selectivity=(len(result) / total) if total else 0.0,
+                )
+            )
+        return result
+
+    @staticmethod
+    def _build_position_index(
+        clauses: List[Clause], position: int
+    ) -> Dict[Optional[Tuple], List[Clause]]:
+        buckets: Dict[Optional[Tuple], List[Clause]] = {}
+        for clause in clauses:
+            head = deref(clause.head)
+            assert isinstance(head, Struct)
+            buckets.setdefault(
+                _first_arg_key(head.args[position]), []
+            ).append(clause)
+        return buckets
+
+    def scan_plan(self, indicator: Indicator, clauses: List[Clause], key):
+        """Bulk fast-reject plan for a full-predicate scan, or ``None``.
+
+        Applies only when ``clauses`` is the *unnarrowed* stored list
+        (``indexing=False``, or an index mode that could not narrow this
+        call) and the call's first argument is bound to ``key``. The
+        plan is a tuple of ``(skipped, clause)`` steps — ``skipped``
+        clauses whose head first-argument fingerprint can never unify
+        with ``key``, followed by one survivor — ending with a
+        ``(trailing_skipped, None)`` sentinel. The compiled engine
+        charges each skipped clause's counters in one bulk update
+        (identical totals to attempting it) instead of iterating
+        per clause; ``None`` means no clause can be skipped (or plans
+        are disabled) and the plain loop should run.
+        """
+        if not self.scan_plans:
+            return None
+        if clauses is not self._predicates.get(indicator):
+            return None  # already narrowed by the index
+        plans = self._scan_plans.get(indicator)
+        if plans is None:
+            plans = {}
+            self._scan_plans[indicator] = plans
+        if key in plans:
+            return plans[key]
+        steps: List[Tuple[int, Optional[Clause]]] = []
+        skipped = 0
+        for clause in clauses:
+            head = deref(clause.head)
+            assert isinstance(head, Struct)
+            head_key = _first_arg_key(head.args[0])
+            if head_key is None or head_key == key:
+                steps.append((skipped, clause))
+                skipped = 0
+            else:
+                skipped += 1
+        if len(steps) == len(clauses):
+            plan = None  # nothing rejectable: the plan buys nothing
+        else:
+            steps.append((skipped, None))
+            plan = tuple(steps)
+        plans[key] = plan
+        return plan
 
     def _choose_index_position(
         self, indicator: Indicator, clauses: List[Clause]
@@ -464,7 +625,11 @@ class Database:
 
     def copy(self) -> "Database":
         """A shallow copy sharing Clause objects (they are immutable in use)."""
-        other = Database(indexing=self.indexing, index_argument=self.index_argument)
+        other = Database(
+            indexing=self.indexing,
+            index_argument=self.index_argument,
+            scan_plans=self.scan_plans,
+        )
         for indicator, clauses in self._predicates.items():
             other._predicates[indicator] = list(clauses)
         other.directives = list(self.directives)

@@ -190,6 +190,7 @@ class Engine:
         adjust_recursion_limit: bool = True,
         compiled: bool = True,
         budget: Optional[Budget] = None,
+        eval_strategy: str = "topdown",
     ):
         self.database = database
         self.trail = Trail()
@@ -242,6 +243,21 @@ class Engine:
         self._solve_user = (
             self._solve_user_compiled if compiled else self._solve_user_interpreted
         )
+        #: Evaluation strategy: ``"topdown"`` (the default — pure SLD,
+        #: counters byte-identical to every earlier release),
+        #: ``"bottomup"`` (route every eligible datalog-like stratum to
+        #: the semi-naive evaluator in :mod:`repro.prolog.bottomup`),
+        #: or ``"auto"`` (the cost model routes recursive eligible
+        #: strata bottom-up and leaves the rest to SLD resolution).
+        if eval_strategy not in ("topdown", "bottomup", "auto"):
+            raise ValueError(f"bad eval_strategy: {eval_strategy!r}")
+        self.eval_strategy = eval_strategy
+        if eval_strategy == "topdown":
+            self._bottomup = None
+        else:
+            from .bottomup import BottomUpDispatcher
+
+            self._bottomup = BottomUpDispatcher(eval_strategy)
         if adjust_recursion_limit:
             # Short-lived engines (calibration samples) pass False and
             # rely on one up-front ensure_recursion_capacity call.
@@ -317,10 +333,17 @@ class Engine:
         else:
             if not self.database.defines(indicator):
                 raise ExistenceError(indicator)
-            if self.table_all or indicator in self.database.tabled:
-                iterator = solve_tabled(self, goal, indicator, depth)
-            else:
-                iterator = self._solve_user(goal, indicator, depth)
+            bottomup = self._bottomup
+            iterator = (
+                bottomup.solve(self, goal, indicator, depth)
+                if bottomup is not None
+                else None
+            )
+            if iterator is None:
+                if self.table_all or indicator in self.database.tabled:
+                    iterator = solve_tabled(self, goal, indicator, depth)
+                else:
+                    iterator = self._solve_user(goal, indicator, depth)
         tracer = self.tracer
         bus = self.events
         if tracer is None and bus is None:
@@ -519,13 +542,21 @@ class Engine:
     ) -> Iterator[None]:
         """The default clause-try loop, on compiled skeletons.
 
-        Per attempt: the cached head fingerprint rejects calls whose
-        bound first argument cannot match (no allocation at all), the
-        head alone is instantiated from its slot program, and the body
-        is materialized only after the head unifies — so failed
+        Per attempt: the cached head fingerprints reject calls where
+        *any* bound argument's key cannot match (no allocation at all),
+        the head alone is instantiated from its slot program, and the
+        body is materialized only after the head unifies — so failed
         attempts never copy the body. Counter discipline is identical
         to :meth:`_solve_user_interpreted`: fast rejections still
         charge a failed unification and emit a ``UnifyEvent``.
+
+        On unnarrowed scans (``indexing=False`` or an unindexable call)
+        with a bound first argument, the database's cached
+        :meth:`~repro.prolog.database.Database.scan_plan` replaces the
+        per-clause rejection loop: runs of rejectable clauses are
+        skipped in one step and their counters charged in bulk, with
+        totals byte-identical to the plain loop under every consumption
+        pattern (early close, cut, full exhaustion).
         """
         if depth >= self.max_depth:
             raise DepthLimitExceeded(
@@ -544,29 +575,93 @@ class Engine:
         occurs = self.occurs_check
         frame = Frame()
         goal_args: Tuple[Term, ...] = ()
-        goal_key = None
+        goal_keys = None
+        bound_positions: Tuple[int, ...] = ()
+        plan = None
         if indicator[1]:
             goal_args = deref(goal).args
             if len(clauses) > 1:
-                # The fingerprint only pays for itself when there is
-                # more than one candidate to reject.
-                goal_key = first_arg_key(goal_args[0])
+                # The fingerprints only pay for themselves when there
+                # is more than one candidate to reject.
+                goal_keys = tuple(first_arg_key(arg) for arg in goal_args)
+                bound_positions = tuple(
+                    position
+                    for position, key in enumerate(goal_keys)
+                    if key is not None
+                )
+                if not bound_positions:
+                    goal_keys = None
+                elif bus is None and goal_keys[0] is not None:
+                    # The bulk plan skips UnifyEvent emission, so it is
+                    # only taken on the uninstrumented path.
+                    plan = database.scan_plan(indicator, clauses, goal_keys[0])
         body_depth = depth + 1
+        if plan is not None:
+            processed = 0
+            for skipped, clause in plan:
+                if skipped:
+                    # Bulk-charge the skipped clauses exactly as if each
+                    # had been fingerprint-rejected in turn: one failed
+                    # unification + fast reject apiece, and a backtrack
+                    # for every processed clause after the first.
+                    metrics.unifications += skipped
+                    metrics.head_fast_rejects += skipped
+                    metrics.backtracks += skipped if processed else skipped - 1
+                    processed += skipped
+                if clause is None:
+                    return
+                if processed:
+                    metrics.record_backtrack()
+                processed += 1
+                compiled = program[clause.index]
+                head_keys = compiled.head_keys
+                rejected = False
+                for position in bound_positions:
+                    head_key = head_keys[position]
+                    if head_key is not None and head_key != goal_keys[position]:
+                        rejected = True
+                        break
+                if rejected:
+                    metrics.record_fast_reject()
+                    continue
+                mark = trail.mark()
+                slots = compiled.unify_head(goal_args, trail, occurs)
+                metrics.record_instantiation()
+                if slots is not None:
+                    metrics.record_unification(True)
+                    goals = compiled.materialize_body(slots)
+                    count = len(goals)
+                    if count == 0:
+                        yield
+                    elif count == 1:
+                        yield from self.solve_goal(goals[0], body_depth, frame)
+                    else:
+                        yield from self._solve_body(goals, body_depth, frame)
+                else:
+                    metrics.record_unification(False)
+                trail.undo_to(mark)
+                if frame.cut:
+                    return
+            return
         first_attempt = True
         for clause in clauses:
             if not first_attempt:
                 metrics.record_backtrack()
             first_attempt = False
             compiled = program[clause.index]
-            if (
-                goal_key is not None
-                and compiled.head_key is not None
-                and compiled.head_key != goal_key
-            ):
-                metrics.record_fast_reject()
-                if bus is not None:
-                    bus.emit(UnifyEvent(indicator, False))
-                continue
+            if goal_keys is not None:
+                head_keys = compiled.head_keys
+                rejected = False
+                for position in bound_positions:
+                    head_key = head_keys[position]
+                    if head_key is not None and head_key != goal_keys[position]:
+                        rejected = True
+                        break
+                if rejected:
+                    metrics.record_fast_reject()
+                    if bus is not None:
+                        bus.emit(UnifyEvent(indicator, False))
+                    continue
             mark = trail.mark()
             slots = compiled.unify_head(goal_args, trail, occurs)
             metrics.record_instantiation()

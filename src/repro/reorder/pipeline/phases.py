@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-from ...analysis.modes import Mode
+from ...analysis.modes import Mode, ModeItem
 from ...analysis.recursion import recursive_predicates, strongly_connected_components
+from ...analysis.stratify import stratify
+from ...markov.backend import choose_backend
 from ...prolog.database import Clause, Database, body_goals, goals_to_body
 from ...prolog.terms import Atom, Struct, Term, deref, indicator_str
 from ...prolog.writer import clause_to_string
@@ -28,6 +30,7 @@ __all__ = [
     "ModeEnumerationPhase",
     "VersionDedupPhase",
     "OutputBuildPhase",
+    "BackendSelectionPhase",
 ]
 
 
@@ -239,6 +242,47 @@ class OutputBuildPhase(Phase):
             if version.indicator in state.database.tabled:
                 output.tabled.add(version.version_indicator)
         state.output = output
+
+
+class BackendSelectionPhase(Phase):
+    """Pick the evaluation backend (top-down SLD vs bottom-up
+    semi-naive) for every user predicate, per recursion component.
+
+    This is the reorder-time face of the ``--eval=auto`` dispatcher:
+    the program is stratified with :func:`repro.analysis.stratify`,
+    and each stratum gets a :class:`~repro.markov.backend.BackendChoice`
+    verdict — datalog-eligible recursive strata go bottom-up, eligible
+    non-recursive strata are decided by comparing the cost model's
+    all-free-mode estimate against the materialization bound, and
+    everything else stays top-down. The verdicts land in
+    ``report.backends`` (and the JSONL report's ``backends`` key) so a
+    user can see which strata the engine would materialize before ever
+    running the program.
+    """
+
+    name = "backend selection"
+    inputs = ("database", "callgraph", "model")
+    outputs = ("report.backends",)
+
+    def run(self, state) -> None:
+        """Stratify the source program and record one verdict per
+        defined predicate on ``state.report.backends``."""
+        stratification = stratify(state.database, state.callgraph)
+        for stratum in stratification.strata:
+            for indicator in stratum.predicates:
+                if not state.database.defines(indicator):
+                    continue
+                topdown = None
+                if stratum.eligible and not stratum.recursive:
+                    mode = (ModeItem.MINUS,) * indicator[1]
+                    topdown = state.model.predicate_stats(indicator, mode)
+                state.report.backends[indicator] = choose_backend(
+                    eligible=stratum.eligible,
+                    recursive=stratum.recursive,
+                    fact_count=stratum.fact_count,
+                    rule_count=stratum.rule_count,
+                    topdown=topdown,
+                )
 
 
 def _strip_name(head: Term) -> Term:

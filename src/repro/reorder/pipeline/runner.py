@@ -25,6 +25,7 @@ from .build import (
 from .context import AnalysisContext, CachedPredicateBuild
 from .phases import (
     AnalysisSummaryPhase,
+    BackendSelectionPhase,
     ModeEnumerationPhase,
     OutputBuildPhase,
     ProcessingOrderPhase,
@@ -109,7 +110,7 @@ class PipelineState:
 
 
 class ReorderPipeline:
-    """The nine phases, in execution order, over one PipelineState."""
+    """The ten phases, in execution order, over one PipelineState."""
 
     def __init__(self, state: PipelineState):
         self.state = state
@@ -126,6 +127,7 @@ class ReorderPipeline:
         )
         self.version_dedup = VersionDedupPhase()
         self.output_build = OutputBuildPhase()
+        self.backend_selection = BackendSelectionPhase()
         #: All phases, in the order their work happens.
         self.phases = (
             self.analysis_summary,
@@ -137,6 +139,7 @@ class ReorderPipeline:
             self.runtime_guards,
             self.version_dedup,
             self.output_build,
+            self.backend_selection,
         )
 
     def run(self) -> ReorderedProgram:
@@ -179,6 +182,7 @@ class ReorderPipeline:
             for version in state.current_versions:
                 state.versions[(version.indicator, version.mode)] = version
         self.output_build.run(state)
+        self.backend_selection.run(state)
         state.report.warnings.extend(state.run_modes_warnings)
         state.report.warnings.extend(state.run_model_warnings)
         return ReorderedProgram(

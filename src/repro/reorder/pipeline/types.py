@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from ...analysis.modes import Mode, mode_str
+from ...markov.backend import BackendChoice
 from ...markov.goal_stats import GoalStats
 from ...prolog.database import Clause, Database
 from ...prolog.engine import Engine
@@ -130,6 +131,11 @@ class ReorderReport:
     #: Every other predicate's output is unaffected (isolation is
     #: per-predicate; see docs/ROBUSTNESS.md).
     degraded: Dict[Indicator, str] = field(default_factory=dict)
+    #: Per-predicate evaluation-backend verdicts (see
+    #: :class:`~repro.markov.backend.BackendChoice` and
+    #: docs/EVALUATION.md): which strata the engine's ``--eval=auto``
+    #: dispatcher would materialize bottom-up instead of running SLD.
+    backends: Dict[Indicator, BackendChoice] = field(default_factory=dict)
     #: Chronological note log — lets the incremental pipeline replay a
     #: cached predicate's decision lines in their original order.
     _log: List[Tuple[Indicator, Mode, str]] = field(
@@ -156,6 +162,12 @@ class ReorderReport:
             lines.append(
                 f"degraded: {indicator_str(indicator)} kept in source order ({reason})"
             )
+        for indicator, choice in sorted(self.backends.items()):
+            if choice.backend != "topdown":
+                lines.append(
+                    f"backend: {indicator_str(indicator)} -> "
+                    f"{choice.backend} ({choice.reason})"
+                )
         return "\n".join(lines)
 
     def to_dict(self) -> Dict[str, object]:
@@ -182,6 +194,14 @@ class ReorderReport:
             "tabled": sorted(
                 indicator_str(i) for i in self.tabled_predicates
             ),
+            "backends": [
+                {
+                    "predicate": indicator_str(indicator),
+                    "backend": choice.backend,
+                    "reason": choice.reason,
+                }
+                for indicator, choice in sorted(self.backends.items())
+            ],
         }
         # Optional key (only when calibration actually failed), so the
         # common no-calibration report stays byte-compatible with the

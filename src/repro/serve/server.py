@@ -128,6 +128,11 @@ class ServeOptions:
     max_depth: int = 1_000
     #: Event-bus retention (lifecycle events; the JSONL log is unbounded).
     bus_limit: int = 100_000
+    #: Evaluation strategy for request engines (``topdown`` |
+    #: ``bottomup`` | ``auto``; see docs/EVALUATION.md). Bottom-up
+    #: materializations are request-private and rebuilt per snapshot,
+    #: so ``update`` invalidation falls out of snapshot isolation.
+    eval_strategy: str = "topdown"
 
 
 def _execute_query(
@@ -137,6 +142,7 @@ def _execute_query(
     recorder: Optional[StreamingRecorder],
     table_all: bool,
     max_depth: int,
+    eval_strategy: str = "topdown",
 ) -> Dict[str, object]:
     """Run one admitted query on a worker thread; returns the payload.
 
@@ -154,6 +160,7 @@ def _execute_query(
         table_all=table_all,
         budget=budget,
         adjust_recursion_limit=False,
+        eval_strategy=eval_strategy,
     )
     if recorder is not None:
         with _RECORDER_LOCK:
@@ -515,6 +522,7 @@ class QueryServer:
                     self.recorder,
                     self.options.table_all,
                     self.options.max_depth,
+                    self.options.eval_strategy,
                 )
             )
             try:

@@ -1,0 +1,100 @@
+"""Unit tests for per-stratum backend selection (`repro.markov.backend`)."""
+
+from repro.markov import GoalStats
+from repro.markov.backend import (
+    BackendChoice,
+    bottomup_cost_estimate,
+    choose_backend,
+)
+
+
+class TestBottomUpCostEstimate:
+    """The derivation-attempt bound behind every bottom-up verdict."""
+
+    def test_nonrecursive_is_facts_times_rules_plus_one(self):
+        """10 facts through 2 rules cost 10 * (2 + 1) attempts."""
+        assert bottomup_cost_estimate(10, 2, recursive=False) == 30.0
+
+    def test_recursive_pays_delta_propagation_factor(self):
+        """A recursive stratum doubles the bound for delta re-entry."""
+        assert bottomup_cost_estimate(10, 2, recursive=True) == 60.0
+
+    def test_zero_facts_clamps_to_one(self):
+        """An all-rules stratum still has a positive materialization cost."""
+        assert bottomup_cost_estimate(0, 3, recursive=False) == 4.0
+
+
+class TestChooseBackend:
+    """Structural rules first, cost comparison for the middle ground."""
+
+    def test_ineligible_is_always_topdown(self):
+        choice = choose_backend(eligible=False, recursive=True)
+        assert choice.backend == "topdown"
+        assert "not datalog-eligible" in choice.reason
+
+    def test_eligible_recursive_is_always_bottomup(self):
+        choice = choose_backend(
+            eligible=True, recursive=True, fact_count=5, rule_count=1
+        )
+        assert choice.backend == "bottomup"
+        assert choice.bottomup_cost == bottomup_cost_estimate(5, 1, True)
+
+    def test_recursive_carries_topdown_cost_when_known(self):
+        stats = GoalStats(cost=100.0, solutions=4.0, prob=1.0)
+        choice = choose_backend(
+            eligible=True, recursive=True,
+            fact_count=5, rule_count=1, topdown=stats,
+        )
+        assert choice.backend == "bottomup"
+        assert choice.topdown_cost == 100.0
+
+    def test_nonrecursive_without_stats_stays_topdown(self):
+        """No calibration: SLD is demand-driven, do not materialize."""
+        choice = choose_backend(
+            eligible=True, recursive=False, fact_count=1000, rule_count=3
+        )
+        assert choice.backend == "topdown"
+        assert choice.topdown_cost is None
+        assert "no calibrated stats" in choice.reason
+
+    def test_nonrecursive_cheap_topdown_stays_topdown(self):
+        """Estimated SLD cost within the materialization bound wins."""
+        stats = GoalStats(cost=5.0, solutions=2.0, prob=1.0)
+        choice = choose_backend(
+            eligible=True, recursive=False,
+            fact_count=100, rule_count=2, topdown=stats,
+        )
+        assert choice.backend == "topdown"
+        # cost * solutions = 10 <= 100 * 3 = 300
+        assert choice.topdown_cost == 10.0
+        assert choice.bottomup_cost == 300.0
+
+    def test_nonrecursive_expensive_topdown_goes_bottomup(self):
+        """Estimated SLD cost past the bound flips to materialization."""
+        stats = GoalStats(cost=500.0, solutions=3.0, prob=1.0)
+        choice = choose_backend(
+            eligible=True, recursive=False,
+            fact_count=10, rule_count=1, topdown=stats,
+        )
+        assert choice.backend == "bottomup"
+        assert choice.topdown_cost == 1500.0
+        assert choice.bottomup_cost == 20.0
+
+    def test_solutions_below_one_clamp_in_estimate(self):
+        """A sub-one expected-solutions count never discounts the cost."""
+        stats = GoalStats(cost=50.0, solutions=0.1, prob=0.1)
+        choice = choose_backend(
+            eligible=True, recursive=False,
+            fact_count=100, rule_count=0, topdown=stats,
+        )
+        assert choice.topdown_cost == 50.0  # max(1, 0.1) * 50
+
+    def test_choice_is_frozen(self):
+        """Verdicts are immutable records (they land in reports)."""
+        choice = BackendChoice("topdown", "why")
+        try:
+            choice.backend = "bottomup"
+        except AttributeError:
+            pass
+        else:  # pragma: no cover - failure branch
+            raise AssertionError("BackendChoice should be frozen")

@@ -1,0 +1,197 @@
+"""The bottom-up semi-naive backend: units and engine integration.
+
+Covers the three layers of :mod:`repro.prolog.bottomup` — the indexed
+fact :class:`~repro.prolog.bottomup.Relation`, rule compilation, and
+the semi-naive fixpoint — plus the engine-facing dispatcher: strategy
+selection (``bottomup``/``auto``), SLD fallback for ineligible strata,
+generation-counter invalidation on database mutation, and the
+``StratumEvent`` observability records.
+"""
+
+import pytest
+
+from repro.observability import attach
+from repro.prolog import Database, Engine, parse_term
+from repro.prolog.database import Clause
+from repro.prolog.bottomup import (
+    Relation,
+    compile_rule,
+    evaluate_component,
+    ground_key,
+)
+from repro.analysis.stratify import analyze_clause
+from repro.prolog.terms import Atom, Struct
+
+
+def answers(engine, query):
+    """The answer set of ``query`` as solution keys."""
+    return {s.key() for s in engine.ask(query)}
+
+
+class TestRelation:
+    def test_add_deduplicates(self):
+        relation = Relation(2)
+        assert relation.add((Atom("a"), Atom("b")))
+        assert not relation.add((Atom("a"), Atom("b")))
+        assert len(relation) == 1
+
+    def test_probe_narrows_by_column(self):
+        relation = Relation(2)
+        relation.add((Atom("a"), Atom("b")))
+        relation.add((Atom("a"), Atom("c")))
+        relation.add((Atom("x"), Atom("b")))
+        assert len(list(relation.probe(0, ground_key(Atom("a"))))) == 2
+        assert len(list(relation.probe(1, ground_key(Atom("b"))))) == 2
+        assert list(relation.probe(0, ground_key(Atom("zz")))) == []
+
+    def test_index_maintained_across_later_adds(self):
+        relation = Relation(1)
+        relation.add((Atom("a"),))
+        assert len(list(relation.probe(0, ground_key(Atom("a"))))) == 1
+        relation.add((Atom("b"),))
+        assert len(list(relation.probe(0, ground_key(Atom("b"))))) == 1
+
+    def test_ground_key_families_do_not_collide(self):
+        # Atom a, number 1, and struct a(1) must all key differently,
+        # and 1 vs 1.0 stay distinct (Prolog terms, not Python ==).
+        keys = {
+            ground_key(Atom("a")),
+            ground_key(1),
+            ground_key(1.0),
+            ground_key(Struct("a", (1,))),
+        }
+        assert len(keys) == 4
+
+
+class TestSemiNaive:
+    def _closure(self, edges):
+        database = Database.from_source(
+            "\n".join(f"edge({a}, {b})." for a, b in edges)
+            + "\npath(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).\n"
+        )
+        relations = {}
+        edge_facts = []
+        for clause in database.clauses(("edge", 2)):
+            info = analyze_clause(clause)
+            edge_facts.append((("edge", 2), tuple(clause.head.args)))
+        evaluate_component([("edge", 2)], edge_facts, [], relations)
+        rules = [
+            compile_rule(analyze_clause(clause))
+            for clause in database.clauses(("path", 2))
+        ]
+        stats = evaluate_component([("path", 2)], [], rules, relations)
+        return relations[("path", 2)], stats
+
+    def test_chain_closure_is_complete(self):
+        relation, stats = self._closure([("a", "b"), ("b", "c"), ("c", "d")])
+        pairs = {
+            (args[0].name, args[1].name) for args in relation.tuples()
+        }
+        assert pairs == {
+            ("a", "b"), ("b", "c"), ("c", "d"),
+            ("a", "c"), ("b", "d"), ("a", "d"),
+        }
+
+    def test_cycle_reaches_fixpoint(self):
+        relation, stats = self._closure([("a", "b"), ("b", "a")])
+        assert len(relation) == 4  # all ordered pairs over {a, b}
+        assert stats.delta_sizes[-1] == 0  # final round derived nothing
+
+    def test_delta_rounds_are_recorded(self):
+        _, stats = self._closure([("a", "b"), ("b", "c"), ("c", "d")])
+        assert stats.rounds == len(stats.delta_sizes)
+        assert stats.facts == 6
+        assert stats.delta_sizes[0] == 3  # seeding: the 3 base edges
+
+
+class TestEngineDispatch:
+    CLOSURE = """
+        edge(a, b). edge(b, c). edge(c, d).
+        path(X, Y) :- edge(X, Y).
+        path(X, Z) :- edge(X, Y), path(Y, Z).
+    """
+
+    def test_bottomup_matches_topdown(self):
+        topdown = Engine.from_source(self.CLOSURE)
+        bottomup = Engine.from_source(self.CLOSURE, eval_strategy="bottomup")
+        for query in ("path(a, X)", "path(X, d)", "path(X, Y)"):
+            assert answers(bottomup, query) == answers(topdown, query)
+
+    def test_left_recursion_terminates_bottomup(self):
+        # Left recursion diverges under SLD; the materialization does
+        # not care about clause orientation.
+        source = """
+            edge(a, b). edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+        """
+        engine = Engine.from_source(source, eval_strategy="bottomup")
+        assert len(answers(engine, "path(a, X)")) == 2
+
+    def test_bound_argument_probes_relation(self):
+        engine = Engine.from_source(self.CLOSURE, eval_strategy="bottomup")
+        [solution] = engine.ask("path(c, X)")
+        assert solution["X"].name == "d"
+
+    def test_ineligible_predicates_fall_back_to_sld(self):
+        source = """
+            base(1). base(2).
+            shifted(Y) :- base(X), Y is X + 1.
+        """
+        engine = Engine.from_source(source, eval_strategy="bottomup")
+        assert engine._bottomup is not None
+        assert {s["Y"] for s in engine.ask("shifted(Y)")} == {2, 3}
+
+    def test_cut_programs_still_work(self):
+        source = """
+            grade(N, fail) :- N < 60, !.
+            grade(_, pass).
+        """
+        engine = Engine.from_source(source, eval_strategy="bottomup")
+        [solution] = engine.ask("grade(40, G)")
+        assert solution["G"].name == "fail"
+
+    def test_auto_selects_bottomup_for_recursive_strata(self):
+        engine = Engine.from_source(self.CLOSURE, eval_strategy="auto")
+        assert len(answers(engine, "path(a, X)")) == 3
+        dispatcher = engine._bottomup
+        assert dispatcher.selects(("path", 2))
+        # Non-recursive fact tables stay demand-driven by default.
+        assert not dispatcher.selects(("edge", 2))
+
+    def test_invalid_strategy_is_rejected(self):
+        with pytest.raises(ValueError):
+            Engine.from_source("p(a).", eval_strategy="sideways")
+
+    def test_add_clause_invalidates_materialization(self):
+        engine = Engine.from_source(self.CLOSURE, eval_strategy="bottomup")
+        assert len(answers(engine, "path(a, X)")) == 3
+        engine.database.add_clause(
+            Clause(parse_term("edge(d, e)"), Atom("true"))
+        )
+        assert len(answers(engine, "path(a, X)")) == 4
+
+    def test_stratum_event_emitted(self):
+        engine = Engine.from_source(self.CLOSURE, eval_strategy="bottomup")
+        bus = attach(engine)
+        engine.ask("path(a, X)")
+        events = bus.by_kind("stratum")
+        # One record per materialized stratum, dependencies first.
+        assert [e.predicates for e in events] == [("edge/2",), ("path/2",)]
+        event = events[-1]
+        assert event.backend == "bottomup"
+        assert event.facts == 6
+        assert event.rounds == len(event.delta_sizes)
+        record = event.to_record()
+        assert record["kind"] == "stratum"
+        assert record["delta_sizes"] == list(event.delta_sizes)
+
+    def test_dependencies_materialize_first(self):
+        source = """
+            edge(a, b). edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+            named(X) :- path(a, X).
+        """
+        engine = Engine.from_source(source, eval_strategy="bottomup")
+        assert len(answers(engine, "named(X)")) == 2

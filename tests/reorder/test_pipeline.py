@@ -186,7 +186,7 @@ class TestPhaseDeclarations:
     def test_phases_declare_names_inputs_outputs(self):
         pipeline = ReorderPipeline(None)
         names = [phase.name for phase in pipeline.phases]
-        assert len(names) == len(set(names)) == 9
+        assert len(names) == len(set(names)) == 10
         for phase in pipeline.phases:
             assert isinstance(phase.name, str) and phase.name
             assert isinstance(phase.inputs, tuple)

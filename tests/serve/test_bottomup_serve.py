@@ -1,0 +1,49 @@
+"""Bottom-up evaluation under the query server.
+
+``ServeOptions(eval_strategy=...)`` routes every request engine through
+the bottom-up dispatcher. Because each published snapshot is a fresh
+:class:`~repro.prolog.database.Database`, the dispatcher's
+generation-guarded state invalidates naturally on ``update`` — the
+round-trip tests pin exactly that: answers materialized before an
+update must not leak into queries after it, and vice versa.
+"""
+
+from repro.serve import ServeClient
+
+
+class TestBottomUpServe:
+    def test_recursive_query_bottomup(self, server_factory):
+        thread = server_factory(eval_strategy="bottomup")
+        with ServeClient(thread.server.address) as client:
+            response = client.query("anc(a, X)")
+            assert response["count"] == 4
+            values = {binding["X"] for binding in response["solutions"]}
+            assert values == {"b", "c", "d", "e"}
+
+    def test_update_invalidates_materialization(self, server_factory):
+        thread = server_factory(eval_strategy="bottomup")
+        with ServeClient(thread.server.address) as client:
+            assert client.query("anc(a, X)")["count"] == 4
+            update = client.update(asserts=["parent(e, f)."])
+            assert update["status"] == "ok"
+            after = client.query("anc(a, X)")
+            assert after["generation"] == update["generation"]
+            assert after["count"] == 5
+
+    def test_retract_shrinks_materialization(self, server_factory):
+        thread = server_factory(eval_strategy="bottomup")
+        with ServeClient(thread.server.address) as client:
+            assert client.query("anc(a, X)")["count"] == 4
+            assert client.update(retracts=["parent(a, b)."])["retracted"] == 1
+            assert client.query("anc(a, X)")["count"] == 0
+
+    def test_matches_topdown_answers(self, server_factory):
+        bottomup = server_factory(eval_strategy="bottomup")
+        topdown = server_factory()
+        with ServeClient(bottomup.server.address) as bu_client:
+            with ServeClient(topdown.server.address) as td_client:
+                for query in ("anc(a, X)", "anc(X, e)", "anc(X, Y)"):
+                    bu = bu_client.query(query)["solutions"]
+                    td = td_client.query(query)["solutions"]
+                    key = lambda b: tuple(sorted(b.items()))
+                    assert {key(b) for b in bu} == {key(b) for b in td}
