@@ -275,9 +275,14 @@ def command_run(args: argparse.Namespace) -> int:
     engine = Engine(
         database,
         table_all=args.table_all,
+        vm=getattr(args, "vm", False),
         budget=_deadline_budget(args),
         eval_strategy=getattr(args, "eval_strategy", "topdown"),
     )
+    if getattr(args, "dump_bytecode", False):
+        from .prolog.vm import disassemble_database
+
+        print(disassemble_database(database), end="", file=sys.stderr)
     bus = None
     if args.profile or args.json:
         from .observability import attach
@@ -321,6 +326,27 @@ def command_run(args: argparse.Namespace) -> int:
         records.append(solutions_record(solutions))
         records.extend(event_records(bus))
         write_jsonl(records, args.json)
+    return 0
+
+
+def command_disasm(args: argparse.Namespace) -> int:
+    """``disasm FILE``: print the compiled bytecode per clause."""
+    from .prolog.vm import disassemble_database, disassemble_predicate
+
+    database = _load(args.file)
+    if args.predicate is None:
+        print(disassemble_database(database), end="")
+        return 0
+    name, slash, arity_text = args.predicate.rpartition("/")
+    if not slash or not arity_text.isdigit():
+        print(f"error: bad predicate spec {args.predicate!r} "
+              f"(expected name/arity)", file=sys.stderr)
+        return EXIT_ERROR
+    indicator = (name, int(arity_text))
+    if not database.defines(indicator):
+        print(f"error: unknown predicate {args.predicate}", file=sys.stderr)
+        return EXIT_ERROR
+    print("\n".join(disassemble_predicate(database, indicator)))
     return 0
 
 
@@ -862,11 +888,26 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run a query against a file")
     run.add_argument("file")
     run.add_argument("query")
+    run.add_argument("--vm", action="store_true",
+                     help="execute on the bytecode VM trampoline instead of "
+                          "the generator clause loop (same answers and "
+                          "counters; see docs/VM.md)")
+    run.add_argument("--dump-bytecode", action="store_true",
+                     help="print the compiled bytecode of every predicate "
+                          "to stderr before running")
     _add_profile_flags(run)
     _add_table_flag(run)
     _add_eval_flag(run)
     _add_robustness_flags(run)
     run.set_defaults(handler=command_run)
+
+    disasm = commands.add_parser(
+        "disasm", help="print the compiled bytecode of a Prolog file"
+    )
+    disasm.add_argument("file")
+    disasm.add_argument("--predicate", metavar="NAME/ARITY", default=None,
+                        help="only this predicate (e.g. append/3)")
+    disasm.set_defaults(handler=command_disasm)
 
     compare = commands.add_parser(
         "compare", help="query the original and the reordered program"

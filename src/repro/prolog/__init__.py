@@ -41,6 +41,7 @@ from .terms import (
     term_variables,
 )
 from .unify import Trail, unify
+from .vm import Machine, disassemble_database, disassemble_predicate, solve_vm
 from .writer import clause_to_string, program_to_string, term_to_string
 
 __all__ = [
@@ -50,6 +51,7 @@ __all__ = [
     "Database",
     "Engine",
     "Frame",
+    "Machine",
     "Metrics",
     "OperatorTable",
     "Parser",
@@ -63,6 +65,8 @@ __all__ = [
     "compile_clause",
     "copy_term",
     "deref",
+    "disassemble_database",
+    "disassemble_predicate",
     "first_arg_key",
     "flatten_conjunction",
     "functor_indicator",
@@ -75,6 +79,7 @@ __all__ = [
     "parse_term",
     "parse_terms",
     "program_to_string",
+    "solve_vm",
     "split_clause",
     "standard_operators",
     "structural_eq",

@@ -48,6 +48,45 @@ op     operands    effect
 
 A skeleton whose term is entirely ground compiles to *no* program at
 all: the stored term itself is reused on every instantiation.
+
+VM bytecode
+-----------
+On top of the build programs, each clause body can be lowered to the
+linear **VM bytecode** executed by :mod:`repro.prolog.vm` (the
+trampoline that replaces the generator ladder). Lowering is lazy —
+:meth:`CompiledClause.vm_code` compiles on first use and caches — so
+engines that never select the VM pay nothing. Each op is a tuple whose
+first element is one of:
+
+=============  =========================================================
+op             meaning
+=============  =========================================================
+``VM_CALL``    ``(op, indicator, build, argspecs)`` — a user-predicate
+               call, resolved inline by the machine's clause-selection
+               loop
+``VM_DET``     ``(op, indicator, fn, build, argspecs)`` — a
+               deterministic builtin (``is/2``, comparisons,
+               ``=/2``...) run as one native function call: no
+               generator, no choice point
+``VM_BUILTIN`` ``(op, indicator, fn, build, argspecs)`` — any other
+               registered builtin, run as an iterator choice point
+``VM_GENERIC`` ``(op, code, const)`` — control constructs (``;``,
+               ``->``), variable goals, and anything else the machine
+               delegates verbatim to ``Engine.solve_goal``
+``VM_CUT``     ``(op,)`` — prune choice points to the call's barrier
+``VM_FAIL``    ``(op,)`` — unconditional failure (``fail``/``false``)
+=============  =========================================================
+
+``build`` is a specialized callable — ``build(frame) -> args`` — that
+materializes the goal's argument tuple without building the goal term
+itself (an instance of one of the ``_*Args`` classes below, picked per
+goal shape, all plain picklable data). ``argspecs`` is its declarative
+source, kept on the op for the disassembler: each spec is ``(0, term)``
+(shared ground argument), ``(1, slot)`` (one frame variable), or
+``(2, code)`` (a build program).
+The classification is sound to do at compile time because the builtin
+registry is populated at import and never mutated afterwards, and
+``Engine.solve_goal`` resolves builtins before user clauses.
 """
 
 from __future__ import annotations
@@ -57,12 +96,38 @@ from typing import Dict, List, Optional, Tuple
 from .terms import Atom, Struct, Term, Var, deref, term_is_ground
 from .unify import unify
 
-__all__ = ["CompiledClause", "compile_clause", "flatten_conjunction"]
+__all__ = [
+    "CompiledClause",
+    "compile_clause",
+    "flatten_conjunction",
+    "VM_CALL",
+    "VM_DET",
+    "VM_BUILTIN",
+    "VM_GENERIC",
+    "VM_CUT",
+    "VM_FAIL",
+    "ARG_CONST",
+    "ARG_SLOT",
+    "ARG_CODE",
+]
 
 #: Instruction opcodes (module-private names kept short for the hot loop).
 _OP_CONST = 0
 _OP_SLOT = 1
 _OP_BUILD = 2
+
+#: VM bytecode opcodes (see module docstring and :mod:`repro.prolog.vm`).
+VM_CALL = 0
+VM_DET = 1
+VM_BUILTIN = 2
+VM_GENERIC = 3
+VM_CUT = 4
+VM_FAIL = 5
+
+#: Argument-spec tags for VM_CALL/VM_DET/VM_BUILTIN ops.
+ARG_CONST = 0
+ARG_SLOT = 1
+ARG_CODE = 2
 
 #: Shared empty slot frame for clauses with no variables (facts).
 _NO_SLOTS: Tuple = ()
@@ -190,7 +255,14 @@ class CompiledClause:
     argument by argument against the caller's argument tuple.
     """
 
-    __slots__ = ("var_names", "head_args", "head_key", "head_keys", "goals")
+    __slots__ = (
+        "var_names",
+        "head_args",
+        "head_key",
+        "head_keys",
+        "goals",
+        "_vm",
+    )
 
     def __init__(self, head: Term, body: Term):
         slots: Dict[int, int] = {}
@@ -220,6 +292,7 @@ class CompiledClause:
             goals.append(_compile_term(goal, slots, names))
         self.goals = tuple(goals)
         self.var_names = tuple(names)
+        self._vm = None
         if isinstance(head, Struct):
             # Late import: database imports this module's compiler, so
             # the fingerprint helper is fetched lazily to avoid a cycle.
@@ -286,6 +359,246 @@ class CompiledClause:
             const if code is None else _run(code, frame)
             for code, const in self.goals
         ]
+
+    def vm_code(self):
+        """The body lowered to VM bytecode (compiled lazily, cached).
+
+        See the module docstring for the op encoding. The same slot
+        numbering as :meth:`unify_head` is reused, so the frame the
+        head unification returns doubles as the machine's register
+        file for this activation.
+        """
+        ops = self._vm
+        if ops is None:
+            ops = _compile_vm_body(self.goals)
+            self._vm = ops
+        return ops
+
+
+def _split_arg_programs(code, count: int):
+    """Split a postorder build program into its root's argument spans.
+
+    ``code`` ends with the root's ``(_OP_BUILD, name, count)``; every
+    subterm program leaves exactly one value on the stack, so the
+    root's ``count`` children occupy consecutive spans that each
+    net +1 stack depth. Returns one argspec per argument.
+    """
+    spans = []
+    end = len(code) - 1  # the root build op itself is excluded
+    for _ in range(count):
+        # Walk backward until this argument's subprogram is complete:
+        # each op supplies one value and a build consumes ``b``.
+        needed = 1
+        start = end
+        while needed:
+            start -= 1
+            op, _a, b = code[start]
+            needed -= 1
+            if op == _OP_BUILD:
+                needed += b
+        spans.append((start, end))
+        end = start
+    assert end == 0, "postorder split lost an argument"
+    specs = []
+    for start, stop in reversed(spans):
+        span = code[start:stop]
+        if len(span) == 1:
+            only, payload, _b = span[0]
+            if only == _OP_SLOT:
+                specs.append((ARG_SLOT, payload))
+            else:
+                specs.append((ARG_CONST, payload))
+        else:
+            specs.append((ARG_CODE, span))
+    return tuple(specs)
+
+
+class _NoArgs:
+    """Argument builder for 0-arity goals."""
+
+    __slots__ = ()
+
+    def __call__(self, frame) -> tuple:
+        return ()
+
+
+class _ConstArgs:
+    """Argument builder for fully-ground goals: one shared tuple."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: tuple):
+        self.value = value
+
+    def __call__(self, frame) -> tuple:
+        return self.value
+
+
+class _SlotArgs:
+    """Argument builder when every argument is a plain frame slot."""
+
+    __slots__ = ("positions",)
+
+    def __init__(self, positions: tuple):
+        self.positions = positions
+
+    def __call__(self, frame) -> tuple:
+        return tuple([frame[p] for p in self.positions])
+
+
+class _TemplateArgs:
+    """Const/slot mix: copy the const template, patch in the slots."""
+
+    __slots__ = ("template", "patches")
+
+    def __init__(self, template: tuple, patches: tuple):
+        self.template = template
+        self.patches = patches  # ((arg position, frame slot), ...)
+
+    def __call__(self, frame) -> tuple:
+        args = list(self.template)
+        for position, slot in self.patches:
+            args[position] = frame[slot]
+        return tuple(args)
+
+
+class _BuildArgs:
+    """General builder: at least one argument is a nested build program."""
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs: tuple):
+        self.specs = specs
+
+    def __call__(self, frame) -> tuple:
+        return tuple([
+            payload
+            if tag == ARG_CONST
+            else frame[payload]
+            if tag == ARG_SLOT
+            else _run(payload, frame)
+            for tag, payload in self.specs
+        ])
+
+
+def _make_args_builder(specs: tuple):
+    """Specialize a goal's argspecs into the cheapest builder callable.
+
+    All builders are instances of module-level ``__slots__`` classes so
+    the bytecode tuples that carry them stay plain picklable data.
+    """
+    if not specs:
+        return _NoArgs()
+    tags = [tag for tag, _payload in specs]
+    if ARG_CODE in tags:
+        return _BuildArgs(specs)
+    if ARG_SLOT not in tags:
+        return _ConstArgs(tuple(payload for _tag, payload in specs))
+    if ARG_CONST not in tags:
+        return _SlotArgs(tuple(payload for _tag, payload in specs))
+    template = tuple(
+        payload if tag == ARG_CONST else None for tag, payload in specs
+    )
+    patches = tuple(
+        (position, payload)
+        for position, (tag, payload) in enumerate(specs)
+        if tag == ARG_SLOT
+    )
+    return _TemplateArgs(template, patches)
+
+
+#: Arithmetically-evaluated argument positions of the native det ops.
+#: A constant expression at one of these positions folds to its value
+#: at compile time (``X1 is 1 + 1`` carries the number 2, not the
+#: ``+/2`` term). Folding is attempted, never required: an expression
+#: that fails to evaluate keeps its source form so the error still
+#: raises at call time, not at consult time.
+_ARITH_POSITIONS = {
+    ("is", 2): (1,),
+    ("=:=", 2): (0, 1),
+    ("=\\=", 2): (0, 1),
+    ("<", 2): (0, 1),
+    (">", 2): (0, 1),
+    ("=<", 2): (0, 1),
+    (">=", 2): (0, 1),
+}
+
+
+def _fold_arith_consts(indicator, specs):
+    """Constant-fold ground arithmetic arguments of a det builtin."""
+    positions = _ARITH_POSITIONS.get(indicator)
+    if positions is None:
+        return specs
+    from .builtins.arith import evaluate
+
+    out = None
+    for position in positions:
+        tag, payload = specs[position]
+        if tag != ARG_CONST or isinstance(payload, (int, float)):
+            continue
+        try:
+            value = evaluate(payload)
+        except Exception:
+            continue  # defer the arithmetic error to call time
+        if out is None:
+            out = list(specs)
+        out[position] = (ARG_CONST, value)
+    return specs if out is None else tuple(out)
+
+
+def _compile_vm_body(goals) -> Tuple[tuple, ...]:
+    """Lower a clause body (its ``(code, const)`` goal pairs) to VM ops."""
+    # Late imports: builtins pulls in the whole registry (harmless by
+    # the time anything executes a clause) and vm provides the native
+    # deterministic implementations; both would cycle at import time.
+    from .builtins import lookup
+    from .vm import DET_BUILTINS
+
+    ops = []
+    for code, const in goals:
+        indicator = None
+        specs: Optional[tuple] = None
+        if const is not None:
+            if isinstance(const, Atom):
+                indicator = (const.name, 0)
+                specs = ()
+            elif isinstance(const, Struct):
+                indicator = (const.name, len(const.args))
+                specs = tuple((ARG_CONST, arg) for arg in const.args)
+        else:
+            op, a, b = code[-1]
+            if op == _OP_BUILD:
+                indicator = (a, b)
+                specs = _split_arg_programs(code, b)
+        if indicator is None or indicator in ((";", 2), ("->", 2)):
+            # Variable goals, non-callable terms, and control structs
+            # run through ``Engine.solve_goal`` verbatim — identical
+            # semantics (cut transparency, errors) and charges.
+            ops.append((VM_GENERIC, code, const))
+            continue
+        name, arity = indicator
+        if arity == 0:
+            if name == "!":
+                ops.append((VM_CUT,))
+                continue
+            if name in ("fail", "false"):
+                ops.append((VM_FAIL,))
+                continue
+            if name == "true":  # dropped at compile time; defensive
+                continue
+        det = DET_BUILTINS.get(indicator)
+        if det is not None:
+            specs = _fold_arith_consts(indicator, specs)
+            ops.append((VM_DET, indicator, det, _make_args_builder(specs),
+                        specs))
+            continue
+        build = _make_args_builder(specs)
+        registered = lookup(indicator)
+        if registered is not None:
+            ops.append((VM_BUILTIN, indicator, registered.fn, build, specs))
+            continue
+        ops.append((VM_CALL, indicator, build, specs))
+    return tuple(ops)
 
 
 def compile_clause(clause) -> CompiledClause:

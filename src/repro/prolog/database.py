@@ -419,6 +419,30 @@ class Database:
     def matching_clauses(self, goal: Term) -> List[Clause]:
         """Clauses worth trying for ``goal``, respecting indexing."""
         indicator = functor_indicator(goal)
+        if indicator[1]:
+            goal = deref(goal)
+            assert isinstance(goal, Struct)
+            args: Tuple[Term, ...] = goal.args
+        else:
+            args = ()
+        return self.matching_for(indicator, args)
+
+    def matching_for(
+        self,
+        indicator: Indicator,
+        args: Tuple[Term, ...],
+        keys: Optional[Tuple[object, ...]] = None,
+    ) -> List[Clause]:
+        """Clause lookup from an indicator and argument tuple.
+
+        The goal-term-free entry point the bytecode VM calls: the VM
+        holds call arguments as a tuple and never builds a ``Struct``
+        just to look up clauses. ``matching_clauses`` delegates here,
+        so both engines share one indexing implementation. ``keys``,
+        when given, is the caller's precomputed ``first_arg_key`` per
+        argument (the VM already has them for head fingerprinting) and
+        skips recomputing them here.
+        """
         clauses = self._predicates.get(indicator)
         if clauses is None:
             return []
@@ -428,15 +452,16 @@ class Database:
                     IndexEvent(indicator, False, len(clauses), len(clauses))
                 )
             return clauses
-        goal = deref(goal)
-        assert isinstance(goal, Struct)
         if self.index_argument == "multi":
-            return self._matching_multi(indicator, goal, clauses)
+            return self._matching_multi(indicator, args, clauses, keys)
         buckets = self._index.get(indicator)
         if buckets is None:
             buckets = self._build_index(indicator, clauses)
         position = self._index_position[indicator]
-        key = _first_arg_key(goal.args[position])
+        key = (
+            keys[position] if keys is not None
+            else _first_arg_key(args[position])
+        )
         if key is None:  # unbound call argument: every clause may match
             if self.events is not None:
                 self.events.emit(
@@ -459,7 +484,11 @@ class Database:
         return result
 
     def _matching_multi(
-        self, indicator: Indicator, goal: Struct, clauses: List[Clause]
+        self,
+        indicator: Indicator,
+        args: Tuple[Term, ...],
+        clauses: List[Clause],
+        keys: Optional[Tuple[object, ...]] = None,
     ) -> List[Clause]:
         """Multi-argument lookup: the most selective bound position wins.
 
@@ -477,8 +506,8 @@ class Database:
         best = None
         best_size = total + 1
         best_position = -1
-        for position, arg in enumerate(goal.args):
-            key = _first_arg_key(arg)
+        for position, arg in enumerate(args):
+            key = keys[position] if keys is not None else _first_arg_key(arg)
             if key is None:
                 continue
             buckets = positions.get(position)

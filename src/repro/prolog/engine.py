@@ -189,6 +189,7 @@ class Engine:
         table_all: bool = False,
         adjust_recursion_limit: bool = True,
         compiled: bool = True,
+        vm: bool = False,
         budget: Optional[Budget] = None,
         eval_strategy: str = "topdown",
     ):
@@ -240,9 +241,27 @@ class Engine:
         #: producer, which calls ``engine._solve_user`` directly) pays
         #: no per-call branching.
         self.compiled = compiled
-        self._solve_user = (
-            self._solve_user_compiled if compiled else self._solve_user_interpreted
-        )
+        #: Run user-predicate calls on the bytecode trampoline (see
+        #: :mod:`repro.prolog.vm`) instead of the generator clause
+        #: loop. Implies ``compiled``: the VM executes the same slot
+        #: skeletons, lowered one step further to linear bytecode.
+        if vm and not compiled:
+            raise ValueError("vm=True requires compiled=True")
+        self.vm = vm
+        #: Clause-selection memo for the VM call path, keyed by
+        #: ``(indicator, arg_keys)`` with the database generation
+        #: stored in each cell — index probes are a pure function of
+        #: the argument keys, so a generation-validated hit skips the
+        #: defines/matching/compiled-program lookups entirely.
+        self._vm_call_cache: dict = {}
+        if vm:
+            self._solve_user = self._solve_user_vm
+        else:
+            self._solve_user = (
+                self._solve_user_compiled
+                if compiled
+                else self._solve_user_interpreted
+            )
         #: Evaluation strategy: ``"topdown"`` (the default — pure SLD,
         #: counters byte-identical to every earlier release),
         #: ``"bottomup"`` (route every eligible datalog-like stratum to
@@ -536,6 +555,31 @@ class Engine:
         if not satisfied:
             self.trail.undo_to(mark)
             yield from self.solve_goal(else_part, depth, frame)
+
+    def _solve_user_vm(
+        self, goal: Term, indicator: Indicator, depth: int
+    ) -> Iterator[None]:
+        """Bytecode-VM dispatch for one user-predicate call.
+
+        The trampoline (:mod:`repro.prolog.vm`) runs only on the
+        uninstrumented fast path; when a tracer, event bus, recorder,
+        or bottom-up dispatcher is attached the call routes to the
+        generator oracle instead, so instrumented runs are
+        event-for-event identical to the PR 3 path by construction —
+        the same contract the scan plans already follow (bus off only).
+        The check is per call, so attaching a recorder mid-session
+        flips the very next call.
+        """
+        if (
+            self.tracer is not None
+            or self.events is not None
+            or self.recorder is not None
+            or self._bottomup is not None
+        ):
+            return self._solve_user_compiled(goal, indicator, depth)
+        from .vm import solve_vm
+
+        return solve_vm(self, goal, indicator, depth)
 
     def _solve_user_compiled(
         self, goal: Term, indicator: Indicator, depth: int

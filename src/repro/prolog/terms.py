@@ -80,6 +80,17 @@ class Atom:
     def __str__(self) -> str:
         return self.name
 
+    def __getnewargs__(self) -> tuple:
+        # Unpickling routes through __new__, so a pickled atom re-interns
+        # (and preserves identity equality) in the receiving process.
+        return (self.name,)
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state) -> None:
+        pass
+
     def __hash__(self) -> int:
         return hash(self.name)
 

@@ -42,17 +42,40 @@ COMPARED_COUNTERS = (
 )
 
 
+#: Counters the VM must match against the PR 3 compiled path *exactly*,
+#: beyond the interpreter-comparable set: both run the same skeletons
+#: and fingerprints, so even the compilation-specific charges must
+#: agree byte for byte (the interpreted path legitimately differs on
+#: these — it has no fast-reject and instantiates whole clauses).
+VM_EXACT_COUNTERS = COMPARED_COUNTERS + (
+    "skeleton_instantiations",
+    "head_fast_rejects",
+)
+
+
 def assert_equivalent(source, query, limit=None):
-    """Run ``query`` on both engines and compare answers and charges."""
+    """Three-way oracle: interpreted vs compiled vs bytecode VM.
+
+    The compiled engine must be observably identical to the seed
+    interpreter (answers, order, shared counters), and the VM engine
+    must be identical to the compiled one on the *full* counter set
+    including the compilation-specific charges.
+    """
     compiled = Engine.from_source(source)
     reference = Engine.from_source(source, compiled=False)
-    assert compiled.compiled and not reference.compiled
+    machine = Engine.from_source(source, vm=True)
+    assert compiled.compiled and not reference.compiled and machine.vm
 
     compiled_solutions = compiled.ask(query, limit=limit)
     reference_solutions = reference.ask(query, limit=limit)
-    assert [s.key() for s in compiled_solutions] == [
+    machine_solutions = machine.ask(query, limit=limit)
+    compiled_keys = [s.key() for s in compiled_solutions]
+    assert compiled_keys == [
         s.key() for s in reference_solutions
     ], f"solution drift on {query!r}"
+    assert compiled_keys == [
+        s.key() for s in machine_solutions
+    ], f"vm solution drift on {query!r}"
 
     left, right = compiled.metrics, reference.metrics
     for counter in COMPARED_COUNTERS:
@@ -62,6 +85,15 @@ def assert_equivalent(source, query, limit=None):
             f"interpreted={getattr(right, counter)}"
         )
     assert left.calls_by_predicate == right.calls_by_predicate
+
+    vm_metrics = machine.metrics
+    for counter in VM_EXACT_COUNTERS:
+        assert getattr(vm_metrics, counter) == getattr(left, counter), (
+            f"{counter} drift on {query!r}: "
+            f"vm={getattr(vm_metrics, counter)} "
+            f"compiled={getattr(left, counter)}"
+        )
+    assert vm_metrics.calls_by_predicate == left.calls_by_predicate
 
 
 class TestBundledPrograms:

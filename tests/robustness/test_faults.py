@@ -151,6 +151,32 @@ def test_fault_matrix_no_unhandled_traceback(site, kind, family_file, capsys):
         assert len(error_lines) == 1
 
 
+@pytest.mark.parametrize("kind", ["raise", "hang", "exhaust"])
+def test_fault_matrix_vm_engine_call(kind, family_file, capsys):
+    """The engine.call row of the matrix, re-run on the bytecode VM.
+
+    The trampoline charges ``engine.call`` through the same
+    ``Engine._charge_call`` hook as the generator path, so an armed
+    fault must surface identically: one ``error:`` line, the mapped
+    exit code, never a traceback.
+    """
+    argv, expected = _matrix_invocation("engine.call", kind, family_file)
+    argv = argv[:3] + ["--vm"] + argv[3:]
+    exit_code = main(argv)
+    captured = capsys.readouterr()
+    assert exit_code in expected, (
+        f"vm engine.call:{kind} exited {exit_code}, wanted {expected}\n"
+        f"stderr: {captured.err}"
+    )
+    assert "Traceback" not in captured.err
+    if exit_code != 0:
+        error_lines = [
+            line for line in captured.err.splitlines()
+            if line.startswith("error:")
+        ]
+        assert len(error_lines) == 1
+
+
 def test_cli_exports_fault_plan_to_environment(family_file, capsys):
     main(["run", family_file, "girl(X)", "--faults", "phase.build:raise@1",
           "--fault-seed", "3"])
