@@ -29,22 +29,38 @@ Workloads:
     by long-running queries): 10 probes must all be shed immediately
     with ``rejected`` — measures the rejection fast path and pins the
     load-shedding contract.
+``cpu_bound``
+    The same CPU-heavy query load run twice — ``--backend=thread``
+    then ``--backend=process`` — and compared: on a multi-core
+    machine the process backend must beat the GIL-bound thread
+    backend by >= 1.5x (the gate records the machine's CPU count and
+    enforces the ratio only when it sees >= 2 cores, so single-core
+    builders record the numbers without a meaningless failure).
+``wedged_slot_recovery``
+    One process-backend worker, one admission slot, and an injected
+    non-cooperative ``serve.worker`` hang: the wedged request must be
+    answered ``timeout`` at deadline + grace (its worker SIGKILLed,
+    exactly one kill + one respawn) and the very next request must
+    reuse the freed slot and succeed — the kill-on-deadline contract
+    as a deterministic pin.
 
 Deterministic counters (request totals, per-query solution counts,
-rejection counts, final generation) are compared exactly by
-``--check``; throughput is machine-dependent and compared as a ratio
-against ``--tolerance``. Latency quantiles are recorded for humans and
-trend dashboards, not gated.
+rejection counts, kill/respawn counts, final generation) are compared
+exactly by ``--check``; throughput is machine-dependent and compared
+as a ratio against ``--tolerance``. Latency quantiles are recorded for
+humans and trend dashboards, not gated.
 """
 
 import argparse
 import json
+import os
 import platform
 import sys
 import threading
 import time
 
 from repro.prolog import Database
+from repro.robustness import faults
 from repro.serve import ServeClient, ServeOptions, ServerThread
 from repro.serve.protocol import encode
 
@@ -213,15 +229,159 @@ def workload_shed_load():
     return _summarize(latencies, responses, elapsed, deterministic)
 
 
+def _cpu_count():
+    """Usable cores (cgroup/affinity aware where the platform allows)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+#: The cpu_bound gate: process-over-thread throughput on CPU-heavy
+#: queries, enforced only on machines with at least this many cores
+#: (the whole point of the process backend is multi-core parallelism;
+#: on one core it can only tie at best).
+CPU_BOUND_MIN_SPEEDUP = 1.5
+CPU_BOUND_MIN_CPUS = 2
+CPU_CLIENTS = 4
+CPU_QUERIES_EACH = 6
+#: Full 10^4-leaf spin enumeration, filtered down to 100 answers: the
+#: work is pure engine CPU while the response (and its trip across the
+#: worker pipe) stays small, so the comparison measures the backends'
+#: compute parallelism rather than payload serialization.
+CPU_QUERY = "spin(A, B, C, D), A = 0, B = 1"
+CPU_LIMIT = 10_000
+
+
+def _drive_cpu_backend(backend):
+    server = ServerThread(
+        Database.from_source(PROGRAM),
+        ServeOptions(port=0, backend=backend, workers=CPU_CLIENTS,
+                     max_inflight=CPU_CLIENTS, max_queue=CPU_CLIENTS * 4,
+                     default_timeout=120.0),
+    )
+    address = server.start()
+    try:
+        latencies = []
+        responses = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(CPU_CLIENTS)
+
+        def worker():
+            with ServeClient(address) as client:
+                barrier.wait(timeout=30.0)
+                for _ in range(CPU_QUERIES_EACH):
+                    started = time.perf_counter()
+                    response = client.query(CPU_QUERY, limit=CPU_LIMIT)
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        latencies.append(elapsed)
+                        responses.append(response)
+
+        threads = [threading.Thread(target=worker) for _ in range(CPU_CLIENTS)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+    finally:
+        server.stop()
+    return latencies, responses, elapsed
+
+
+def workload_cpu_bound():
+    """Thread vs process backend on queries that are pure engine CPU."""
+    results = {}
+    for backend in ("thread", "process"):
+        latencies, responses, elapsed = _drive_cpu_backend(backend)
+        results[backend] = {
+            "ops_per_sec": (
+                round(len(responses) / elapsed, 2) if elapsed else 0.0
+            ),
+            "ok": sum(1 for r in responses if r["status"] == "ok"),
+            "latencies": latencies,
+            "responses": responses,
+            "elapsed": elapsed,
+        }
+    thread_ops = results["thread"]["ops_per_sec"]
+    process_ops = results["process"]["ops_per_sec"]
+    entry = _summarize(
+        results["process"]["latencies"],
+        results["process"]["responses"],
+        results["process"]["elapsed"],
+        {
+            "requests_each": CPU_CLIENTS * CPU_QUERIES_EACH,
+            "ok_thread": results["thread"]["ok"],
+            "ok_process": results["process"]["ok"],
+            "solutions_each": sorted({
+                r.get("count")
+                for backend_results in results.values()
+                for r in backend_results["responses"]
+            }),
+        },
+    )
+    entry["thread_ops_per_sec"] = thread_ops
+    entry["process_ops_per_sec"] = process_ops
+    entry["process_speedup"] = (
+        round(process_ops / thread_ops, 3) if thread_ops else 0.0
+    )
+    entry["cpus"] = _cpu_count()
+    return entry
+
+
+def workload_wedged_slot_recovery():
+    """Kill-on-deadline as a deterministic pin: wedge -> kill -> reuse."""
+    timeout, grace = 0.5, 0.25
+    # Trigger on the worker's 2nd task: the 1st warms it, the 3rd runs
+    # on its respawn (per-process counter back at zero) and must pass.
+    faults.install_from_spec("serve.worker:hang:30@2")
+    server = ServerThread(
+        Database.from_source(PROGRAM),
+        ServeOptions(port=0, backend="process", workers=1, max_inflight=1,
+                     max_queue=0, default_timeout=timeout, grace=grace,
+                     drain_timeout=0.5),
+    )
+    try:
+        address = server.start()
+        latencies = []
+        responses = []
+        with ServeClient(address) as client:
+            for _ in range(3):  # warm-up, wedged, recovery
+                started = time.perf_counter()
+                response = client.query(QUERY, limit=LIMIT)
+                latencies.append(time.perf_counter() - started)
+                responses.append(response)
+        backend_stats = server.server.stats()["backend"]
+    finally:
+        server.stop()
+        faults.clear()
+    elapsed = sum(latencies)
+    entry = _summarize(latencies, responses, elapsed, {
+        "statuses": [r["status"] for r in responses],
+        "kills": backend_stats["kills"],
+        "respawns": backend_stats["respawns"],
+        "crashes": backend_stats["crashes"],
+        "quarantined": backend_stats["quarantined"],
+    })
+    entry["wedged_answered_ms"] = round(latencies[1] * 1e3, 1)
+    return entry
+
+
 WORKLOADS = {
     "query_throughput": workload_query_throughput,
     "mixed_with_updates": workload_mixed_with_updates,
     "shed_load": workload_shed_load,
+    "cpu_bound": workload_cpu_bound,
+    "wedged_slot_recovery": workload_wedged_slot_recovery,
 }
 
 #: Workloads whose throughput the gate compares. ``shed_load`` is
 #: excluded: its 10 sub-millisecond probes make the req/s figure pure
 #: scheduling noise — only its deterministic rejection counters gate.
+#: ``cpu_bound`` gates on its *internal* thread-vs-process ratio (a
+#: same-machine comparison) rather than cross-machine throughput, and
+#: ``wedged_slot_recovery`` is three requests of pinned statuses.
 GATED_THROUGHPUT = ("query_throughput", "mixed_with_updates")
 
 
@@ -264,6 +424,26 @@ def check(results, baseline, tolerance):
                     f"{name}: deterministic[{key}] = {actual} != baseline "
                     f"{expected}"
                 )
+    cpu = results["workloads"].get("cpu_bound")
+    if cpu is not None and "cpu_bound" in baseline.get("workloads", {}):
+        if cpu["cpus"] >= CPU_BOUND_MIN_CPUS:
+            if cpu["process_speedup"] < CPU_BOUND_MIN_SPEEDUP:
+                failures.append(
+                    f"cpu_bound: process backend at "
+                    f"{cpu['process_ops_per_sec']} req/s is only "
+                    f"{cpu['process_speedup']}x the thread backend's "
+                    f"{cpu['thread_ops_per_sec']} req/s "
+                    f"(gate: >= {CPU_BOUND_MIN_SPEEDUP}x on "
+                    f"{cpu['cpus']} cores)"
+                )
+        else:
+            print(
+                f"NOTE cpu_bound: {cpu['cpus']} usable core(s) — recorded "
+                f"{cpu['process_speedup']}x process-over-thread but the "
+                f">= {CPU_BOUND_MIN_SPEEDUP}x gate needs "
+                f">= {CPU_BOUND_MIN_CPUS} cores to be meaningful; skipped",
+                file=sys.stderr,
+            )
     return failures
 
 

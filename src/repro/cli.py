@@ -784,6 +784,8 @@ def command_serve(args: argparse.Namespace) -> int:
         log_path=args.log,
         table_all=args.table_all,
         eval_strategy=getattr(args, "eval_strategy", "topdown"),
+        backend=args.backend,
+        workers=args.workers,
     )
     server = QueryServer(database, options)
 
@@ -791,11 +793,14 @@ def command_serve(args: argparse.Namespace) -> int:
         await server.start()
         print(
             f"serving {args.file} on {server.address} "
-            f"(generation {server.store.generation}, "
+            f"(backend {options.backend}, "
+            f"generation {server.store.generation}, "
             f"max {options.max_inflight} in flight + "
             f"{options.max_queue} queued)",
             file=sys.stderr,
         )
+        if server.backend_warning:
+            print(f"warning: {server.backend_warning}", file=sys.stderr)
         await server.serve_forever()
 
     asyncio.run(_run())
@@ -815,30 +820,38 @@ def command_client(args: argparse.Namespace) -> int:
     Prints the response as one JSON line; the exit code follows the
     response status (0 ok, 2 error, 3 timeout/exhausted/cancelled, 4
     rejected/unavailable — :data:`EXIT_UNAVAILABLE` also covers an
-    unreachable server).
+    unreachable server). ``--retry N`` retries shed/unreachable
+    requests with exponential backoff before giving up.
     """
     import json
 
-    from .serve import ServeClient, status_exit_code
+    from .serve import request_with_retries, status_exit_code
 
-    with ServeClient(args.address) as client:
-        if args.op == "query":
-            if not args.text:
-                print("error: query needs a query string", file=sys.stderr)
-                return EXIT_ERROR
-            response = client.query(
-                args.text, limit=args.limit, timeout=args.timeout
-            )
-        elif args.op == "update":
-            if not (args.assert_ or args.retract):
-                print("error: update needs --assert and/or --retract",
-                      file=sys.stderr)
-                return EXIT_ERROR
-            response = client.update(args.assert_, args.retract)
-        elif args.op == "ping":
-            response = client.ping()
-        else:
-            response = client.stats()
+    message: dict = {"op": args.op}
+    if args.op == "query":
+        if not args.text:
+            print("error: query needs a query string", file=sys.stderr)
+            return EXIT_ERROR
+        message["query"] = args.text
+        if args.limit is not None:
+            message["limit"] = args.limit
+        if args.timeout is not None:
+            message["timeout"] = args.timeout
+    elif args.op == "update":
+        if not (args.assert_ or args.retract):
+            print("error: update needs --assert and/or --retract",
+                  file=sys.stderr)
+            return EXIT_ERROR
+        if args.assert_:
+            message["assert"] = list(args.assert_)
+        if args.retract:
+            message["retract"] = list(args.retract)
+    response = request_with_retries(
+        args.address,
+        message,
+        retries=max(0, args.retry),
+        backoff=args.retry_backoff,
+    )
     print(json.dumps(response, sort_keys=True))
     return status_exit_code(str(response.get("status", "error")))
 
@@ -1011,6 +1024,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--grace", type=float, default=0.5, metavar="SECONDS",
                        help="extra wall time past the deadline before the "
                             "watchdog abandons a wedged request (default 0.5)")
+    serve.add_argument("--backend", choices=["thread", "process"],
+                       default="thread",
+                       help="query execution backend: 'thread' shares the "
+                            "server process, 'process' runs each query in a "
+                            "supervised worker process that is killed on "
+                            "deadline (default thread)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="executor worker count (default: derived from "
+                            "--max-inflight)")
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        metavar="SECONDS",
                        help="seconds in-flight requests get to finish after "
@@ -1018,8 +1040,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--log", metavar="PATH", default=None,
                        help="append request lifecycle events as JSONL")
     serve.add_argument("--faults", metavar="SPEC", default=None,
-                       help="inject deterministic faults (site serve.request; "
-                            "see docs/ROBUSTNESS.md)")
+                       help="inject deterministic faults (sites serve.request "
+                            "and serve.worker; see docs/ROBUSTNESS.md)")
     serve.add_argument("--fault-seed", type=int, default=0, metavar="N",
                        help="seed for --faults trigger positions (default 0)")
     _add_table_flag(serve)
@@ -1046,6 +1068,15 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="name/arity or a clause to remove (repeatable; "
                              "op update)")
+    client.add_argument("--retry", type=int, default=0, metavar="N",
+                        help="retry up to N times when the server sheds the "
+                             "request (status rejected/unavailable) or is "
+                             "unreachable (default 0)")
+    client.add_argument("--retry-backoff", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="base of the exponential retry backoff: waits "
+                             "SECS, 2*SECS, 4*SECS, ... between attempts "
+                             "(default 0.25)")
     client.set_defaults(handler=command_client)
 
     tables = commands.add_parser("tables", help="regenerate the paper's tables")

@@ -306,8 +306,10 @@ class RequestEvent(Event):
     possibly after queueing), ``started`` (engine work began),
     ``completed`` (a response was written; ``status`` says which kind),
     ``rejected`` (admission control shed it — queue full or draining),
-    or ``cancelled`` (a deadline watchdog or drain cancelled it
-    in-flight). ``generation`` is the snapshot generation the request
+    ``cancelled`` (a deadline watchdog or drain cancelled it
+    in-flight), or ``degraded`` (the process backend gave out on this
+    request and it was answered by the threaded fallback).
+    ``generation`` is the snapshot generation the request
     was pinned to at admission (-1 before pinning); ``queue_depth`` and
     ``inflight`` are the admission controller's counters at emission
     time, so a JSONL stream of these events reconstructs the server's

@@ -8,7 +8,9 @@ Three cooperating pieces keep the system alive on hostile inputs:
 * :mod:`~repro.robustness.faults` — deterministic fault injection at
   named sites, driving the ``tests/robustness`` degradation proofs;
 * :mod:`~repro.robustness.watchdog` — a supervised subprocess pool
-  (per-task timeout, retry, quarantine) for parallel calibration.
+  (:class:`WorkerPool`: per-task SIGKILL-on-timeout, crash detection,
+  respawn) backing parallel calibration and the ``repro serve``
+  process executor.
 
 See ``docs/ROBUSTNESS.md`` for the degradation matrix.
 """
@@ -18,6 +20,10 @@ from .watchdog import (
     TaskOutcome,
     WatchdogOptions,
     WatchdogUnavailable,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerTaskError,
+    WorkerTimeout,
     run_watchdogged,
 )
 
@@ -27,5 +33,9 @@ __all__ = [
     "TaskOutcome",
     "WatchdogOptions",
     "WatchdogUnavailable",
+    "WorkerCrashed",
+    "WorkerPool",
+    "WorkerTaskError",
+    "WorkerTimeout",
     "run_watchdogged",
 ]

@@ -14,14 +14,24 @@ production code declares::
                          before the engine runs — a ``hang`` here
                          simulates a wedged request the serve-side
                          deadline watchdog must answer for)
+    serve.worker         inside a ``--backend=process`` worker process,
+                         before the engine runs — ``hang`` wedges the
+                         worker non-cooperatively (the supervisor must
+                         SIGKILL it), ``crash`` drops the process on
+                         the spot (``os._exit``), exercising the
+                         retry → degrade → quarantine ladder
 
-Each site supports three fault **kinds**:
+The fault **kinds**:
 
 * ``raise``   — raise :class:`~repro.errors.FaultInjected`;
 * ``hang``    — ``time.sleep`` for the configured seconds (default 5),
   simulating a wedge that only wall-clock machinery can catch;
 * ``exhaust`` — raise :class:`~repro.errors.BudgetExceededError`, as if
-  a resource budget ran out at that site.
+  a resource budget ran out at that site;
+* ``crash``   — ``os._exit(13)``: the process dies instantly, no
+  exception, no cleanup — a segfault/OOM-kill stand-in. Only
+  meaningful at sites that run inside supervised worker processes;
+  arming it at an in-process site kills that process, by design.
 
 Selection is deterministic: a spec like ``engine.call:raise@5`` trips
 on the 5th hit of the site (counted per process); keyed sites
@@ -61,9 +71,10 @@ FAULT_SITES = (
     "phase.build",
     "calibration.worker",
     "serve.request",
+    "serve.worker",
 )
 
-FAULT_KINDS = ("raise", "hang", "exhaust")
+FAULT_KINDS = ("raise", "hang", "exhaust", "crash")
 
 #: Default sleep of a ``hang`` fault, seconds (long enough to trip any
 #: sane watchdog timeout; overridable per rule as ``site:hang:0.2``).
@@ -77,7 +88,9 @@ class FaultRule:
 
     def __init__(self, site: str, kind: str, seconds: float, at: int):
         if kind not in FAULT_KINDS:
-            raise ValueError(f"unknown fault kind {kind!r} (use raise|hang|exhaust)")
+            raise ValueError(
+                f"unknown fault kind {kind!r} (use raise|hang|exhaust|crash)"
+            )
         self.site = site
         self.kind = kind
         self.seconds = seconds
@@ -161,6 +174,8 @@ class FaultPlan:
             raise FaultInjected(f"injected fault at {site}")
         if rule.kind == "exhaust":
             raise BudgetExceededError(f"injected budget exhaustion at {site}")
+        if rule.kind == "crash":
+            os._exit(13)  # simulated hard crash: no unwind, no cleanup
         time.sleep(rule.seconds)  # kind == "hang"
 
 

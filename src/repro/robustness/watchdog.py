@@ -1,36 +1,42 @@
-"""A subprocess pool with per-task timeouts, retries and quarantine.
+"""Supervised worker processes: per-task timeouts, hard kill, respawn.
 
 ``EmpiricalCalibrator.measure_pairs(jobs=N)`` used to fan tasks over a
 ``ProcessPoolExecutor`` — which cannot interrupt a wedged task: one
 user clause that loops in a non-charging builtin hangs the whole
-``repro profile --jobs`` run forever. This module replaces it with an
-explicitly supervised pool:
+``repro profile --jobs`` run forever. This module supervises worker
+processes explicitly, in two layers:
 
-* each worker is one ``multiprocessing.Process`` with a duplex pipe,
-  initialized once (program source parsed a single time) and then fed
-  tasks one at a time;
-* the parent stamps a **deadline** on every dispatched task; a worker
-  that misses it is **killed** (terminate + join) and replaced;
-* a timed-out or crashed task is **retried once** on a fresh worker
-  after an exponential backoff, then **quarantined**;
-* results merge in task order, so any ``jobs`` value is deterministic.
-
-The caller decides what to do with quarantined tasks; the calibrator
-re-runs them serially under a :class:`~repro.robustness.Budget`
-deadline and reports whatever still fails as calibration failures.
+* :class:`WorkerPool` — the reusable, long-lived machinery. Each
+  worker is one ``multiprocessing.Process`` with a duplex pipe,
+  initialized once and then fed tasks one at a time from any thread
+  (checkout → execute → automatic checkin). A worker that misses its
+  task deadline is **killed with SIGKILL** (no cooperation required)
+  and a replacement is spawned; a worker that dies mid-task (segfault,
+  OOM kill, ``os._exit``) is detected the same way. The pool keeps
+  counters (spawns, kills, crashes, respawns) for its owner's stats.
+  ``repro serve --backend=process`` runs every admitted query through
+  one of these (:class:`repro.serve.executor.ProcessExecutor`).
+* :func:`run_watchdogged` — the batch entry point built on the pool:
+  dispatch a payload list across ``jobs`` workers, **retry** a failed
+  or timed-out task once on a fresh worker after an exponential
+  backoff, then **quarantine** it, and merge results in task order so
+  any ``jobs`` value is deterministic. The calibrator re-runs
+  quarantined tasks serially under a :class:`~repro.robustness.Budget`
+  deadline and reports whatever still fails as calibration failures.
 
 Everything here is deliberately engine-agnostic: tasks are
 ``(index, payload)`` pairs mapped through a picklable ``task_fn``, so
-other subsystems can reuse the watchdog.
+other subsystems can reuse the supervision.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
-from multiprocessing import Pipe, Process, connection
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from multiprocessing import Pipe, Process
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ReproError
 
@@ -38,6 +44,10 @@ __all__ = [
     "WatchdogOptions",
     "TaskOutcome",
     "WatchdogUnavailable",
+    "WorkerTimeout",
+    "WorkerCrashed",
+    "WorkerTaskError",
+    "WorkerPool",
     "run_watchdogged",
 ]
 
@@ -47,9 +57,24 @@ class WatchdogUnavailable(ReproError):
     environment, broken initializer); the caller should run serially."""
 
 
+class WorkerTimeout(ReproError):
+    """One task attempt exceeded its deadline; its worker was killed
+    (SIGKILL) and replaced. The message carries the timeout."""
+
+
+class WorkerCrashed(ReproError):
+    """The worker process died mid-task (segfault, OOM kill,
+    ``os._exit``); a replacement was spawned."""
+
+
+class WorkerTaskError(ReproError):
+    """The task function raised inside the worker; the message carries
+    ``TypeName: str(exc)`` as serialized back over the pipe."""
+
+
 @dataclass
 class WatchdogOptions:
-    """Supervision knobs for one :func:`run_watchdogged` call."""
+    """Supervision knobs shared by the pool and the batch driver."""
 
     #: Wall-clock allowance per task attempt, seconds.
     task_timeout: float = 30.0
@@ -59,6 +84,9 @@ class WatchdogOptions:
     backoff: float = 0.05
     #: Parent poll granularity, seconds (bounds kill latency).
     poll_interval: float = 0.02
+    #: Seconds a fresh worker gets to finish its initializer before the
+    #: pool gives up on it.
+    ready_timeout: float = 60.0
 
 
 @dataclass
@@ -80,29 +108,24 @@ class TaskOutcome:
         return not self.quarantined
 
 
-@dataclass
-class _Pending:
-    """One task waiting for (re-)dispatch."""
-
-    index: int
-    payload: Any
-    attempts: int = 0
-    ready_at: float = 0.0
-    timed_out: bool = False
-    last_error: Optional[str] = None
-
-
-@dataclass
 class _Worker:
-    """One supervised worker process."""
+    """One supervised worker process plus its parent-side bookkeeping."""
 
-    process: Process
-    conn: Any
-    ready: bool = False
-    #: The in-flight task (None = idle), with its kill deadline.
-    busy: Optional[_Pending] = None
-    deadline: float = 0.0
-    sent: List[int] = field(default_factory=list)
+    __slots__ = ("process", "conn", "ready", "cache_key")
+
+    def __init__(self, process: Process, conn: Any):
+        self.process = process
+        self.conn = conn
+        self.ready = False
+        #: Borrower-owned scratch: the serve executor records here which
+        #: program generation the worker has loaded, so warm workers
+        #: skip re-shipping until an update publishes a new one. A
+        #: respawned replacement always starts with ``None``.
+        self.cache_key: Any = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
 
 
 def _watchdog_worker_main(conn, task_fn, initializer, initargs) -> None:
@@ -133,6 +156,309 @@ def _watchdog_worker_main(conn, task_fn, initializer, initargs) -> None:
             conn.send(("done", index, result))
 
 
+class WorkerPool:
+    """A long-lived pool of supervised workers, shared across threads.
+
+    The lifecycle is checkout → :meth:`execute_on` → automatic checkin
+    (:meth:`execute` bundles all three). Only the borrowing thread ever
+    touches a worker's pipe, so no per-worker locking is needed; the
+    idle queue is guarded by one condition variable. A worker that
+    misses its deadline or dies is replaced *before* the corresponding
+    exception propagates, so the pool never shrinks below ``size``
+    while it is open.
+    """
+
+    def __init__(
+        self,
+        task_fn: Callable[[int, Any], Any],
+        size: int,
+        initializer: Optional[Callable] = None,
+        initargs: Tuple = (),
+        options: Optional[WatchdogOptions] = None,
+    ):
+        self.task_fn = task_fn
+        self.size = max(1, size)
+        self.initializer = initializer
+        self.initargs = initargs
+        self.options = options or WatchdogOptions()
+        self._cond = threading.Condition()
+        self._idle: Deque[_Worker] = deque()
+        self._workers: List[_Worker] = []
+        self._closed = False
+        self._sequence = 0
+        #: Supervision counters (immutable history; owners report them).
+        self.spawned = 0
+        self.kills = 0
+        self.crashes = 0
+        self.respawns = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn ``size`` workers and wait for their init handshakes.
+
+        Raises :class:`WatchdogUnavailable` when any worker fails to
+        come up (callers fall back to serial / in-process execution).
+        """
+        try:
+            for _ in range(self.size):
+                self._spawn()
+        except WatchdogUnavailable:
+            self.shutdown()
+            raise
+        except BaseException as exc:
+            self.shutdown()
+            raise WatchdogUnavailable(f"cannot start workers: {exc}") from exc
+        try:
+            for worker in list(self._workers):
+                self._await_ready(worker)
+        except (WorkerCrashed, WorkerTimeout) as exc:
+            self.shutdown()
+            raise WatchdogUnavailable(str(exc)) from exc
+        except WatchdogUnavailable:
+            self.shutdown()
+            raise
+
+    def shutdown(self) -> None:
+        """Stop every worker (politely where possible) and close pipes."""
+        with self._cond:
+            self._closed = True
+            workers = list(self._workers)
+            self._workers.clear()
+            self._idle.clear()
+            self._cond.notify_all()
+        for worker in workers:
+            try:
+                if worker.ready:
+                    worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        for worker in workers:
+            worker.process.join(0.2)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(1.0)
+            if worker.process.is_alive():  # pragma: no cover - last resort
+                worker.process.kill()
+                worker.process.join(1.0)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+
+    def stats(self) -> Dict[str, int]:
+        """Supervision counters (the serve backend surfaces these)."""
+        return {
+            "workers": self.size,
+            "spawned": self.spawned,
+            "kills": self.kills,
+            "crashes": self.crashes,
+            "respawns": self.respawns,
+        }
+
+    @property
+    def worker_pids(self) -> List[int]:
+        """PIDs of the current (live) workers, for tests and debugging."""
+        with self._cond:
+            return [w.pid for w in self._workers if w.pid is not None]
+
+    # -- checkout / execute / checkin -------------------------------------
+
+    def checkout(self, timeout: Optional[float] = None) -> _Worker:
+        """Borrow an idle worker (blocking up to ``timeout`` seconds).
+
+        Raises :class:`WatchdogUnavailable` when the pool is closed or
+        no worker frees up in time. The borrower must settle the worker
+        through :meth:`execute_on` (which checks it back in, or
+        replaces it) — never drop a checked-out worker on the floor.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                if self._closed:
+                    raise WatchdogUnavailable("worker pool is shut down")
+                if self._idle:
+                    return self._idle.popleft()
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise WatchdogUnavailable(
+                        f"no idle worker within {timeout:g}s "
+                        f"({self.size} workers, all busy)"
+                    )
+                self._cond.wait(timeout=remaining)
+
+    def execute(self, payload: Any, timeout: Optional[float]) -> Any:
+        """Checkout → :meth:`execute_on` → checkin, as one call."""
+        worker = self.checkout(
+            timeout=None if timeout is None else timeout + self.options.ready_timeout
+        )
+        return self.execute_on(worker, payload, timeout)
+
+    def execute_on(
+        self, worker: _Worker, payload: Any, timeout: Optional[float]
+    ) -> Any:
+        """Run one task on a checked-out worker; always settles it.
+
+        On success the result is returned and the worker goes back to
+        the idle queue (warm — its ``cache_key`` survives). On failure
+        the worker is killed and replaced first, then the typed
+        exception propagates:
+
+        * :class:`WorkerTimeout` — the deadline passed; SIGKILL;
+        * :class:`WorkerCrashed` — the process died mid-task;
+        * :class:`WorkerTaskError` — ``task_fn`` raised (worker kept).
+        """
+        self._await_ready(worker)
+        with self._cond:
+            self._sequence += 1
+            index = self._sequence
+        try:
+            worker.conn.send(("task", index, payload))
+        except (OSError, ValueError) as exc:
+            self._replace(worker, crashed=True)
+            raise WorkerCrashed(f"worker process died: {exc}") from exc
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            remaining = (
+                self.options.poll_interval
+                if deadline is None
+                else min(self.options.poll_interval, deadline - time.monotonic())
+            )
+            try:
+                has_message = worker.conn.poll(max(0.0, remaining))
+            except (OSError, ValueError):
+                has_message = False
+            if has_message:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._replace(worker, crashed=True)
+                    raise WorkerCrashed("worker process died")
+                kind = message[0]
+                if kind == "done":
+                    self._checkin(worker)
+                    return message[2]
+                if kind == "error":
+                    self._checkin(worker)
+                    raise WorkerTaskError(message[2])
+                continue  # stray handshake; keep polling
+            if not worker.process.is_alive():
+                self._replace(worker, crashed=True)
+                raise WorkerCrashed("worker process died")
+            if deadline is not None and time.monotonic() >= deadline:
+                self._replace(worker, crashed=False)
+                raise WorkerTimeout(
+                    f"task exceeded its {timeout:g}s timeout"
+                )
+
+    # -- internals --------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = Pipe()
+        process = Process(
+            target=_watchdog_worker_main,
+            args=(child_conn, self.task_fn, self.initializer, self.initargs),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(process=process, conn=parent_conn)
+        with self._cond:
+            if self._closed:
+                raise WatchdogUnavailable("worker pool is shut down")
+            self._workers.append(worker)
+            self._idle.append(worker)
+            self.spawned += 1
+            self._cond.notify()
+        return worker
+
+    def _checkin(self, worker: _Worker) -> None:
+        with self._cond:
+            if self._closed or worker not in self._workers:
+                return
+            self._idle.append(worker)
+            self._cond.notify()
+
+    def _replace(self, worker: _Worker, crashed: bool) -> None:
+        """Kill a misbehaving worker (SIGKILL) and spawn its successor."""
+        with self._cond:
+            if worker in self._workers:
+                self._workers.remove(worker)
+            if crashed:
+                self.crashes += 1
+            else:
+                self.kills += 1
+        try:
+            worker.process.kill()
+            worker.process.join(2.0)
+        finally:
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        with self._cond:
+            closed = self._closed
+        if not closed:
+            try:
+                self._spawn()
+                with self._cond:
+                    self.respawns += 1
+            except WatchdogUnavailable:
+                pass  # shutting down concurrently
+
+    def _await_ready(self, worker: _Worker) -> None:
+        """Consume the init handshake the first time a worker is used."""
+        if worker.ready:
+            return
+        deadline = time.monotonic() + self.options.ready_timeout
+        while True:
+            try:
+                has_message = worker.conn.poll(self.options.poll_interval)
+            except (OSError, ValueError):
+                has_message = False
+            if has_message:
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    self._replace(worker, crashed=True)
+                    raise WorkerCrashed("worker died during initialization")
+                if message[0] == "ready":
+                    worker.ready = True
+                    return
+                if message[0] == "init_error":
+                    self._replace(worker, crashed=True)
+                    raise WatchdogUnavailable(
+                        f"worker initializer failed: {message[1]}"
+                    )
+                continue
+            if not worker.process.is_alive():
+                self._replace(worker, crashed=True)
+                raise WorkerCrashed("worker died during initialization")
+            if time.monotonic() >= deadline:
+                self._replace(worker, crashed=False)
+                raise WorkerTimeout(
+                    f"worker not ready within {self.options.ready_timeout:g}s"
+                )
+
+
+# -- the batch entry point ------------------------------------------------
+
+
+class _Pending:
+    """One task waiting for (re-)dispatch in the batch driver."""
+
+    __slots__ = ("index", "payload", "attempts", "ready_at", "timed_out")
+
+    def __init__(self, index: int, payload: Any):
+        self.index = index
+        self.payload = payload
+        self.attempts = 0
+        self.ready_at = 0.0
+        self.timed_out = False
+
+
 def run_watchdogged(
     task_fn: Callable[[int, Any], Any],
     payloads: Sequence[Any],
@@ -143,47 +469,36 @@ def run_watchdogged(
 ) -> List[TaskOutcome]:
     """Run ``task_fn(index, payload)`` for every payload under watch.
 
-    Returns one :class:`TaskOutcome` per payload, in payload order.
-    Raises :class:`WatchdogUnavailable` when no worker process could be
+    Returns one :class:`TaskOutcome` per payload, in payload order: a
+    failed or timed-out attempt is retried (``options.retries`` times,
+    exponential backoff) on a fresh worker, then quarantined. Raises
+    :class:`WatchdogUnavailable` when no worker process could be
     brought up at all (callers fall back to serial execution).
     """
     options = options or WatchdogOptions()
-    outcomes: Dict[int, TaskOutcome] = {}
-    pending = deque(
+    total = len(payloads)
+    if total == 0:
+        return []
+    pool = WorkerPool(
+        task_fn,
+        size=max(1, min(jobs, total)),
+        initializer=initializer,
+        initargs=initargs,
+        options=options,
+    )
+    pool.start()
+
+    state = threading.Lock()
+    pending: Deque[_Pending] = deque(
         _Pending(index, payload) for index, payload in enumerate(payloads)
     )
-    workers: List[_Worker] = []
-    target_workers = max(1, min(jobs, len(pending)))
-
-    def spawn() -> _Worker:
-        parent_conn, child_conn = Pipe()
-        process = Process(
-            target=_watchdog_worker_main,
-            args=(child_conn, task_fn, initializer, initargs),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        worker = _Worker(process=process, conn=parent_conn)
-        workers.append(worker)
-        return worker
-
-    def kill(worker: _Worker) -> None:
-        workers.remove(worker)
-        try:
-            worker.process.terminate()
-            worker.process.join(1.0)
-            if worker.process.is_alive():  # pragma: no cover - last resort
-                worker.process.kill()
-                worker.process.join(1.0)
-        finally:
-            worker.conn.close()
+    outcomes: Dict[int, TaskOutcome] = {}
+    fatal: List[BaseException] = []
 
     def fail_attempt(task: _Pending, reason: str, timed_out: bool) -> None:
         """Requeue a failed attempt, or quarantine it when spent."""
         task.attempts += 1
         task.timed_out = task.timed_out or timed_out
-        task.last_error = reason
         if task.attempts > options.retries:
             outcomes[task.index] = TaskOutcome(
                 index=task.index,
@@ -198,21 +513,12 @@ def run_watchdogged(
             )
             pending.append(task)
 
-    try:
-        try:
-            for _ in range(target_workers):
-                spawn()
-        except BaseException as exc:
-            raise WatchdogUnavailable(f"cannot start workers: {exc}") from exc
-
-        while len(outcomes) < len(payloads):
-            now = time.monotonic()
-            # Dispatch ready tasks to ready, idle workers.
-            for worker in workers:
-                if not pending:
-                    break
-                if worker.busy is not None or not worker.ready:
-                    continue
+    def driver() -> None:
+        while True:
+            with state:
+                if len(outcomes) >= total or fatal:
+                    return
+                now = time.monotonic()
                 position = next(
                     (
                         i
@@ -222,93 +528,44 @@ def run_watchdogged(
                     None,
                 )
                 if position is None:
-                    break
-                pending.rotate(-position)
-                task = pending.popleft()
-                pending.rotate(position)
-                try:
-                    worker.conn.send(("task", task.index, task.payload))
-                except (OSError, ValueError):
-                    kill(worker)
-                    spawn()
-                    pending.appendleft(task)
-                    continue
-                worker.busy = task
-                worker.deadline = now + options.task_timeout
-                worker.sent.append(task.index)
-            # Wait for any worker message (bounded by the poll interval).
-            ready_conns = connection.wait(
-                [worker.conn for worker in workers],
-                timeout=options.poll_interval,
-            )
-            for worker in list(workers):
-                if worker.conn not in ready_conns:
-                    continue
-                try:
-                    message = worker.conn.recv()
-                except (EOFError, OSError):
-                    # The worker died mid-task (hard crash).
-                    task = worker.busy
-                    kill(worker)
-                    spawn()
-                    if task is not None:
-                        fail_attempt(task, "worker process died", False)
-                    elif not worker.ready and not workers_ready(workers):
-                        raise WatchdogUnavailable("workers keep dying")
-                    continue
-                kind = message[0]
-                if kind == "ready":
-                    worker.ready = True
-                elif kind == "init_error":
-                    kill(worker)
-                    raise WatchdogUnavailable(
-                        f"worker initializer failed: {message[1]}"
-                    )
-                elif kind == "done":
-                    task = worker.busy
-                    worker.busy = None
-                    outcomes[message[1]] = TaskOutcome(
-                        index=message[1],
-                        result=message[2],
-                        attempts=(task.attempts if task else 0) + 1,
-                        timed_out=task.timed_out if task else False,
-                    )
-                elif kind == "error":
-                    task = worker.busy
-                    worker.busy = None
-                    if task is not None:
-                        fail_attempt(task, message[2], False)
-            # Enforce deadlines on whatever is still running.
-            now = time.monotonic()
-            for worker in list(workers):
-                task = worker.busy
-                if task is None or now <= worker.deadline:
-                    continue
-                kill(worker)
-                spawn()
-                fail_attempt(
-                    task,
-                    f"task exceeded its {options.task_timeout:g}s timeout",
-                    True,
-                )
-    finally:
-        for worker in list(workers):
+                    task = None
+                else:
+                    pending.rotate(-position)
+                    task = pending.popleft()
+                    pending.rotate(position)
+            if task is None:
+                time.sleep(options.poll_interval)
+                continue
             try:
-                if worker.busy is None and worker.ready:
-                    worker.conn.send(("stop",))
-            except (OSError, ValueError):
-                pass
-        for worker in list(workers):
-            worker.process.join(0.2)
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(1.0)
-            worker.conn.close()
-        workers.clear()
+                result = pool.execute(task.payload, options.task_timeout)
+            except WorkerTimeout as exc:
+                with state:
+                    fail_attempt(task, str(exc), True)
+            except (WorkerCrashed, WorkerTaskError) as exc:
+                with state:
+                    fail_attempt(task, str(exc), False)
+            except WatchdogUnavailable as exc:
+                with state:
+                    fatal.append(exc)
+                return
+            else:
+                with state:
+                    outcomes[task.index] = TaskOutcome(
+                        index=task.index,
+                        result=result,
+                        attempts=task.attempts + 1,
+                        timed_out=task.timed_out,
+                    )
 
-    return [outcomes[index] for index in range(len(payloads))]
-
-
-def workers_ready(workers: List[_Worker]) -> bool:
-    """Is at least one worker past initialization?"""
-    return any(worker.ready for worker in workers)
+    threads = [
+        threading.Thread(target=driver, name=f"watchdog-driver-{n}")
+        for n in range(pool.size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    pool.shutdown()
+    if fatal:
+        raise fatal[0]
+    return [outcomes[index] for index in range(total)]

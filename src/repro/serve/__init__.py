@@ -11,7 +11,8 @@ from live updates, behind bounded admission control. The pieces:
 * :mod:`~repro.serve.admission` — bounded concurrency + bounded queue,
   shedding load instead of queueing unboundedly;
 * :mod:`~repro.serve.executor` — the backend interface engine work runs
-  on (thread pool now; the watchdog process pool can slot in later);
+  on: a thread pool (default) or the supervised worker-process pool
+  with true kill-on-deadline (``--backend=process``);
 * :mod:`~repro.serve.server` — the asyncio server tying it together;
 * :mod:`~repro.serve.client` — a small blocking client for the CLI,
   tests, and the load-generator benchmark.
@@ -20,8 +21,15 @@ See docs/SERVING.md for the protocol and operational guidance.
 """
 
 from .admission import AdmissionController, AdmissionDecision
-from .client import ServeClient, ServerUnavailable, parse_address
-from .executor import Executor, ThreadedExecutor
+from .client import (
+    RETRYABLE_STATUSES,
+    ServeClient,
+    ServerUnavailable,
+    parse_address,
+    request_with_retries,
+    retry_delays,
+)
+from .executor import Executor, ProcessExecutor, QueryJob, ThreadedExecutor
 from .protocol import (
     OPS,
     PROTOCOL_VERSION,
@@ -43,7 +51,12 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "Executor",
+    "ProcessExecutor",
+    "QueryJob",
     "ThreadedExecutor",
+    "RETRYABLE_STATUSES",
+    "request_with_retries",
+    "retry_delays",
     "OPS",
     "PROTOCOL_VERSION",
     "ProtocolError",

@@ -16,17 +16,38 @@ Connection failures (refused, missing socket file, reset mid-request)
 raise :class:`ServerUnavailable`, which the CLI maps to
 ``EXIT_UNAVAILABLE`` — the same exit code as an admission rejection,
 because both mean "this replica cannot take the work right now".
+
+Both conditions are *transient* by contract (a shed happens under
+momentary saturation, a drain ends when the replica restarts), so
+:func:`request_with_retries` wraps one logical request in an
+exponential-backoff retry loop (``repro client --retry N
+--retry-backoff SECS``): each attempt opens a fresh connection, and
+only ``rejected``/``unavailable`` responses or unreachable-server
+failures are retried — real errors and timeouts surface immediately.
 """
 
 from __future__ import annotations
 
 import socket
-from typing import Dict, List, Optional
+import time
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ReproError
-from .protocol import encode
+from .protocol import STATUS_REJECTED, STATUS_UNAVAILABLE, encode
 
-__all__ = ["ServerUnavailable", "ServeClient", "parse_address"]
+__all__ = [
+    "ServerUnavailable",
+    "ServeClient",
+    "parse_address",
+    "RETRYABLE_STATUSES",
+    "retry_delays",
+    "request_with_retries",
+]
+
+#: Response statuses worth retrying: the server is alive but cannot
+#: take the work *right now*. Everything else (ok, error, timeout,
+#: exhausted, cancelled) is a verdict on the request itself.
+RETRYABLE_STATUSES = (STATUS_REJECTED, STATUS_UNAVAILABLE)
 
 
 class ServerUnavailable(ReproError):
@@ -140,3 +161,53 @@ class ServeClient:
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+def retry_delays(retries: int, backoff: float) -> List[float]:
+    """The exponential backoff schedule: ``backoff * 2**attempt``.
+
+    One entry per retry — the pause *before* attempt ``n + 1``. Pinned
+    by ``tests/serve/test_protocol.py`` so the CLI contract
+    (``--retry 3 --retry-backoff 0.5`` waits 0.5s, 1s, 2s) cannot
+    drift silently.
+    """
+    return [backoff * (2 ** attempt) for attempt in range(max(0, retries))]
+
+
+def request_with_retries(
+    address: str,
+    message: Dict[str, object],
+    retries: int = 0,
+    backoff: float = 0.25,
+    sleep: Callable[[float], None] = time.sleep,
+    client_factory: Callable[[str], "ServeClient"] = None,
+) -> Dict[str, object]:
+    """One logical request, retried on shed/drain/unreachable replicas.
+
+    Opens a **fresh connection per attempt** (an unreachable server
+    leaves no connection to reuse, and a draining one closes its
+    listener). Responses with a status outside
+    :data:`RETRYABLE_STATUSES` return immediately; after the final
+    attempt the last retryable response is returned as-is (the caller
+    maps it to exit 4), or the final :class:`ServerUnavailable` is
+    re-raised. ``sleep``/``client_factory`` exist for the tests.
+    """
+    factory = client_factory if client_factory is not None else ServeClient
+    delays = retry_delays(retries, backoff)
+    response: Optional[Dict[str, object]] = None
+    for attempt in range(retries + 1):
+        try:
+            with factory(address) as client:
+                response = client.request(dict(message))
+        except ServerUnavailable:
+            if attempt >= retries:
+                raise
+            response = None
+        if (
+            response is not None
+            and response.get("status") not in RETRYABLE_STATUSES
+        ):
+            return response
+        if attempt < retries:
+            sleep(delays[attempt])
+    return response

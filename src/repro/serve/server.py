@@ -24,10 +24,14 @@ program. The moving parts, and where each concern lives:
   cancelled, so one stuck thread never stalls its client or its slot
   beyond the allowance.
 * **Off-loop execution** — engine work runs on an
-  :class:`~repro.serve.executor.Executor` backend
-  (:class:`~repro.serve.executor.ThreadedExecutor` by default) via
-  ``loop.run_in_executor``; the event loop only parses lines, makes
-  admission decisions, and writes responses.
+  :class:`~repro.serve.executor.Executor` backend selected by
+  ``--backend``: :class:`~repro.serve.executor.ThreadedExecutor` (the
+  default) or the supervised
+  :class:`~repro.serve.executor.ProcessExecutor`, whose watchdog
+  SIGKILLs a worker that sails past its deadline, retries crashed
+  queries on a fresh worker, and degrades to threads (then full
+  quarantine) when workers keep dying. The event loop only parses
+  lines, makes admission decisions, and writes responses.
 * **Lifecycle telemetry** — every transition emits a
   :class:`~repro.observability.events.RequestEvent`
   (admitted/started/completed/rejected/cancelled, with queue depth and
@@ -49,6 +53,7 @@ import asyncio
 import json
 import signal
 import threading
+import warnings as _warnings
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Set
@@ -60,18 +65,17 @@ from ..errors import (
     ReproError,
 )
 from ..observability.events import EventBus, RequestEvent
-from ..observability.streaming.recorder import (
-    StreamingRecorder,
-    attach_recorder,
-    detach_recorder,
-)
+from ..observability.streaming.recorder import StreamingRecorder
 from ..prolog.database import Database
 from ..prolog.engine import Engine
-from ..prolog.writer import term_to_string
-from ..robustness import faults
-from ..robustness.budget import Budget, CancelToken
 from .admission import AdmissionController
-from .executor import Executor, ThreadedExecutor
+from ..robustness.budget import Budget, CancelToken
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    QueryJob,
+    ThreadedExecutor,
+)
 from .protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -85,14 +89,9 @@ from .protocol import (
     decode_line,
     error_response,
 )
-from .snapshots import Snapshot, SnapshotStore
+from .snapshots import SnapshotStore
 
 __all__ = ["ServeOptions", "QueryServer", "ServerThread"]
-
-#: Serializes StreamingRecorder attach/detach across request threads
-#: (the recorder's binding list is rebuilt on unbind; two concurrent
-#: detaches must not resurrect each other's removed binding).
-_RECORDER_LOCK = threading.Lock()
 
 
 @dataclass
@@ -133,58 +132,18 @@ class ServeOptions:
     #: materializations are request-private and rebuilt per snapshot,
     #: so ``update`` invalidation falls out of snapshot isolation.
     eval_strategy: str = "topdown"
-
-
-def _execute_query(
-    snapshot: Snapshot,
-    query: str,
-    budget: Budget,
-    recorder: Optional[StreamingRecorder],
-    table_all: bool,
-    max_depth: int,
-    eval_strategy: str = "topdown",
-) -> Dict[str, object]:
-    """Run one admitted query on a worker thread; returns the payload.
-
-    Everything mutable is request-private (fresh engine, trail,
-    metrics, tables) except the pinned snapshot's database, which is
-    read-only after publication, and the shared recorder, whose
-    attach/detach is serialized and detached in a ``finally`` so a
-    faulted or cancelled request never leaves a stale binding.
-    """
-    if faults.ACTIVE is not None:
-        faults.ACTIVE.hit("serve.request")
-    engine = Engine(
-        snapshot.database,
-        max_depth=max_depth,
-        table_all=table_all,
-        budget=budget,
-        adjust_recursion_limit=False,
-        eval_strategy=eval_strategy,
-    )
-    if recorder is not None:
-        with _RECORDER_LOCK:
-            attach_recorder(engine, recorder)
-    try:
-        started = perf_counter()
-        solutions = engine.ask(query)
-        operators = snapshot.database.operators
-        return {
-            "solutions": [
-                {
-                    name: term_to_string(term, operators)
-                    for name, term in solution.bindings.items()
-                }
-                for solution in solutions
-            ],
-            "count": len(solutions),
-            "calls": engine.metrics.calls,
-            "elapsed_ms": round((perf_counter() - started) * 1e3, 3),
-        }
-    finally:
-        if recorder is not None:
-            with _RECORDER_LOCK:
-                detach_recorder(engine)
+    #: Execution backend: ``thread`` (default — cooperative deadlines,
+    #: shared process) or ``process`` (supervised worker pool with true
+    #: kill-on-deadline and crash recovery; see docs/SERVING.md).
+    backend: str = "thread"
+    #: Backend worker count. ``None`` sizes the pool from
+    #: ``max_inflight``: the process pool gets exactly ``max_inflight``
+    #: workers, the thread pool ``max_inflight + 4`` (slack absorbs
+    #: threads abandoned by the deadline watchdog).
+    workers: Optional[int] = None
+    #: Consecutive worker crashes before the process backend is
+    #: quarantined (the server keeps serving on threads).
+    quarantine_after: int = 3
 
 
 class QueryServer:
@@ -206,14 +165,37 @@ class QueryServer:
         self.admission = AdmissionController(
             self.options.max_inflight, self.options.max_queue
         )
-        # Pool slack beyond max_inflight: a request abandoned by the
-        # deadline watchdog frees its admission slot immediately but
-        # its thread keeps a worker until the next cooperative budget
-        # check — without headroom, one wedged thread would stall a
-        # fresh, healthy request behind it.
-        self.executor = executor or ThreadedExecutor(
-            max_workers=self.options.max_inflight + 4
+        if executor is not None:
+            self.executor = executor
+        elif self.options.backend == "process":
+            self.executor = ProcessExecutor(
+                workers=self.options.workers or self.options.max_inflight,
+                grace=self.options.grace,
+                max_depth=self.options.max_depth,
+                quarantine_after=self.options.quarantine_after,
+            )
+        elif self.options.backend == "thread":
+            # Pool slack beyond max_inflight: a request abandoned by the
+            # deadline watchdog frees its admission slot immediately but
+            # its thread keeps a worker until the next cooperative budget
+            # check — without headroom, one wedged thread would stall a
+            # fresh, healthy request behind it.
+            self.executor = ThreadedExecutor(
+                max_workers=self.options.workers
+                or self.options.max_inflight + 4
+            )
+        else:
+            raise ValueError(
+                f"unknown backend {self.options.backend!r} "
+                f"(use thread|process)"
+            )
+        #: The backend capacity mismatch, surfaced rather than silently
+        #: re-queueing admitted requests inside the backend pool.
+        self.backend_warning = self.executor.capacity_warning(
+            self.options.max_inflight
         )
+        if self.backend_warning is not None:
+            _warnings.warn(self.backend_warning, RuntimeWarning, stacklevel=2)
         self.events = EventBus(limit=self.options.bus_limit)
         self.recorder = StreamingRecorder()
         self.draining = False
@@ -334,12 +316,16 @@ class QueryServer:
 
     def stats(self) -> Dict[str, object]:
         """The ``stats`` payload (also what the bench gate reads)."""
+        backend: Dict[str, object] = dict(self.executor.stats())
+        if self.backend_warning is not None:
+            backend["capacity_warning"] = self.backend_warning
         payload: Dict[str, object] = {
             "generation": self.store.generation,
             "draining": self.draining,
             "uptime_s": round(perf_counter() - self._started_at, 3),
             "protocol": PROTOCOL_VERSION,
             "engine_calls": self.recorder.calls,
+            "backend": backend,
         }
         payload.update(self.admission.snapshot())
         return payload
@@ -513,18 +499,19 @@ class QueryServer:
         cancelled = False
         try:
             self._emit("started", request_id, "query", snapshot.generation)
-            work = asyncio.ensure_future(
-                self.executor.run(
-                    _execute_query,
-                    snapshot,
-                    query,
-                    budget,
-                    self.recorder,
-                    self.options.table_all,
-                    self.options.max_depth,
-                    self.options.eval_strategy,
-                )
+            job = QueryJob(
+                snapshot=snapshot,
+                query=query,
+                timeout=timeout,
+                limit=limit,
+                max_calls=self.options.max_calls,
+                table_all=self.options.table_all,
+                max_depth=self.options.max_depth,
+                eval_strategy=self.options.eval_strategy,
+                budget=budget,
+                recorder=self.recorder,
             )
+            work = asyncio.ensure_future(self.executor.run_query(job))
             try:
                 if timeout is None:
                     payload = await work
@@ -532,9 +519,20 @@ class QueryServer:
                     # The engine honours the deadline cooperatively; the
                     # watchdog only fires for wedged threads (blocking
                     # sleeps, injected hangs) and answers the client at
-                    # deadline + grace while cancelling the token.
+                    # deadline + grace while cancelling the token. The
+                    # process backend kills its own worker at the same
+                    # point and raises DeadlineExceeded before this
+                    # backstop — the extra slack keeps the two watchdogs
+                    # from racing each other.
+                    backstop = timeout + self.options.grace
+                    if isinstance(self.executor, ProcessExecutor):
+                        backstop += self.options.grace + 5.0
                     payload = await asyncio.wait_for(
-                        asyncio.shield(work), timeout + self.options.grace
+                        asyncio.shield(work), backstop
+                    )
+                if payload.get("degraded"):
+                    self._emit(
+                        "degraded", request_id, "query", snapshot.generation
                     )
                 status = STATUS_OK
                 response: Dict[str, object] = {

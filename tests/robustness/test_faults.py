@@ -42,8 +42,20 @@ class TestSpecParsing:
             FaultPlan.from_spec("nonsense")
 
     def test_unknown_kind_rejected(self):
-        with pytest.raises(ValueError, match="unknown fault kind"):
+        with pytest.raises(ValueError, match="raise|hang|exhaust|crash"):
             FaultPlan.from_spec("engine.call:explode@1")
+
+    def test_crash_kind_parses(self):
+        plan = FaultPlan.from_spec("serve.worker:crash@2")
+        rule = plan.rules["serve.worker"]
+        assert rule.kind == "crash" and rule.at == 2
+
+    def test_kind_catalog(self):
+        assert faults.FAULT_KINDS == ("raise", "hang", "exhaust", "crash")
+
+    def test_worker_sites_in_catalog(self):
+        assert "serve.worker" in faults.FAULT_SITES
+        assert "serve.request" in faults.FAULT_SITES
 
 
 class TestFiring:
@@ -85,6 +97,39 @@ class TestFiring:
         assert faults.ACTIVE is plan
         faults.clear()
         assert faults.ACTIVE is None
+
+    def test_crash_kind_exits_the_process_without_unwinding(self, tmp_path):
+        """``crash`` is ``os._exit(13)`` — no exception, no cleanup.
+
+        Proven in a subprocess: a sentinel file written by an
+        ``atexit``/``finally`` handler must NOT appear, and the exit
+        code is the raw 13, not an interpreter traceback's 1.
+        """
+        import subprocess
+        import sys
+
+        sentinel = tmp_path / "unwound"
+        script = (
+            "import sys\n"
+            "from repro.robustness.faults import FaultPlan\n"
+            "plan = FaultPlan.from_spec('serve.worker:crash@1')\n"
+            "try:\n"
+            "    plan.hit('serve.worker')\n"
+            "finally:\n"
+            f"    open({str(sentinel)!r}, 'w').write('unwound')\n"
+            "sys.exit(0)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))),
+            capture_output=True,
+            timeout=60,
+        )
+        assert result.returncode == 13, result.stderr.decode()
+        assert not sentinel.exists(), "crash kind unwound the stack"
 
     def test_same_spec_and_seed_reproduce_trips(self):
         def run_once():

@@ -4,6 +4,7 @@ Task functions live at module level so worker processes can unpickle
 them under the spawn/fork start methods alike.
 """
 
+import os
 import time
 
 import pytest
@@ -12,6 +13,10 @@ from repro.robustness import (
     TaskOutcome,
     WatchdogOptions,
     WatchdogUnavailable,
+    WorkerCrashed,
+    WorkerPool,
+    WorkerTaskError,
+    WorkerTimeout,
     run_watchdogged,
 )
 
@@ -34,6 +39,17 @@ def _sleepy(index, payload):
 
 def _bad_init():
     raise RuntimeError("initializer exploded")
+
+
+def _pool_task(index, payload):
+    """WorkerPool task: square ints, obey 'hang'/'crash'/'boom' verbs."""
+    if payload == "hang":
+        time.sleep(30)
+    if payload == "crash":
+        os._exit(13)
+    if payload == "boom":
+        raise ValueError("boom")
+    return payload * payload
 
 
 class TestHappyPath:
@@ -93,3 +109,110 @@ class TestOutcomeShape:
     def test_ok_property(self):
         assert TaskOutcome(index=0, result=1).ok
         assert not TaskOutcome(index=0, quarantined=True).ok
+
+
+@pytest.fixture()
+def pool():
+    """A started 2-worker pool with a fast poll; always shut down."""
+    pool = WorkerPool(
+        _pool_task, size=2,
+        options=WatchdogOptions(poll_interval=0.01),
+    )
+    pool.start()
+    yield pool
+    pool.shutdown()
+
+
+class TestWorkerPool:
+    """The long-lived pool surface the serve process backend rides on."""
+
+    def test_execute_round_trips(self, pool):
+        assert pool.execute(6, timeout=10.0) == 36
+        assert pool.stats()["spawned"] == 2
+        assert pool.stats()["kills"] == 0
+
+    def test_workers_are_real_processes(self, pool):
+        pids = pool.worker_pids
+        assert len(pids) == 2
+        for pid in pids:
+            os.kill(pid, 0)  # raises if the process does not exist
+
+    def test_timeout_kills_and_respawns(self, pool):
+        pids_before = set(pool.worker_pids)
+        start = time.monotonic()
+        with pytest.raises(WorkerTimeout, match="0.3s timeout"):
+            pool.execute("hang", timeout=0.3)
+        elapsed = time.monotonic() - start
+        assert elapsed < 2 * 0.3 + 1.0, f"kill took {elapsed:.2f}s"
+        stats = pool.stats()
+        assert stats["kills"] == 1 and stats["respawns"] == 1
+        # The pool is back at full strength with one fresh process, and
+        # the killed PID is actually gone.
+        pids_after = set(pool.worker_pids)
+        assert len(pids_after) == 2
+        (killed,) = pids_before - pids_after
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(killed, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.01)
+        else:
+            pytest.fail(f"killed worker {killed} still exists")
+        # And the pool still works.
+        assert pool.execute(3, timeout=10.0) == 9
+
+    def test_crash_is_distinguished_from_timeout(self, pool):
+        with pytest.raises(WorkerCrashed, match="died"):
+            pool.execute("crash", timeout=10.0)
+        stats = pool.stats()
+        assert stats["crashes"] == 1 and stats["kills"] == 0
+        assert stats["respawns"] == 1
+        assert pool.execute(4, timeout=10.0) == 16
+
+    def test_task_exception_keeps_the_worker(self, pool):
+        pids_before = set(pool.worker_pids)
+        with pytest.raises(WorkerTaskError, match="ValueError: boom"):
+            pool.execute("boom", timeout=10.0)
+        # A raising task is not a sick worker: same processes, no kills.
+        assert set(pool.worker_pids) == pids_before
+        assert pool.stats()["respawns"] == 0
+
+    def test_checkout_scratch_survives_checkin_until_respawn(self, pool):
+        """cache_key is borrower-owned scratch (the serve backend's
+        generation cache); it must persist across checkouts of the same
+        worker and reset to None when the worker is replaced."""
+        worker = pool.checkout(timeout=5.0)
+        worker.cache_key = 7
+        pid = worker.process.pid
+        with pytest.raises(WorkerTimeout):
+            pool.execute_on(worker, "hang", timeout=0.2)
+        replacements = [
+            w for w in [pool.checkout(timeout=5.0), pool.checkout(timeout=5.0)]
+            if w.process.pid != pid
+        ]
+        assert all(w.cache_key is None for w in replacements)
+
+    def test_failing_initializer_raises_unavailable(self):
+        pool = WorkerPool(_pool_task, size=1, initializer=_bad_init)
+        with pytest.raises(WatchdogUnavailable, match="initializer"):
+            pool.start()
+
+    def test_shutdown_reaps_workers(self):
+        pool = WorkerPool(_pool_task, size=2)
+        pool.start()
+        pids = pool.worker_pids
+        pool.shutdown()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            gone = 0
+            for pid in pids:
+                try:
+                    os.kill(pid, 0)
+                except ProcessLookupError:
+                    gone += 1
+            if gone == len(pids):
+                return
+            time.sleep(0.01)
+        pytest.fail(f"workers {pids} survived shutdown")

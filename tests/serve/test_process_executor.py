@@ -1,0 +1,280 @@
+"""The ``--backend=process`` executor: true kill-on-deadline, crash
+recovery, and the degradation ladder.
+
+The acceptance spine, end to end through real sockets:
+
+* a worker wedged in a non-cooperative hang is **SIGKILLed** at
+  deadline + grace — the client gets the ordinary ``timeout`` status,
+  the old PID is verifiably gone, the admission slot is reused, and
+  stats count exactly one kill and one respawn;
+* a worker crash mid-query (``os._exit``) is retried once on a fresh
+  worker, transparently;
+* when the retry also crashes, the request completes on the threaded
+  fallback with ``degraded: "thread"`` in the response and a
+  ``degraded`` request event;
+* repeated crashes quarantine the process backend entirely — the
+  server keeps serving, threaded, with the reason in ``stats``.
+
+Fault plans are installed in the parent *before* the server starts:
+worker processes fork at pool construction and inherit the armed plan;
+``@N`` triggers count per worker process, so ``crash@2`` passes a
+worker's first query and kills its second, while a retry landing on a
+fresh worker starts back at zero and succeeds.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.robustness import faults
+from repro.serve import (
+    ServeClient,
+    ServeOptions,
+    ThreadedExecutor,
+)
+
+
+def _wait_for_pid_exit(pid, timeout):
+    """True when ``pid`` disappears within ``timeout`` seconds."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestProcessBackendServes:
+    def test_query_update_query_through_worker_processes(
+        self, server_factory
+    ):
+        thread = server_factory(backend="process", workers=2, max_inflight=2)
+        server_pid = os.getpid()
+        worker_pids = thread.server.executor.worker_pids
+        assert len(worker_pids) == 2
+        assert server_pid not in worker_pids
+        with ServeClient(thread.server.address) as client:
+            first = client.query("anc(a, X)")
+            assert first["status"] == "ok"
+            assert first["count"] == 4
+            assert "degraded" not in first
+            # An update publishes a new generation; the next query must
+            # see it (the worker's cached program is generation-keyed,
+            # so a stale cache would be an isolation bug, not a perf
+            # one).
+            assert client.update(asserts=["parent(e, f)."])["status"] == "ok"
+            second = client.query("anc(a, X)")
+            assert second["status"] == "ok"
+            assert second["generation"] == 1
+            assert second["count"] == 5
+        stats = thread.server.stats()["backend"]
+        assert stats["kind"] == "process"
+        assert stats["quarantined"] is False
+        assert stats["kills"] == 0 and stats["crashes"] == 0
+
+    def test_warm_worker_skips_reshipping_but_stays_correct(
+        self, server_factory
+    ):
+        """With one worker, consecutive queries hit the same process:
+        the second runs from the cached program (same generation), and
+        every post-update query sees its own generation's answers."""
+        thread = server_factory(backend="process", workers=1, max_inflight=1)
+        with ServeClient(thread.server.address) as client:
+            for expected_count, new_fact in (
+                (4, "parent(e, f)."),
+                (5, "parent(f, g)."),
+                (6, None),
+            ):
+                response = client.query("anc(a, X)")
+                assert response["status"] == "ok"
+                assert response["count"] == expected_count
+                if new_fact is not None:
+                    assert client.update(asserts=[new_fact])["status"] == "ok"
+
+    def test_cooperative_timeout_does_not_kill_the_worker(
+        self, server_factory
+    ):
+        """A query that blows its deadline inside engine work is caught
+        by the in-worker budget — answered ``timeout`` with the worker
+        still alive (SIGKILL is reserved for non-cooperative wedges)."""
+        thread = server_factory(
+            backend="process", workers=1, max_inflight=1,
+            default_timeout=0.3, grace=5.0,
+        )
+        pids_before = thread.server.executor.worker_pids
+        with ServeClient(thread.server.address) as client:
+            response = client.query("slow")
+            assert response["status"] == "timeout"
+            assert client.query("anc(a, X)")["status"] == "ok"
+        assert thread.server.executor.worker_pids == pids_before
+        stats = thread.server.stats()["backend"]
+        assert stats["kills"] == 0 and stats["respawns"] == 0
+
+
+class TestKillOnDeadline:
+    def test_wedged_worker_is_killed_answered_and_replaced(
+        self, server_factory
+    ):
+        """The acceptance proof: a non-cooperative 30s hang under a
+        0.4s deadline is answered at ~deadline+grace, its worker PID is
+        SIGKILLed and gone within 2x grace, the admission slot is
+        reused by the next query, and stats count exactly one kill and
+        one respawn."""
+        faults.install_from_spec("serve.worker:hang:30@2")
+        grace = 0.2
+        thread = server_factory(
+            backend="process", workers=1, max_inflight=1, max_queue=0,
+            default_timeout=0.4, grace=grace, drain_timeout=0.5,
+        )
+        address = thread.server.address
+        with ServeClient(address) as client:
+            assert client.query("anc(a, X)")["status"] == "ok"  # warm-up
+            (wedged_pid,) = thread.server.executor.worker_pids
+
+            started = time.perf_counter()
+            response = client.query("anc(a, X)")  # trips hang@2: wedged
+            elapsed = time.perf_counter() - started
+
+            assert response["status"] == "timeout"
+            assert "worker killed" in response["error"]
+            # Answered at deadline + grace (+ respawn/roundtrip slack),
+            # decades before the 30s hang would have ended.
+            assert 0.35 <= elapsed < 3.0, f"answered after {elapsed:.2f}s"
+            # The wedged PID is truly gone — SIGKILL, not abandonment.
+            assert _wait_for_pid_exit(wedged_pid, timeout=2 * grace + 2.0)
+            # The slot (max_inflight=1, max_queue=0) is free again and
+            # served by the respawned worker.
+            reuse = client.query("anc(a, X)")
+            assert reuse["status"] == "ok"
+            assert reuse["count"] == 4
+        stats = thread.server.stats()["backend"]
+        assert stats["kills"] == 1
+        assert stats["respawns"] == 1
+        assert stats["crashes"] == 0
+        assert stats["quarantined"] is False
+        assert thread.server.admission.inflight == 0
+
+
+class TestCrashRecovery:
+    def test_crash_mid_query_is_retried_on_a_fresh_worker(
+        self, server_factory
+    ):
+        """crash@2 with one worker: the first query warms the worker,
+        the second kills it mid-query; the retry lands on the fresh
+        respawn (per-process trigger counter back at zero) and the
+        client sees a plain ``ok`` — no degraded marker."""
+        faults.install_from_spec("serve.worker:crash@2")
+        thread = server_factory(backend="process", workers=1, max_inflight=1)
+        with ServeClient(thread.server.address) as client:
+            assert client.query("anc(a, X)")["status"] == "ok"
+            response = client.query("anc(a, X)")
+            assert response["status"] == "ok"
+            assert response["count"] == 4
+            assert "degraded" not in response
+        stats = thread.server.stats()["backend"]
+        assert stats["crashes"] == 1
+        assert stats["respawns"] == 1
+        assert stats["degraded_requests"] == 0
+        assert stats["quarantined"] is False
+
+    def test_repeated_crash_degrades_to_threaded_fallback(
+        self, server_factory
+    ):
+        """crash@1: every fresh worker dies on its first task, so the
+        retry crashes too — the request completes on the embedded
+        threaded executor, marked ``degraded``, with a request event."""
+        faults.install_from_spec("serve.worker:crash@1")
+        thread = server_factory(
+            backend="process", workers=1, max_inflight=1,
+            quarantine_after=10,
+        )
+        with ServeClient(thread.server.address) as client:
+            response = client.query("anc(a, X)")
+            assert response["status"] == "ok"
+            assert response["count"] == 4
+            assert response["degraded"] == "thread"
+        stats = thread.server.stats()["backend"]
+        assert stats["degraded_requests"] == 1
+        assert stats["crashes"] == 2  # first attempt + the retry
+        assert stats["quarantined"] is False
+        degraded_events = [
+            e for e in thread.server.events
+            if e.kind == "request" and e.action == "degraded"
+        ]
+        assert len(degraded_events) == 1
+
+    def test_crash_threshold_quarantines_the_process_backend(
+        self, server_factory
+    ):
+        faults.install_from_spec("serve.worker:crash@1")
+        thread = server_factory(
+            backend="process", workers=1, max_inflight=1,
+            quarantine_after=2,
+        )
+        with ServeClient(thread.server.address) as client:
+            # Both attempts of the first query crash -> threshold of 2
+            # reached -> quarantined, yet the request still succeeds.
+            first = client.query("anc(a, X)")
+            assert first["status"] == "ok"
+            assert first["degraded"] == "thread"
+            # The backend stays out of rotation: later queries go
+            # straight to the fallback, no fresh crashes.
+            second = client.query("anc(a, X)")
+            assert second["status"] == "ok"
+            assert second["degraded"] == "thread"
+        stats = thread.server.stats()["backend"]
+        assert stats["quarantined"] is True
+        assert "consecutive worker crashes" in stats["quarantine_reason"]
+        assert stats["crashes"] == 2
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, database):
+        from repro.serve import QueryServer
+
+        with pytest.raises(ValueError, match="unknown backend"):
+            QueryServer(database, ServeOptions(backend="fibers"))
+
+    def test_thread_capacity_warning_surfaces(self, database):
+        """max_workers < max_inflight silently re-queues admitted
+        requests — the server must warn at startup and in stats."""
+        from repro.serve import QueryServer
+
+        with pytest.warns(RuntimeWarning, match="re-queue"):
+            server = QueryServer(
+                database,
+                ServeOptions(backend="thread", workers=2, max_inflight=8),
+            )
+        assert "2 workers" in server.backend_warning
+        assert server.stats()["backend"]["capacity_warning"]
+        server.executor.shutdown()
+
+    def test_process_capacity_warning_surfaces(self, database):
+        from repro.serve import QueryServer
+
+        with pytest.warns(RuntimeWarning, match="admission slots"):
+            server = QueryServer(
+                database,
+                ServeOptions(backend="process", workers=1, max_inflight=4),
+            )
+        server.executor.shutdown()
+
+    def test_default_thread_backend_never_warns(self, database):
+        from repro.serve import QueryServer
+
+        server = QueryServer(database, ServeOptions())
+        assert server.backend_warning is None
+        assert isinstance(server.executor, ThreadedExecutor)
+        assert server.stats()["backend"]["kind"] == "thread"
+        server.executor.shutdown()
+
+    def test_threaded_capacity_warning_boundary(self):
+        executor = ThreadedExecutor(max_workers=4)
+        try:
+            assert executor.capacity_warning(4) is None
+            assert executor.capacity_warning(5) is not None
+        finally:
+            executor.shutdown()

@@ -1,10 +1,16 @@
-"""Wire-format and status/exit-code taxonomy tests."""
+"""Wire-format, status/exit-code taxonomy, and client-retry tests."""
 
 import json
 
 import pytest
 
 from repro.cli import EXIT_ERROR, EXIT_RESOURCE, EXIT_UNAVAILABLE
+from repro.serve import (
+    RETRYABLE_STATUSES,
+    ServerUnavailable,
+    request_with_retries,
+    retry_delays,
+)
 from repro.serve.protocol import (
     OPS,
     PROTOCOL_VERSION,
@@ -89,3 +95,133 @@ class TestExitCodeTaxonomy:
     def test_ops_catalog(self):
         assert OPS == ("query", "update", "ping", "stats")
         assert PROTOCOL_VERSION == 1
+
+
+class _ScriptedClient:
+    """Fake ServeClient: each construction pops the next scripted
+    attempt — a response dict to return or an exception to raise."""
+
+    def __init__(self, script, attempts):
+        self._script = script
+        self._attempts = attempts
+
+    @classmethod
+    def factory(cls, script):
+        attempts = []
+        return (
+            lambda address: cls(script, attempts)
+        ), attempts
+
+    def request(self, message):
+        self._attempts.append(dict(message))
+        step = self._script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return dict(step)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        return False
+
+
+class TestClientRetries:
+    """The ``repro client --retry N --retry-backoff SECS`` contract."""
+
+    def test_backoff_schedule_is_pinned(self):
+        # --retry 3 --retry-backoff 0.5 waits 0.5s, 1s, 2s.
+        assert retry_delays(3, 0.5) == [0.5, 1.0, 2.0]
+        assert retry_delays(1, 0.25) == [0.25]
+        assert retry_delays(0, 0.5) == []
+        assert retry_delays(-2, 0.5) == []
+
+    def test_retryable_statuses_are_the_exit_4_family(self):
+        assert set(RETRYABLE_STATUSES) == {
+            STATUS_REJECTED, STATUS_UNAVAILABLE,
+        }
+
+    def test_rejected_then_ok_retries_with_backoff(self):
+        factory, attempts = _ScriptedClient.factory([
+            {"status": STATUS_REJECTED, "error": "queue full"},
+            {"status": STATUS_REJECTED, "error": "queue full"},
+            {"status": STATUS_OK, "count": 1},
+        ])
+        sleeps = []
+        response = request_with_retries(
+            "fake:1", {"op": "query", "query": "f(X)"},
+            retries=3, backoff=0.5, sleep=sleeps.append,
+            client_factory=factory,
+        )
+        assert response["status"] == STATUS_OK
+        assert len(attempts) == 3
+        assert sleeps == [0.5, 1.0]  # stopped before the 2.0 wait
+
+    def test_unreachable_server_retries_then_reraises(self):
+        factory, attempts = _ScriptedClient.factory([
+            ServerUnavailable("refused"),
+            ServerUnavailable("refused"),
+            ServerUnavailable("still refused"),
+        ])
+        sleeps = []
+        with pytest.raises(ServerUnavailable, match="still refused"):
+            request_with_retries(
+                "fake:1", {"op": "ping"},
+                retries=2, backoff=0.1, sleep=sleeps.append,
+                client_factory=factory,
+            )
+        assert len(attempts) == 3
+        assert sleeps == [0.1, 0.2]
+
+    def test_non_retryable_status_returns_immediately(self):
+        for status in (STATUS_ERROR, STATUS_TIMEOUT, STATUS_EXHAUSTED):
+            factory, attempts = _ScriptedClient.factory([
+                {"status": status},
+                {"status": STATUS_OK},
+            ])
+            sleeps = []
+            response = request_with_retries(
+                "fake:1", {"op": "query", "query": "f(X)"},
+                retries=5, backoff=0.1, sleep=sleeps.append,
+                client_factory=factory,
+            )
+            # A verdict on the request itself: no second attempt.
+            assert response["status"] == status
+            assert len(attempts) == 1 and sleeps == []
+
+    def test_exhausted_retries_return_the_last_shed_response(self):
+        factory, attempts = _ScriptedClient.factory([
+            {"status": STATUS_REJECTED, "error": "full"},
+            {"status": STATUS_REJECTED, "error": "still full"},
+        ])
+        response = request_with_retries(
+            "fake:1", {"op": "ping"},
+            retries=1, backoff=0.1, sleep=lambda _s: None,
+            client_factory=factory,
+        )
+        # The caller maps this to exit 4, same as without retries.
+        assert response["error"] == "still full"
+
+    def test_zero_retries_is_a_single_attempt(self):
+        factory, attempts = _ScriptedClient.factory([
+            {"status": STATUS_REJECTED, "error": "full"},
+        ])
+        response = request_with_retries(
+            "fake:1", {"op": "ping"}, client_factory=factory,
+            sleep=lambda _s: None,
+        )
+        assert response["status"] == STATUS_REJECTED
+        assert len(attempts) == 1
+
+    def test_cli_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["client", "localhost:7878", "ping",
+             "--retry", "3", "--retry-backoff", "0.5"]
+        )
+        assert args.retry == 3 and args.retry_backoff == 0.5
+        defaults = build_parser().parse_args(
+            ["client", "localhost:7878", "ping"]
+        )
+        assert defaults.retry == 0 and defaults.retry_backoff == 0.25

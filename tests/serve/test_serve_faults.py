@@ -1,5 +1,11 @@
-"""The ``serve.request`` fault site: wedged or exploding requests are
-contained to their own response, at their own deadline."""
+"""The serve fault sites: wedged or exploding requests are contained
+to their own response, at their own deadline.
+
+``serve.request`` fires in the server process (thread backend);
+``serve.worker`` fires inside a ``--backend=process`` worker, where
+``hang`` wedges non-cooperatively (SIGKILL territory) and ``raise`` /
+``exhaust`` must still map to single clean responses across the pipe.
+The crash kind's full ladder lives in test_process_executor.py."""
 
 import threading
 import time
@@ -85,3 +91,53 @@ class TestRaisingRequest:
 
     def test_site_is_in_the_catalog(self):
         assert "serve.request" in faults.FAULT_SITES
+
+
+class TestWorkerFaultSite:
+    """The process-backend cells: faults inside a worker process.
+
+    Plans are installed before the server starts (workers fork at pool
+    construction and inherit them); triggers count per worker process.
+    """
+
+    def test_worker_raise_is_one_error_response(self, server_factory):
+        faults.install_from_spec("serve.worker:raise@1")
+        thread = server_factory(backend="process", workers=1, max_inflight=1)
+        with ServeClient(thread.server.address) as client:
+            response = client.query("anc(a, X)")
+            assert response["status"] == "error"
+            assert "injected fault at serve.worker" in response["error"]
+            # The worker survives its own exception (no kill, no
+            # respawn) and keeps serving.
+            assert client.query("anc(a, X)")["status"] == "ok"
+        stats = thread.server.stats()["backend"]
+        assert stats["kills"] == 0 and stats["crashes"] == 0
+
+    def test_worker_exhaustion_maps_to_exhausted(self, server_factory):
+        faults.install_from_spec("serve.worker:exhaust@1")
+        thread = server_factory(backend="process", workers=1, max_inflight=1)
+        with ServeClient(thread.server.address) as client:
+            response = client.query("anc(a, X)")
+            assert response["status"] == "exhausted"
+            assert client.query("anc(a, X)")["status"] == "ok"
+
+    def test_worker_hang_is_answered_at_the_deadline(self, server_factory):
+        """The process-backend twin of the serve.request hang test —
+        except here the wedge is *killed*, not abandoned."""
+        faults.install_from_spec("serve.worker:hang:30@1")
+        thread = server_factory(
+            backend="process", workers=1, max_inflight=1,
+            default_timeout=0.3, grace=0.2, drain_timeout=0.5,
+        )
+        with ServeClient(thread.server.address) as client:
+            started = time.perf_counter()
+            response = client.query("anc(a, X)")
+            elapsed = time.perf_counter() - started
+            assert response["status"] == "timeout"
+            assert "worker killed" in response["error"]
+            assert elapsed < 3.0
+        assert thread.server.stats()["backend"]["kills"] == 1
+        assert thread.server.admission.inflight == 0
+
+    def test_worker_site_is_in_the_catalog(self):
+        assert "serve.worker" in faults.FAULT_SITES

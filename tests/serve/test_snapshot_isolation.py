@@ -9,11 +9,15 @@ Two layers:
   sockets), and
 * a hypothesis property over random update schedules driven through
   the real server, checking every response against a serial oracle for
-  the generation the response reports.
+  the generation the response reports — run on **both** backends, so
+  the process executor's per-worker generation cache faces the same
+  oracle: a worker answering generation G from a stale cached program
+  would fail it immediately.
 """
 
 import threading
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.prolog import Database, Engine, term_to_string
@@ -87,6 +91,7 @@ class TestStoreLevelIsolation:
 
 
 class TestServerLevelIsolation:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
     @settings(max_examples=8, deadline=None)
     @given(
         updates=st.lists(
@@ -96,7 +101,7 @@ class TestServerLevelIsolation:
         readers=st.integers(min_value=2, max_value=6),
     )
     def test_every_response_matches_a_serial_run_of_its_generation(
-        self, updates, readers
+        self, backend, updates, readers
     ):
         from repro.serve import ServeOptions, ServerThread
 
@@ -112,7 +117,7 @@ class TestServerLevelIsolation:
         thread = ServerThread(
             database,
             ServeOptions(port=0, max_inflight=readers + 1, max_queue=32,
-                         default_timeout=30.0),
+                         default_timeout=30.0, backend=backend),
         )
         address = thread.start()
         responses = []
